@@ -1,0 +1,77 @@
+/// Ablation: the overflow eviction policy (Fig. 2's "replace the least
+/// similar item"). Compares farthest-angle (default), literal
+/// least-similar-cosine, and FIFO under tight capacity, measuring item
+/// locate cost (the walk length overflow creates) and publish throughput.
+
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "common/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace meteo;
+  CliParser cli;
+  bench::add_common_flags(cli);
+  cli.add_flag("capacity-factor", "4", "node capacity as multiple of c");
+  if (!cli.parse(argc, argv)) return 1;
+  bench::ExperimentFlags flags = bench::read_common_flags(cli);
+  // The cosine policy is O(c) per eviction; keep the default affordable.
+  flags.items = std::min<std::size_t>(flags.items, 30'000);
+  const auto cap = static_cast<std::size_t>(cli.get_int("capacity-factor"));
+
+  bench::banner("Ablation: eviction policy under overflow", flags.csv);
+
+  const bench::Workload wl_full = bench::build_workload(flags);
+
+  struct Policy {
+    core::EvictionPolicy policy;
+    const char* name;
+  };
+  const Policy policies[] = {
+      {core::EvictionPolicy::kFarthestAngle, "farthest-angle (default)"},
+      {core::EvictionPolicy::kLeastSimilarCosine, "least-similar cosine"},
+      {core::EvictionPolicy::kFifo, "FIFO"},
+  };
+
+  TextTable table({"policy", "mean chain hops/publish",
+                   "mean locate walk hops", "p99 locate walk hops",
+                   "locate found %"});
+  for (const Policy& p : policies) {
+    core::SystemConfig cfg;
+    cfg.node_count = flags.nodes;
+    cfg.dimension = flags.keywords;
+    cfg.load_balance = core::LoadBalanceMode::kUnusedHashSpacePlusHotRegions;
+    cfg.eviction = p.policy;
+    const std::size_t c = std::max<std::size_t>(1, flags.items / flags.nodes);
+    cfg.node_capacity = cap * c;
+    core::Meteorograph sys(cfg, wl_full.sample, flags.seed ^ 0xe71c);
+
+    OnlineStats chain;
+    for (vsm::ItemId id = 0; id < wl_full.vectors.size(); ++id) {
+      chain.add(static_cast<double>(
+          sys.publish(id, wl_full.vectors[id]).chain_hops));
+    }
+
+    Rng query_rng(flags.seed ^ 0x10c);
+    OnlineStats walk;
+    std::vector<double> walks;
+    std::size_t found = 0;
+    const std::size_t queries = std::min<std::size_t>(flags.queries, 2000);
+    for (std::size_t q = 0; q < queries; ++q) {
+      const vsm::ItemId id = query_rng.below(wl_full.vectors.size());
+      const core::LocateResult r = sys.locate(id, wl_full.vectors[id]);
+      if (!r.found) continue;
+      ++found;
+      walk.add(static_cast<double>(r.walk_hops));
+      walks.push_back(static_cast<double>(r.walk_hops));
+    }
+    table.add_row({p.name, TextTable::num(chain.mean(), 4),
+                   TextTable::num(walk.mean(), 4),
+                   TextTable::num(walks.empty() ? 0.0 : percentile(walks, 99.0), 4),
+                   TextTable::num(100.0 * static_cast<double>(found) /
+                                      static_cast<double>(queries),
+                                  4)});
+  }
+  bench::emit(table, flags.csv);
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// Ablation: how many Eq. 6 knees are enough? Sweeps the knee budget and
+/// reports the remap fit error (max CDF deviation) plus the resulting node
+/// load balance (Gini). The paper hard-codes 5 knees; this shows where the
+/// returns diminish.
+
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "common/cdf.hpp"
+#include "common/stats.hpp"
+#include "workload/knee.hpp"
+
+int main(int argc, char** argv) {
+  using namespace meteo;
+  CliParser cli;
+  bench::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const bench::ExperimentFlags flags = bench::read_common_flags(cli);
+
+  bench::banner("Ablation: Eq. 6 knee budget vs load balance", flags.csv);
+
+  const bench::Workload wl = bench::build_workload(flags);
+  const double c =
+      static_cast<double>(flags.items) / static_cast<double>(flags.nodes);
+
+  TextTable table({"knees", "max CDF deviation", "load Gini", "max load/c"});
+  for (const std::size_t knees : {2u, 3u, 5u, 9u, 17u, 33u}) {
+    core::SystemConfig cfg;
+    cfg.node_count = flags.nodes;
+    cfg.dimension = flags.keywords;
+    cfg.load_balance = core::LoadBalanceMode::kUnusedHashSpace;
+    cfg.eq6_knees = knees;
+    core::Meteorograph sys(cfg, wl.sample, flags.seed ^ 0x1234);
+    for (vsm::ItemId id = 0; id < wl.vectors.size(); ++id) {
+      (void)sys.publish(id, wl.vectors[id]);
+    }
+    std::vector<double> ratios;
+    for (const std::size_t load : sys.node_loads()) {
+      ratios.push_back(static_cast<double>(load) / c);
+    }
+
+    // Fit error: compare the fitted knees against a fine CDF of the
+    // sample's raw keys.
+    std::vector<double> raw;
+    for (const auto& v : wl.sample) {
+      raw.push_back(static_cast<double>(sys.raw_key(v)));
+    }
+    const EmpiricalCdf cdf(raw);
+    const auto curve = cdf.resample(512);
+    std::vector<Knot> normalized;
+    const double top = static_cast<double>(cfg.overlay.key_space - 1);
+    for (const Knot& k : sys.naming().knees()) {
+      normalized.push_back(Knot{k.x, k.y / top});
+    }
+    const double deviation = workload::max_deviation(curve, normalized);
+
+    table.add_row({TextTable::integer(static_cast<long long>(knees)),
+                   TextTable::num(deviation, 4),
+                   TextTable::num(gini(ratios), 4),
+                   TextTable::num(*std::max_element(ratios.begin(), ratios.end()),
+                                  4)});
+  }
+  bench::emit(table, flags.csv);
+  return 0;
+}

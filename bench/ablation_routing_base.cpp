@@ -1,0 +1,50 @@
+/// Ablation: routing base b vs hop count and routing-table size. The
+/// paper's measured 6.91 hops at N = 10^4 implies base ~4; this sweep
+/// shows the hop/state trade-off that pins that choice.
+
+#include <cmath>
+
+#include "bench/harness.hpp"
+#include "common/stats.hpp"
+#include "overlay/overlay.hpp"
+
+int main(int argc, char** argv) {
+  using namespace meteo;
+  CliParser cli;
+  bench::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const bench::ExperimentFlags flags = bench::read_common_flags(cli);
+
+  bench::banner("Ablation: routing base vs hops and table size", flags.csv);
+
+  TextTable table({"base", "mean hops", "max hops", "mean table size",
+                   "log_b(N)"});
+  for (const unsigned base : {2u, 4u, 8u, 16u}) {
+    overlay::OverlayConfig cfg;
+    cfg.routing_base = base;
+    overlay::Overlay net(cfg);
+    Rng rng(flags.seed ^ base);
+    while (net.alive_count() < flags.nodes) {
+      (void)net.join(rng.below(cfg.key_space));
+    }
+    net.repair();
+
+    OnlineStats hops;
+    for (std::size_t q = 0; q < flags.queries; ++q) {
+      const auto r = net.route(net.random_alive(rng), rng.below(cfg.key_space));
+      hops.add(static_cast<double>(r.hops));
+    }
+    OnlineStats table_size;
+    for (const auto id : net.alive_nodes()) {
+      table_size.add(static_cast<double>(net.table_of(id).size()));
+    }
+    table.add_row(
+        {TextTable::integer(base), TextTable::num(hops.mean(), 4),
+         TextTable::num(hops.max(), 4), TextTable::num(table_size.mean(), 4),
+         TextTable::num(std::log(static_cast<double>(flags.nodes)) /
+                            std::log(static_cast<double>(base)),
+                        4)});
+  }
+  bench::emit(table, flags.csv);
+  return 0;
+}

@@ -1,0 +1,107 @@
+/// Footnote 1 / §1 comparison: messages per k-item similarity search for
+/// Meteorograph vs a Gnutella-like flood (with and without a TTL) vs the
+/// naive one-inverted-list-per-keyword DHT. Also reports the flood's
+/// recall (TTL-limited scope) and the keyword DHT's posting traffic.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baseline/flooding.hpp"
+#include "baseline/keyword_dht.hpp"
+#include "bench/harness.hpp"
+#include "common/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace meteo;
+  CliParser cli;
+  bench::add_common_flags(cli);
+  cli.add_flag("k", "20", "items requested per search");
+  cli.add_flag("ttl", "4", "flood TTL (Gnutella default horizon)");
+  if (!cli.parse(argc, argv)) return 1;
+  bench::ExperimentFlags flags = bench::read_common_flags(cli);
+  const auto k = static_cast<std::size_t>(cli.get_int("k"));
+  const auto ttl = static_cast<std::size_t>(cli.get_int("ttl"));
+  // Keep the comparison affordable: the flood baseline is O(N) per query.
+  const std::size_t queries = std::min<std::size_t>(flags.queries, 200);
+
+  bench::banner("Footnote 1: messages per similarity search vs baselines",
+                flags.csv);
+
+  const bench::Workload wl = bench::build_workload(flags);
+  const auto keywords = bench::popular_keywords(wl.trace, 16, flags.nodes);
+
+  // --- Meteorograph ---------------------------------------------------------
+  core::Meteorograph sys = bench::build_system(
+      flags, wl, core::LoadBalanceMode::kUnusedHashSpacePlusHotRegions,
+      flags.nodes, 8);
+  (void)bench::publish_all(sys, wl);
+
+  // --- Gnutella-like flood --------------------------------------------------
+  Rng flood_rng(flags.seed ^ 0xf100d);
+  baseline::FloodingNetwork flood({flags.nodes, 4}, flood_rng);
+  for (vsm::ItemId id = 0; id < wl.vectors.size(); ++id) {
+    std::vector<vsm::KeywordId> kws;
+    for (const auto& e : wl.vectors[id].entries()) kws.push_back(e.keyword);
+    flood.publish_random(id, std::move(kws), flood_rng);
+  }
+
+  // --- Naive keyword DHT -----------------------------------------------------
+  baseline::KeywordDhtConfig dht_cfg;
+  dht_cfg.node_count = flags.nodes;
+  baseline::KeywordDht dht(dht_cfg, flags.seed ^ 0xd47);
+  for (vsm::ItemId id = 0; id < wl.vectors.size(); ++id) {
+    std::vector<vsm::KeywordId> kws;
+    for (const auto& e : wl.vectors[id].entries()) kws.push_back(e.keyword);
+    (void)dht.publish(id, kws);
+  }
+
+  OnlineStats meteo_msgs;
+  OnlineStats flood_msgs;
+  OnlineStats flood_recall;
+  OnlineStats dht_msgs;
+  Rng query_rng(flags.seed ^ 0x9);
+  for (std::size_t q = 0; q < queries; ++q) {
+    const vsm::KeywordId keyword = keywords[query_rng.below(keywords.size())];
+    const std::vector<vsm::KeywordId> query = {keyword};
+
+    const core::SearchResult mr = sys.similarity_search(query, k);
+    meteo_msgs.add(static_cast<double>(mr.total_messages()));
+
+    const baseline::FloodResult fr =
+        flood.search(query, ttl, query_rng.below(flood.node_count()));
+    flood_msgs.add(static_cast<double>(fr.messages));
+    const std::size_t total = flood.total_matches(query);
+    flood_recall.add(total == 0 ? 100.0
+                                : 100.0 *
+                                      static_cast<double>(std::min(
+                                          fr.items.size(),
+                                          static_cast<std::size_t>(total))) /
+                                      static_cast<double>(total));
+
+    const baseline::DhtQueryResult dr = dht.search(query);
+    dht_msgs.add(static_cast<double>(dr.total_messages()));
+  }
+
+  const double c =
+      static_cast<double>(flags.items) / static_cast<double>(flags.nodes);
+  const double logn =
+      std::log(static_cast<double>(flags.nodes)) / std::log(4.0);
+  TextTable table({"system", "mean messages / search", "recall %", "notes"});
+  table.add_row({"Meteorograph (k=" + std::to_string(k) + ")",
+                 TextTable::num(meteo_msgs.mean(), 4), "100",
+                 "(1+k/c)*log4(N) = " +
+                     TextTable::num((1.0 + static_cast<double>(k) / c) * logn, 4)});
+  table.add_row({"Gnutella flood (TTL=" + std::to_string(ttl) + ")",
+                 TextTable::num(flood_msgs.mean(), 4),
+                 TextTable::num(flood_recall.mean(), 4),
+                 "TTL-limited scope misses items"});
+  table.add_row({"Gnutella flood (no TTL)",
+                 ">= " + TextTable::integer(static_cast<long long>(flags.nodes - 1)),
+                 "100", "N-1 message lower bound"});
+  table.add_row({"Naive keyword DHT",
+                 TextTable::num(dht_msgs.mean(), 4), "100",
+                 "ships full posting lists"});
+  bench::emit(table, flags.csv);
+  return 0;
+}

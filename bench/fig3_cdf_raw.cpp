@@ -1,0 +1,64 @@
+/// Reproduces Figure 3: the CDF of items versus their *raw* (Eq. 5) hash
+/// keys, computed over a 0.5% sample — the skew that motivates §3.4.
+/// Also prints the knee points the load balancer fits (the paper's
+/// (a_i, b_i) list) and the occupied fraction of the address space.
+
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "common/cdf.hpp"
+#include "workload/knee.hpp"
+
+int main(int argc, char** argv) {
+  using namespace meteo;
+  CliParser cli;
+  bench::add_common_flags(cli);
+  cli.add_flag("knees", "5", "Eq. 6 knee budget (paper: 5)");
+  if (!cli.parse(argc, argv)) return 1;
+  const bench::ExperimentFlags flags = bench::read_common_flags(cli);
+
+  bench::banner("Figure 3: CDF of items vs raw hash keys (0.5% sample)",
+                flags.csv);
+
+  const bench::Workload wl = bench::build_workload(flags);
+
+  core::SystemConfig cfg;
+  cfg.dimension = flags.keywords;
+  cfg.load_balance = core::LoadBalanceMode::kNone;
+  const core::NamingScheme naming = core::NamingScheme::fit({}, cfg);
+
+  std::vector<double> keys;
+  keys.reserve(wl.sample.size());
+  for (const auto& v : wl.sample) {
+    keys.push_back(static_cast<double>(naming.raw_key(v)));
+  }
+  const EmpiricalCdf cdf(keys);
+
+  TextTable table({"raw hash key", "CDF"});
+  for (const Knot& k : cdf.resample(21)) {
+    table.add_row({TextTable::num(k.x, 8), TextTable::num(k.y, 4)});
+  }
+  bench::emit(table, flags.csv);
+
+  const auto curve = cdf.resample(512);
+  const auto knees = workload::find_knees(
+      curve, {static_cast<std::size_t>(cli.get_int("knees")), 0.0});
+  TextTable knee_table({"knee (b_i = key)", "knee (a_i = CDF)"});
+  for (const Knot& k : knees) {
+    knee_table.add_row({TextTable::num(k.x, 8), TextTable::num(k.y, 4)});
+  }
+  bench::emit(knee_table, flags.csv);
+
+  // The paper's headline: most items occupy a sliver of the key space.
+  const double space = static_cast<double>(cfg.overlay.key_space);
+  const double band_lo = cdf.quantile(0.05);
+  const double band_hi = cdf.quantile(0.95);
+  TextTable summary({"metric", "value"});
+  summary.add_row({"key space size (R)", TextTable::num(space, 8)});
+  summary.add_row({"keys spanning middle 90% of items",
+                   TextTable::num(band_hi - band_lo, 6)});
+  summary.add_row({"fraction of address space they occupy",
+                   TextTable::num((band_hi - band_lo) / space, 4)});
+  bench::emit(summary, flags.csv);
+  return 0;
+}

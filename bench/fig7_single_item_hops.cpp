@@ -1,0 +1,69 @@
+/// Reproduces Figure 7: hops to discover a single item vs overlay size
+/// (paper: N = 1,000..10,000, infinite node storage, 100K queries), for
+/// the three variants None / Unused Hash Space / + Hot Regions. All three
+/// must track O(log N).
+
+#include <cmath>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "common/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace meteo;
+  CliParser cli;
+  bench::add_common_flags(cli);
+  cli.add_flag("node-counts", "1000,2500,5000,7500,10000",
+               "comma-separated overlay sizes");
+  if (!cli.parse(argc, argv)) return 1;
+  const bench::ExperimentFlags flags = bench::read_common_flags(cli);
+
+  bench::banner(
+      "Figure 7: hops per single-item search vs overlay size (infinite "
+      "capacity)",
+      flags.csv);
+
+  std::vector<std::size_t> node_counts;
+  {
+    const std::string spec = cli.get("node-counts");
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      const std::size_t comma = spec.find(',', pos);
+      node_counts.push_back(static_cast<std::size_t>(
+          std::stoll(spec.substr(pos, comma - pos))));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  const bench::Workload wl = bench::build_workload(flags);
+  const core::LoadBalanceMode modes[] = {
+      core::LoadBalanceMode::kNone,
+      core::LoadBalanceMode::kUnusedHashSpace,
+      core::LoadBalanceMode::kUnusedHashSpacePlusHotRegions,
+  };
+
+  TextTable table({"N", "None", "Unused Hash Space",
+                   "Unused Hash Space + Hot Regions", "log4(N)"});
+  for (const std::size_t n : node_counts) {
+    std::vector<std::string> row = {
+        TextTable::integer(static_cast<long long>(n))};
+    for (const core::LoadBalanceMode mode : modes) {
+      core::Meteorograph sys = bench::build_system(flags, wl, mode, n);
+      (void)bench::publish_all(sys, wl);
+      Rng query_rng(flags.seed ^ n);
+      OnlineStats hops;
+      for (std::size_t q = 0; q < flags.queries; ++q) {
+        const vsm::ItemId id = query_rng.below(wl.vectors.size());
+        const core::LocateResult r = sys.locate(id, wl.vectors[id]);
+        hops.add(static_cast<double>(r.total_hops()));
+      }
+      row.push_back(TextTable::num(hops.mean(), 4));
+    }
+    row.push_back(
+        TextTable::num(std::log(static_cast<double>(n)) / std::log(4.0), 4));
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, flags.csv);
+  return 0;
+}

@@ -1,0 +1,56 @@
+/// Reproduces Figure 9: the effect of limited storage (8c per node).
+/// Items overflow to neighbors, so a query routes to the closest node
+/// ("Closest") and may walk neighbor pointers ("Neighbors") to find the
+/// item. With load balancing the walk stays short (O(log N) total); with
+/// "None" the overflow chains sprawl and access cost degrades badly.
+
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "common/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace meteo;
+  CliParser cli;
+  bench::add_common_flags(cli);
+  cli.add_flag("capacity-factor", "8", "node capacity as multiple of c");
+  if (!cli.parse(argc, argv)) return 1;
+  const bench::ExperimentFlags flags = bench::read_common_flags(cli);
+  const auto cap = static_cast<std::size_t>(cli.get_int("capacity-factor"));
+
+  bench::banner("Figure 9: effect of limited storage capacity (8c per node)",
+                flags.csv);
+
+  const bench::Workload wl = bench::build_workload(flags);
+  const core::LoadBalanceMode modes[] = {
+      core::LoadBalanceMode::kNone,
+      core::LoadBalanceMode::kUnusedHashSpacePlusHotRegions,
+  };
+
+  TextTable table({"variant", "Closest (mean hops)", "Neighbors (mean hops)",
+                   "total (mean)", "total (p99)", "publish failures"});
+  for (const core::LoadBalanceMode mode : modes) {
+    core::Meteorograph sys =
+        bench::build_system(flags, wl, mode, flags.nodes, cap);
+    const bench::PublishStats pub = bench::publish_all(sys, wl);
+    Rng query_rng(flags.seed ^ 0xf19);
+    OnlineStats closest;
+    OnlineStats neighbors;
+    std::vector<double> totals;
+    for (std::size_t q = 0; q < flags.queries; ++q) {
+      const vsm::ItemId id = query_rng.below(wl.vectors.size());
+      const core::LocateResult r = sys.locate(id, wl.vectors[id]);
+      if (!r.found) continue;  // dropped by hop-limited publish (rare)
+      closest.add(static_cast<double>(r.route_hops));
+      neighbors.add(static_cast<double>(r.walk_hops));
+      totals.push_back(static_cast<double>(r.total_hops()));
+    }
+    table.add_row({bench::mode_name(mode), TextTable::num(closest.mean(), 4),
+                   TextTable::num(neighbors.mean(), 4),
+                   TextTable::num(closest.mean() + neighbors.mean(), 4),
+                   TextTable::num(percentile(totals, 99.0), 4),
+                   TextTable::integer(static_cast<long long>(pub.failures))});
+  }
+  bench::emit(table, flags.csv);
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "bench/harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+namespace meteo::bench {
+
+void add_common_flags(CliParser& cli) {
+  cli.add_flag("items", "60000", "number of items (clients)");
+  cli.add_flag("keywords", "89000", "number of keywords (web objects)");
+  cli.add_flag("nodes", "1000", "number of overlay nodes");
+  cli.add_flag("queries", "5000", "queries per measurement");
+  cli.add_flag("seed", "1", "master RNG seed");
+  cli.add_flag("weights", "idf", "keyword weight scheme: idf|binary");
+  cli.add_bool("paper-scale", false,
+               "full paper workload (2760K items, 100K queries)");
+  cli.add_bool("csv", false, "emit CSV instead of aligned tables");
+}
+
+ExperimentFlags read_common_flags(const CliParser& cli) {
+  ExperimentFlags flags;
+  flags.items = static_cast<std::size_t>(cli.get_int("items"));
+  flags.keywords = static_cast<std::size_t>(cli.get_int("keywords"));
+  flags.nodes = static_cast<std::size_t>(cli.get_int("nodes"));
+  flags.queries = static_cast<std::size_t>(cli.get_int("queries"));
+  flags.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  flags.csv = cli.get_bool("csv");
+  flags.weights = cli.get("weights") == "binary"
+                      ? workload::WeightScheme::kBinary
+                      : workload::WeightScheme::kIdf;
+  if (cli.get_bool("paper-scale")) {
+    flags.items = 2'760'000;
+    flags.keywords = 89'000;
+    flags.queries = 100'000;
+  }
+  return flags;
+}
+
+Workload build_workload(const ExperimentFlags& flags) {
+  workload::TraceConfig cfg;
+  cfg.num_items = flags.items;
+  cfg.num_keywords = flags.keywords;
+  cfg.mean_basket = 43.0;    // Table 1
+  cfg.min_basket = 1;
+  cfg.max_basket = 11'868;
+  workload::Trace trace = workload::synthesize_trace(cfg, flags.seed);
+
+  Workload wl{std::move(trace), {}, {}, {}};
+  wl.weights = wl.trace.keyword_weights(flags.weights);
+  wl.vectors.reserve(flags.items);
+  for (std::size_t i = 0; i < flags.items; ++i) {
+    wl.vectors.push_back(wl.trace.vector_of(i, wl.weights));
+  }
+  // 0.5% bootstrap sample (§3.4), deterministic stride.
+  const std::size_t stride = std::max<std::size_t>(1, flags.items / 200);
+  for (std::size_t i = 0; i < flags.items; i += stride) {
+    wl.sample.push_back(wl.vectors[i]);
+  }
+  return wl;
+}
+
+core::Meteorograph build_system(const ExperimentFlags& flags,
+                                const Workload& wl,
+                                core::LoadBalanceMode mode, std::size_t nodes,
+                                std::size_t capacity_factor,
+                                std::size_t replicas) {
+  core::SystemConfig cfg;
+  cfg.node_count = nodes;
+  cfg.dimension = flags.keywords;
+  cfg.load_balance = mode;
+  cfg.replicas = replicas;
+  if (capacity_factor > 0) {
+    const std::size_t c = std::max<std::size_t>(1, flags.items / nodes);
+    cfg.node_capacity = capacity_factor * c;
+  }
+  return core::Meteorograph(cfg, wl.sample, flags.seed ^ 0x9e37u);
+}
+
+PublishStats publish_all(core::Meteorograph& sys, const Workload& wl) {
+  PublishStats stats;
+  double route = 0.0;
+  double chain = 0.0;
+  for (vsm::ItemId id = 0; id < wl.vectors.size(); ++id) {
+    const core::PublishResult r = sys.publish(id, wl.vectors[id]);
+    if (r.success) {
+      ++stats.published;
+    } else {
+      ++stats.failures;
+    }
+    route += static_cast<double>(r.route_hops);
+    chain += static_cast<double>(r.chain_hops);
+  }
+  const auto n = static_cast<double>(wl.vectors.size());
+  stats.mean_route_hops = route / n;
+  stats.mean_chain_hops = chain / n;
+  return stats;
+}
+
+std::string mode_name(core::LoadBalanceMode mode) {
+  switch (mode) {
+    case core::LoadBalanceMode::kNone:
+      return "None";
+    case core::LoadBalanceMode::kUnusedHashSpace:
+      return "Unused Hash Space";
+    case core::LoadBalanceMode::kUnusedHashSpacePlusHotRegions:
+      return "Unused Hash Space + Hot Regions";
+  }
+  return "?";
+}
+
+void emit(const TextTable& table, bool csv) {
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << '\n';
+}
+
+void banner(const std::string& title, bool csv) {
+  if (csv) return;
+  std::printf("=== %s ===\n\n", title.c_str());
+}
+
+std::vector<vsm::KeywordId> popular_keywords(const workload::Trace& trace,
+                                             std::size_t count,
+                                             std::uint64_t max_df) {
+  const auto& df = trace.document_frequency();
+  std::vector<vsm::KeywordId> ids;
+  for (vsm::KeywordId k = 0; k < df.size(); ++k) {
+    if (df[k] > 0 && (max_df == 0 || df[k] <= max_df)) ids.push_back(k);
+  }
+  std::sort(ids.begin(), ids.end(), [&](vsm::KeywordId a, vsm::KeywordId b) {
+    if (df[a] != df[b]) return df[a] > df[b];
+    return a < b;
+  });
+  if (ids.size() > count) ids.resize(count);
+  return ids;
+}
+
+}  // namespace meteo::bench

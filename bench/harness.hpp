@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file harness.hpp
+/// Shared experiment harness for the figure/table benches.
+///
+/// Every bench binary accepts the same scale flags. Defaults run the whole
+/// suite in well under a minute at 1/10-ish of the paper's scale;
+/// --paper-scale switches to the full 2,760K-item / 89K-keyword workload
+/// (needs ~6 GB RAM and minutes per bench). --csv emits machine-readable
+/// series for plotting.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "meteorograph/meteorograph.hpp"
+#include "workload/trace.hpp"
+
+namespace meteo::bench {
+
+struct ExperimentFlags {
+  std::size_t items = 60'000;
+  std::size_t keywords = 89'000;
+  std::size_t nodes = 1'000;
+  std::size_t queries = 5'000;
+  std::uint64_t seed = 1;
+  bool csv = false;
+  workload::WeightScheme weights = workload::WeightScheme::kIdf;
+};
+
+/// Declares the shared flags on `cli`. Call before cli.parse().
+void add_common_flags(CliParser& cli);
+
+/// Extracts the shared flags after a successful parse (applies
+/// --paper-scale overrides last).
+[[nodiscard]] ExperimentFlags read_common_flags(const CliParser& cli);
+
+/// The synthesized workload plus everything derived from it that the
+/// benches need: per-item vectors and the 0.5% bootstrap sample.
+struct Workload {
+  workload::Trace trace;
+  std::vector<double> weights;
+  std::vector<vsm::SparseVector> vectors;  // index == ItemId
+  std::vector<vsm::SparseVector> sample;   // ~0.5% of vectors
+};
+
+[[nodiscard]] Workload build_workload(const ExperimentFlags& flags);
+
+/// Builds a Meteorograph system over `wl` with `nodes` peers.
+/// capacity_factor: node capacity = factor * (items / nodes); 0 = infinite.
+[[nodiscard]] core::Meteorograph build_system(
+    const ExperimentFlags& flags, const Workload& wl,
+    core::LoadBalanceMode mode, std::size_t nodes,
+    std::size_t capacity_factor = 0, std::size_t replicas = 1);
+
+struct PublishStats {
+  std::size_t published = 0;
+  std::size_t failures = 0;
+  double mean_route_hops = 0.0;
+  double mean_chain_hops = 0.0;
+};
+
+/// Publishes every workload item into `sys`.
+PublishStats publish_all(core::Meteorograph& sys, const Workload& wl);
+
+/// Human-readable name of a load-balance mode (paper's legend labels).
+[[nodiscard]] std::string mode_name(core::LoadBalanceMode mode);
+
+/// Prints the table as text or CSV per the flag.
+void emit(const TextTable& table, bool csv);
+
+/// Section header printed before each experiment's output (text mode).
+void banner(const std::string& title, bool csv);
+
+/// Keywords ranked by popularity among those with document frequency at
+/// most `max_df` (0 = unbounded). Returns keyword ids, most popular first.
+[[nodiscard]] std::vector<vsm::KeywordId> popular_keywords(
+    const workload::Trace& trace, std::size_t count, std::uint64_t max_df);
+
+}  // namespace meteo::bench

@@ -1,0 +1,105 @@
+/// Kernel microbenchmarks (google-benchmark): the hot paths every
+/// experiment leans on — absolute-angle computation, Eq. 6 remapping,
+/// overlay routing, and the workload samplers.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "meteorograph/naming.hpp"
+#include "overlay/overlay.hpp"
+#include "vsm/absolute_angle.hpp"
+#include "vsm/sparse_vector.hpp"
+
+namespace {
+
+using namespace meteo;
+
+vsm::SparseVector make_vector(Rng& rng, std::size_t nnz, std::size_t dims) {
+  std::vector<vsm::Entry> entries;
+  for (std::size_t i = 0; i < nnz; ++i) {
+    entries.push_back({static_cast<vsm::KeywordId>(rng.below(dims)),
+                       rng.uniform() + 0.1});
+  }
+  return vsm::SparseVector::from_entries(std::move(entries));
+}
+
+void BM_AbsoluteAngle(benchmark::State& state) {
+  Rng rng(1);
+  const auto nnz = static_cast<std::size_t>(state.range(0));
+  const auto v = make_vector(rng, nnz, 89'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vsm::absolute_angle(v, 89'000));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AbsoluteAngle)->Arg(8)->Arg(43)->Arg(512);
+
+void BM_CosineSimilarity(benchmark::State& state) {
+  Rng rng(2);
+  const auto nnz = static_cast<std::size_t>(state.range(0));
+  const auto a = make_vector(rng, nnz, 89'000);
+  const auto b = make_vector(rng, nnz, 89'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vsm::cosine_similarity(a, b));
+  }
+}
+BENCHMARK(BM_CosineSimilarity)->Arg(43)->Arg(512);
+
+void BM_Eq6Remap(benchmark::State& state) {
+  Rng rng(3);
+  core::SystemConfig cfg;
+  cfg.load_balance = core::LoadBalanceMode::kUnusedHashSpace;
+  std::vector<overlay::Key> sample;
+  for (int i = 0; i < 10'000; ++i) {
+    sample.push_back(cfg.overlay.key_space / 2 + rng.below(100'000));
+  }
+  const core::NamingScheme naming = core::NamingScheme::fit(sample, cfg);
+  overlay::Key key = 0;
+  for (auto _ : state) {
+    key += 7919;
+    benchmark::DoNotOptimize(naming.remap(key % cfg.overlay.key_space));
+  }
+}
+BENCHMARK(BM_Eq6Remap);
+
+void BM_OverlayRoute(benchmark::State& state) {
+  Rng rng(4);
+  overlay::Overlay net{{}};
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  while (net.alive_count() < nodes) {
+    (void)net.join(rng.below(net.config().key_space));
+  }
+  net.repair();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net.route(net.random_alive(rng), rng.below(net.config().key_space)));
+  }
+}
+BENCHMARK(BM_OverlayRoute)->Arg(1000)->Arg(10'000);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(5);
+  const ZipfSampler zipf(89'000, 0.95);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_AliasSample(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<double> weights(4096);
+  for (auto& w : weights) w = rng.uniform() + 0.01;
+  const AliasTable table(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table(rng));
+  }
+}
+BENCHMARK(BM_AliasSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+/// Churn resilience (§3.6/§4.3): publish a corpus with 4 replicas per
+/// item, then let a Poisson churn process kill and add nodes while a
+/// client keeps querying. Periodic stabilization (repair) keeps routing
+/// healthy; replication absorbs individual failures; the owners' periodic
+/// republish (soft-state maintenance) restores anything that slipped
+/// through.
+///
+///   ./build/examples/churn_resilience
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "meteorograph/maintenance.hpp"
+#include "meteorograph/meteorograph.hpp"
+#include "sim/churn.hpp"
+#include "sim/event_queue.hpp"
+
+int main() {
+  using namespace meteo;
+  constexpr std::size_t kNodes = 400;
+  constexpr std::size_t kItems = 3000;
+  constexpr std::size_t kTags = 500;
+
+  Rng rng(123);
+  const ZipfSampler tags(kTags, 0.9);
+  std::vector<vsm::SparseVector> vectors;
+  for (std::size_t i = 0; i < kItems; ++i) {
+    std::vector<vsm::Entry> entries;
+    for (int t = 0; t < 6; ++t) {
+      entries.push_back({static_cast<vsm::KeywordId>(tags(rng)), 1.0});
+    }
+    vectors.push_back(vsm::SparseVector::from_entries(std::move(entries)));
+  }
+
+  std::vector<vsm::SparseVector> sample(vectors.begin(), vectors.begin() + 60);
+  core::SystemConfig cfg;
+  cfg.node_count = kNodes;
+  cfg.dimension = kTags;
+  cfg.replicas = 4;
+  core::Meteorograph sys(cfg, sample, 321);
+  sim::EventQueue queue;
+  // Owners republish their items every 25 time units (§3.6 soft state).
+  core::MaintenanceProcess maintenance(sys, &queue, 25.0);
+  for (vsm::ItemId id = 0; id < kItems; ++id) {
+    (void)sys.publish(id, vectors[id]);
+    maintenance.track(id, vectors[id]);
+  }
+
+  // Churn: ~2 arrivals and ~2 failures per unit time at this size, with a
+  // stabilization pass every 5 units.
+  Rng churn_rng(55);
+  sim::ChurnConfig churn_cfg;
+  churn_cfg.join_rate = 2.0;
+  churn_cfg.fail_rate_per_node = 0.005;
+  churn_cfg.repair_interval = 5.0;
+  sim::ChurnProcess churn(sys.network(), queue, churn_rng, churn_cfg);
+
+  std::printf("%6s %8s %8s %10s %12s\n", "time", "alive", "failed",
+              "avail %", "mean hops");
+  Rng query_rng(77);
+  for (int epoch = 1; epoch <= 10; ++epoch) {
+    queue.run_until(epoch * 10.0);
+    std::size_t found = 0;
+    double hops = 0.0;
+    constexpr std::size_t kQueries = 300;
+    for (std::size_t q = 0; q < kQueries; ++q) {
+      const vsm::ItemId id = query_rng.below(kItems);
+      const core::LocateResult r =
+          sys.locate(id, vectors[id], std::nullopt, /*walk_limit=*/12);
+      if (r.found) {
+        ++found;
+        hops += static_cast<double>(r.total_hops());
+      }
+    }
+    std::printf("%6.0f %8zu %8zu %10.1f %12.2f\n", queue.now(),
+                sys.network().alive_count(), churn.failures(),
+                100.0 * static_cast<double>(found) / kQueries,
+                found ? hops / static_cast<double>(found) : 0.0);
+  }
+  std::printf("\n%zu joins, %zu failures, %zu repairs, %zu republish cycles "
+              "over the run\n",
+              churn.joins(), churn.failures(), churn.repairs(),
+              maintenance.stats().cycles);
+  return 0;
+}

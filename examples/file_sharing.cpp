@@ -1,0 +1,99 @@
+/// File sharing: the paper's motivating scenario. A music-sharing
+/// community tags files with genre/artist/era keywords; users search with
+/// multiple tags. The example runs the same catalogue and queries through
+/// Meteorograph and through a Gnutella-like flooding network and compares
+/// message cost, recall, and determinism.
+///
+///   ./build/examples/file_sharing
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "baseline/flooding.hpp"
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "meteorograph/meteorograph.hpp"
+
+int main() {
+  using namespace meteo;
+  constexpr std::size_t kNodes = 500;
+  constexpr std::size_t kFiles = 5000;
+  constexpr std::size_t kTags = 400;  // genres, artists, eras, moods...
+  Rng rng(77);
+
+  // Tag popularity is Zipf (a few genres dominate), 4-8 tags per file.
+  const ZipfSampler tag_sampler(kTags, 0.9);
+  std::vector<std::vector<vsm::KeywordId>> files(kFiles);
+  std::vector<vsm::SparseVector> vectors;
+  vectors.reserve(kFiles);
+  for (auto& tags : files) {
+    std::set<vsm::KeywordId> distinct;
+    const std::size_t want = 4 + rng.below(5);
+    while (distinct.size() < want) {
+      distinct.insert(static_cast<vsm::KeywordId>(tag_sampler(rng)));
+    }
+    tags.assign(distinct.begin(), distinct.end());
+    vectors.push_back(vsm::SparseVector::binary(tags));
+  }
+
+  // --- Meteorograph ---------------------------------------------------------
+  std::vector<vsm::SparseVector> sample;
+  for (std::size_t i = 0; i < kFiles; i += 50) sample.push_back(vectors[i]);
+  core::SystemConfig cfg;
+  cfg.node_count = kNodes;
+  cfg.dimension = kTags;
+  core::Meteorograph sys(cfg, sample, 42);
+  for (vsm::ItemId id = 0; id < kFiles; ++id) {
+    (void)sys.publish(id, vectors[id]);
+  }
+
+  // --- Gnutella-like flood ---------------------------------------------------
+  Rng net_rng(43);
+  baseline::FloodingNetwork flood({kNodes, 4}, net_rng);
+  for (vsm::ItemId id = 0; id < kFiles; ++id) {
+    flood.publish_random(id, files[id], net_rng);
+  }
+
+  // A two-tag query: "everything tagged with both tag 3 and tag 7".
+  const std::vector<vsm::KeywordId> query = {3, 7};
+  std::size_t ground_truth = 0;
+  for (const auto& v : vectors) {
+    if (v.contains(3) && v.contains(7)) ++ground_truth;
+  }
+
+  const core::SearchResult m = sys.similarity_search(query, 0);
+
+  constexpr std::size_t kTtl = 3;
+  const baseline::FloodResult f1 = flood.search(query, kTtl, 0);
+  const baseline::FloodResult f2 = flood.search(query, kTtl, kNodes / 2);
+
+  std::printf("query <tag3 & tag7>: %zu matching files exist\n\n", ground_truth);
+  std::printf("%-28s %10s %10s %14s\n", "system", "found", "recall%", "messages");
+  std::printf("%-28s %10zu %10.1f %14zu\n", "Meteorograph (discover all)",
+              m.items.size(),
+              100.0 * static_cast<double>(m.items.size()) /
+                  static_cast<double>(ground_truth),
+              m.total_messages());
+  std::printf("%-28s %10zu %10.1f %14zu\n", "flood TTL=3 (from node 0)",
+              f1.items.size(),
+              100.0 * static_cast<double>(f1.items.size()) /
+                  static_cast<double>(ground_truth),
+              f1.messages);
+  std::printf("%-28s %10zu %10.1f %14zu\n", "flood TTL=3 (from node 250)",
+              f2.items.size(),
+              100.0 * static_cast<double>(f2.items.size()) /
+                  static_cast<double>(ground_truth),
+              f2.messages);
+
+  // The §1 complaints, demonstrated:
+  std::printf("\nflood results depend on the issuing node: %s\n",
+              std::set<vsm::ItemId>(f1.items.begin(), f1.items.end()) ==
+                      std::set<vsm::ItemId>(f2.items.begin(), f2.items.end())
+                  ? "no (lucky topology)"
+                  : "yes — different nodes saw different files");
+  std::printf("Meteorograph found every match deterministically with %zu "
+              "messages; an exhaustive flood needs >= %zu.\n",
+              m.total_messages(), kNodes - 1);
+  return 0;
+}

@@ -1,0 +1,108 @@
+/// Service discovery without a central registry (the paper's answer to
+/// Jini/SLP, §5): machines publish capability descriptors as keyword
+/// vectors; consumers run ranked searches like "the 5 machines most
+/// similar to <linux, gpu, 64g, fast-net>". Ranked/top-k search is exactly
+/// what §2 defines and what single-keyword DHTs cannot do.
+///
+///   ./build/examples/service_discovery
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "meteorograph/meteorograph.hpp"
+#include "vsm/dictionary.hpp"
+
+int main() {
+  using namespace meteo;
+  vsm::Dictionary dict(512);
+  auto kw = [&](const std::string& s) { return dict.intern(s); };
+
+  // Attribute vocabulary.
+  const std::vector<std::string> oses = {"linux", "freebsd", "windows"};
+  const std::vector<std::string> cpus = {"x86", "arm", "riscv"};
+  const std::vector<std::string> mems = {"8g", "16g", "64g", "256g"};
+  const std::vector<std::string> extras = {"gpu", "fpga", "ssd", "fast-net",
+                                           "low-latency", "cheap"};
+
+  // 400 machines with random capability mixes and a numeric memory size.
+  Rng rng(7);
+  std::vector<std::vector<vsm::KeywordId>> machines;
+  std::vector<vsm::SparseVector> vectors;
+  std::vector<double> memory_gb;
+  for (int m = 0; m < 400; ++m) {
+    std::vector<vsm::KeywordId> caps = {
+        kw(oses[rng.below(oses.size())]),
+        kw(cpus[rng.below(cpus.size())]),
+        kw(mems[rng.below(mems.size())]),
+    };
+    for (const auto& extra : extras) {
+      if (rng.chance(0.3)) caps.push_back(kw(extra));
+    }
+    machines.push_back(caps);
+    vectors.push_back(vsm::SparseVector::binary(caps));
+    memory_gb.push_back(std::exp2(static_cast<double>(rng.below(11))));  // 1..1024 GB
+  }
+
+  std::vector<vsm::SparseVector> sample(vectors.begin(), vectors.begin() + 40);
+  core::SystemConfig cfg;
+  cfg.node_count = 64;
+  cfg.dimension = dict.dimension();
+  core::Meteorograph sys(cfg, sample, 99);
+  for (vsm::ItemId id = 0; id < vectors.size(); ++id) {
+    (void)sys.publish(id, vectors[id]);
+  }
+
+  auto describe = [&](vsm::ItemId id) {
+    std::string out;
+    for (const vsm::KeywordId k : machines[id]) {
+      out += dict.spelling(k);
+      out += ' ';
+    }
+    return out;
+  };
+
+  // Exact conjunctive discovery: every linux machine with a gpu.
+  const std::vector<vsm::KeywordId> must = {kw("linux"), kw("gpu")};
+  const core::SearchResult exact = sys.similarity_search(must, 0);
+  std::printf("machines matching <linux AND gpu>: %zu (found with %zu "
+              "messages)\n",
+              exact.items.size(), exact.total_messages());
+
+  // Ranked discovery: the 5 machines *most similar* to an ideal spec,
+  // even if nothing matches it exactly.
+  const auto ideal = vsm::SparseVector::binary(std::vector<vsm::KeywordId>{
+      kw("linux"), kw("gpu"), kw("256g"), kw("fast-net"), kw("low-latency")});
+  const core::RetrieveResult ranked = sys.retrieve(ideal, 5);
+  std::printf("\nbest 5 matches for <linux gpu 256g fast-net low-latency>:\n");
+  for (const auto& hit : ranked.items) {
+    std::printf("  score %.3f  machine %-4llu  %s\n", hit.score,
+                static_cast<unsigned long long>(hit.id),
+                describe(hit.id).c_str());
+  }
+  std::printf("(%zu route hops + %zu walk hops)\n", ranked.route_hops,
+              ranked.walk_hops);
+
+  // Range discovery (the paper's §6 future-work example, implemented):
+  // "machines that have memory in size between 1G and 8G bytes".
+  const core::AttributeId memory_attr =
+      sys.register_attribute(1.0, 1024.0, core::AttributeScale::kLog);
+  for (vsm::ItemId id = 0; id < vectors.size(); ++id) {
+    (void)sys.publish_attribute(id, memory_attr, memory_gb[id]);
+  }
+  const core::RangeSearchResult range = sys.range_search(memory_attr, 1.0, 8.0);
+  std::printf("\nmachines with memory in [1G, 8G]: %zu of 400 "
+              "(%zu route + %zu walk hops)\n",
+              range.matches.size(), range.route_hops, range.walk_hops);
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, range.matches.size());
+       ++i) {
+    std::printf("  machine %-4llu  %4.0f GB  %s\n",
+                static_cast<unsigned long long>(range.matches[i].item),
+                range.matches[i].value,
+                describe(range.matches[i].item).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,209 @@
+#include "baseline/can.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/assert.hpp"
+
+namespace meteo::baseline {
+
+namespace {
+
+/// Torus distance from coordinate x to interval [lo, hi) along one axis.
+double axis_distance(double lo, double hi, double x) {
+  double best = 1.0;
+  for (const double shift : {-1.0, 0.0, 1.0}) {
+    const double v = x + shift;
+    const double d = std::max({lo - v, v - hi, 0.0});
+    best = std::min(best, d);
+  }
+  return best;
+}
+
+/// Intervals abut along an axis (including the 0/1 torus seam).
+bool abuts(double a_lo, double a_hi, double b_lo, double b_hi) {
+  if (a_hi == b_lo || b_hi == a_lo) return true;
+  if (a_hi == 1.0 && b_lo == 0.0) return true;
+  if (b_hi == 1.0 && a_lo == 0.0) return true;
+  return false;
+}
+
+/// Intervals overlap with positive measure.
+bool overlaps(double a_lo, double a_hi, double b_lo, double b_hi) {
+  return a_lo < b_hi && b_lo < a_hi;
+}
+
+}  // namespace
+
+bool CanZone::contains(const CanPoint& p) const {
+  METEO_EXPECTS(p.size() == lo.size());
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    if (p[i] < lo[i] || p[i] >= hi[i]) return false;
+  }
+  return true;
+}
+
+double CanZone::distance_to(const CanPoint& p) const {
+  METEO_EXPECTS(p.size() == lo.size());
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    const double d = axis_distance(lo[i], hi[i], p[i]);
+    sum_sq += d * d;
+  }
+  return std::sqrt(sum_sq);
+}
+
+double CanZone::volume() const {
+  double v = 1.0;
+  for (std::size_t i = 0; i < lo.size(); ++i) v *= hi[i] - lo[i];
+  return v;
+}
+
+CanNetwork::CanNetwork(std::size_t nodes, std::size_t dimensions, Rng& rng)
+    : dims_(dimensions) {
+  METEO_EXPECTS(dimensions >= 1);
+  METEO_EXPECTS(nodes >= 1);
+  // The first node owns the whole torus.
+  zones_.push_back(CanZone{std::vector<double>(dims_, 0.0),
+                           std::vector<double>(dims_, 1.0)});
+  next_split_dim_.push_back(0);
+  neighbors_.emplace_back();
+  while (zones_.size() < nodes) {
+    const CanPoint p = random_point(dims_, rng);
+    split(owner_of(p), p);
+  }
+}
+
+CanPoint CanNetwork::random_point(std::size_t dims, Rng& rng) {
+  CanPoint p(dims);
+  for (double& x : p) x = rng.uniform();
+  return p;
+}
+
+const CanZone& CanNetwork::zone_of(std::size_t node) const {
+  METEO_EXPECTS(node < zones_.size());
+  return zones_[node];
+}
+
+std::span<const std::size_t> CanNetwork::neighbors(std::size_t node) const {
+  METEO_EXPECTS(node < neighbors_.size());
+  return neighbors_[node];
+}
+
+std::size_t CanNetwork::owner_of(const CanPoint& p) const {
+  for (std::size_t i = 0; i < zones_.size(); ++i) {
+    if (zones_[i].contains(p)) return i;
+  }
+  METEO_ASSERT(false && "zones must partition the torus");
+  return 0;
+}
+
+bool CanNetwork::adjacent(const CanZone& a, const CanZone& b,
+                          std::size_t dims) {
+  // Adjacent across one face: abutting in exactly one axis, overlapping in
+  // all others.
+  bool found_abutting = false;
+  for (std::size_t i = 0; i < dims; ++i) {
+    if (overlaps(a.lo[i], a.hi[i], b.lo[i], b.hi[i])) continue;
+    if (abuts(a.lo[i], a.hi[i], b.lo[i], b.hi[i]) && !found_abutting) {
+      found_abutting = true;
+      continue;
+    }
+    return false;  // separated (or abutting in 2+ axes: corner contact)
+  }
+  return found_abutting;
+}
+
+void CanNetwork::split(std::size_t owner, const CanPoint& joiner_point) {
+  METEO_EXPECTS(zones_[owner].contains(joiner_point));
+  const std::size_t dim = next_split_dim_[owner] % dims_;
+  CanZone& old_zone = zones_[owner];
+  const double mid = (old_zone.lo[dim] + old_zone.hi[dim]) / 2.0;
+
+  CanZone new_zone = old_zone;
+  // Owner keeps the half not containing the joiner's point.
+  if (joiner_point[dim] < mid) {
+    new_zone.hi[dim] = mid;   // joiner: lower half
+    old_zone.lo[dim] = mid;
+  } else {
+    new_zone.lo[dim] = mid;   // joiner: upper half
+    old_zone.hi[dim] = mid;
+  }
+
+  const std::size_t joiner = zones_.size();
+  zones_.push_back(std::move(new_zone));
+  next_split_dim_[owner] = dim + 1;
+  next_split_dim_.push_back(dim + 1);
+  neighbors_.emplace_back();
+
+  // Incremental neighbor maintenance: candidates are the owner's previous
+  // neighborhood plus the owner/joiner pair itself.
+  std::vector<std::size_t> affected = neighbors_[owner];
+  affected.push_back(owner);
+  affected.push_back(joiner);
+  for (const std::size_t x : affected) {
+    for (const std::size_t y : {owner, joiner}) {
+      if (x == y) continue;
+      auto& xs = neighbors_[x];
+      auto& ys = neighbors_[y];
+      xs.erase(std::remove(xs.begin(), xs.end(), y), xs.end());
+      ys.erase(std::remove(ys.begin(), ys.end(), x), ys.end());
+      if (adjacent(zones_[x], zones_[y], dims_)) {
+        xs.push_back(y);
+        ys.push_back(x);
+      }
+    }
+  }
+}
+
+CanRouteResult CanNetwork::route(std::size_t from, const CanPoint& p) const {
+  METEO_EXPECTS(from < zones_.size());
+  CanRouteResult result;
+  std::size_t cur = from;
+  const std::size_t guard = 8 * zones_.size() + 64;
+  while (!zones_[cur].contains(p) && result.hops < guard) {
+    std::size_t best = cur;
+    double best_dist = zones_[cur].distance_to(p);
+    for (const std::size_t n : neighbors_[cur]) {
+      const double d = zones_[n].distance_to(p);
+      if (d < best_dist) {
+        best = n;
+        best_dist = d;
+      }
+    }
+    if (best == cur) break;  // local minimum (should not happen when healthy)
+    cur = best;
+    ++result.hops;
+  }
+  result.owner = cur;
+  return result;
+}
+
+std::vector<std::size_t> CanNetwork::expanding_ring(
+    std::size_t center, std::size_t radius, std::size_t* messages) const {
+  METEO_EXPECTS(center < zones_.size());
+  std::vector<std::size_t> visited;
+  std::vector<bool> seen(zones_.size(), false);
+  std::size_t msg_count = 0;
+  std::deque<std::pair<std::size_t, std::size_t>> frontier;  // node, depth
+  frontier.emplace_back(center, 0);
+  seen[center] = true;
+  while (!frontier.empty()) {
+    const auto [node, depth] = frontier.front();
+    frontier.pop_front();
+    visited.push_back(node);
+    if (depth == radius) continue;
+    for (const std::size_t n : neighbors_[node]) {
+      ++msg_count;  // every forwarded copy costs a message
+      if (!seen[n]) {
+        seen[n] = true;
+        frontier.emplace_back(n, depth + 1);
+      }
+    }
+  }
+  if (messages != nullptr) *messages = msg_count;
+  return visited;
+}
+
+}  // namespace meteo::baseline

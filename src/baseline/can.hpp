@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file can.hpp
+/// A Content-Addressable Network (CAN) simulator — the substrate pSearch
+/// runs on (paper §5).
+///
+/// CAN partitions a d-dimensional unit torus into axis-aligned zones, one
+/// per node. A joining node picks a random point; the zone owning it
+/// splits in half (cycling the split dimension) and the joiner takes one
+/// half. Nodes keep pointers to all zones adjacent across a
+/// (d-1)-dimensional face, and greedy routing forwards to the neighbor
+/// whose zone is closest (torus metric) to the target point —
+/// O(d * N^(1/d)) hops, the scaling the paper contrasts with the
+/// single-dimensional O(log N) overlays.
+///
+/// The expanding-ring primitive (BFS over the neighbor graph) is what
+/// pSearch uses to gather results around the query point, and is exactly
+/// the "localized flooding mechanism" §5 criticizes.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace meteo::baseline {
+
+/// A point in the d-dimensional unit torus.
+using CanPoint = std::vector<double>;
+
+struct CanZone {
+  std::vector<double> lo;  ///< inclusive
+  std::vector<double> hi;  ///< exclusive
+
+  [[nodiscard]] bool contains(const CanPoint& p) const;
+  /// Torus-aware minimum distance from the zone box to a point.
+  [[nodiscard]] double distance_to(const CanPoint& p) const;
+  /// Volume of the zone (for partition invariants).
+  [[nodiscard]] double volume() const;
+};
+
+struct CanRouteResult {
+  std::size_t owner = 0;
+  std::size_t hops = 0;
+};
+
+class CanNetwork {
+ public:
+  /// Builds a CAN of `nodes` zones in `dimensions` dimensions by random
+  /// sequential joins. \pre dimensions >= 1, nodes >= 1
+  CanNetwork(std::size_t nodes, std::size_t dimensions, Rng& rng);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return zones_.size();
+  }
+  [[nodiscard]] std::size_t dimensions() const noexcept { return dims_; }
+
+  [[nodiscard]] const CanZone& zone_of(std::size_t node) const;
+  [[nodiscard]] std::span<const std::size_t> neighbors(std::size_t node) const;
+
+  /// The node whose zone contains `p` (oracle, O(N)).
+  [[nodiscard]] std::size_t owner_of(const CanPoint& p) const;
+
+  /// Greedy routing from `from` toward the owner of `p`.
+  [[nodiscard]] CanRouteResult route(std::size_t from, const CanPoint& p) const;
+
+  /// All nodes within `radius` neighbor-hops of `center` (BFS). The
+  /// returned list is in BFS order and includes `center`; `messages` gets
+  /// the number of edge transmissions the flood cost.
+  [[nodiscard]] std::vector<std::size_t> expanding_ring(
+      std::size_t center, std::size_t radius, std::size_t* messages) const;
+
+  /// Uniform random point in the torus.
+  [[nodiscard]] static CanPoint random_point(std::size_t dims, Rng& rng);
+
+ private:
+  void split(std::size_t owner, const CanPoint& joiner_point);
+  void rebuild_neighbors();
+  [[nodiscard]] static bool adjacent(const CanZone& a, const CanZone& b,
+                                     std::size_t dims);
+
+  std::size_t dims_;
+  std::vector<CanZone> zones_;
+  std::vector<std::size_t> next_split_dim_;  // per-zone split cycle
+  std::vector<std::vector<std::size_t>> neighbors_;
+};
+
+}  // namespace meteo::baseline

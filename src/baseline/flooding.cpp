@@ -1,0 +1,99 @@
+#include "baseline/flooding.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/assert.hpp"
+
+namespace meteo::baseline {
+
+FloodingNetwork::FloodingNetwork(const FloodingConfig& config, Rng& rng)
+    : adjacency_(config.node_count), stored_(config.node_count) {
+  METEO_EXPECTS(config.node_count >= 2);
+  METEO_EXPECTS(config.degree >= 1);
+  for (std::size_t u = 0; u < config.node_count; ++u) {
+    for (std::size_t e = 0; e < config.degree; ++e) {
+      std::size_t v = rng.below(config.node_count);
+      while (v == u) v = rng.below(config.node_count);
+      adjacency_[u].push_back(v);
+      adjacency_[v].push_back(u);
+    }
+  }
+  // Deduplicate parallel edges.
+  for (auto& neighbors : adjacency_) {
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+  }
+}
+
+void FloodingNetwork::place_item(vsm::ItemId id,
+                                 std::vector<vsm::KeywordId> keywords,
+                                 std::size_t node) {
+  METEO_EXPECTS(node < stored_.size());
+  std::sort(keywords.begin(), keywords.end());
+  stored_[node].push_back(Item{id, std::move(keywords)});
+}
+
+void FloodingNetwork::publish_random(vsm::ItemId id,
+                                     std::vector<vsm::KeywordId> keywords,
+                                     Rng& rng) {
+  place_item(id, std::move(keywords), rng.below(stored_.size()));
+}
+
+bool FloodingNetwork::matches(const Item& item,
+                              std::span<const vsm::KeywordId> keywords) {
+  return std::all_of(keywords.begin(), keywords.end(), [&](vsm::KeywordId k) {
+    return std::binary_search(item.keywords.begin(), item.keywords.end(), k);
+  });
+}
+
+FloodResult FloodingNetwork::search(std::span<const vsm::KeywordId> keywords,
+                                    std::size_t ttl, std::size_t from) const {
+  METEO_EXPECTS(from < adjacency_.size());
+  FloodResult result;
+  std::vector<bool> seen(adjacency_.size(), false);
+  // BFS frontier carries (node, remaining ttl).
+  std::deque<std::pair<std::size_t, std::size_t>> frontier;
+  frontier.emplace_back(from, ttl);
+  seen[from] = true;
+  while (!frontier.empty()) {
+    const auto [node, remaining] = frontier.front();
+    frontier.pop_front();
+    ++result.nodes_reached;
+    for (const Item& item : stored_[node]) {
+      if (matches(item, keywords)) result.items.push_back(item.id);
+    }
+    if (remaining == 0) continue;
+    for (const std::size_t next : adjacency_[node]) {
+      // Gnutella forwards to every neighbor (except where the query came
+      // from); duplicates still cost a message even when dropped.
+      ++result.messages;
+      if (!seen[next]) {
+        seen[next] = true;
+        frontier.emplace_back(next, remaining - 1);
+      }
+    }
+  }
+  std::sort(result.items.begin(), result.items.end());
+  return result;
+}
+
+std::size_t FloodingNetwork::total_matches(
+    std::span<const vsm::KeywordId> keywords) const {
+  std::size_t total = 0;
+  for (const auto& items : stored_) {
+    for (const Item& item : items) {
+      if (matches(item, keywords)) ++total;
+    }
+  }
+  return total;
+}
+
+std::span<const std::size_t> FloodingNetwork::neighbors(
+    std::size_t node) const {
+  METEO_EXPECTS(node < adjacency_.size());
+  return adjacency_[node];
+}
+
+}  // namespace meteo::baseline

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file flooding.hpp
+/// Gnutella-like unstructured overlay with TTL-bounded flooding search —
+/// the comparator of the paper's introduction and footnote 1.
+///
+/// Nodes form a random graph (each node draws `degree` random neighbors;
+/// edges are symmetric). Items live on the node that published them; a
+/// search BFS-floods the query: every node forwards to all neighbors
+/// except the one it heard the query from, until the TTL expires. Message
+/// count is the number of edge transmissions — the quantity footnote 1
+/// compares against Meteorograph's (1 + k/c)·O(log N).
+///
+/// The three problems §1/§5 call out are all observable here:
+/// unpredictable message cost, TTL-limited scope (items beyond the horizon
+/// are unfindable), and nondeterministic results across issuing nodes.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "vsm/types.hpp"
+
+namespace meteo::baseline {
+
+struct FloodingConfig {
+  std::size_t node_count = 1000;
+  /// Outgoing edges drawn per node (degree ~ 2x after symmetrization).
+  std::size_t degree = 4;
+};
+
+struct FloodResult {
+  std::vector<vsm::ItemId> items;   ///< matches found within the horizon
+  std::size_t messages = 0;         ///< edge transmissions
+  std::size_t nodes_reached = 0;    ///< nodes that saw the query
+};
+
+class FloodingNetwork {
+ public:
+  FloodingNetwork(const FloodingConfig& config, Rng& rng);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return adjacency_.size();
+  }
+
+  /// Stores an item (its sorted keyword set) on `node`; pass
+  /// `node_count()` as a sentinel... prefer publish_random().
+  void place_item(vsm::ItemId id, std::vector<vsm::KeywordId> keywords,
+                  std::size_t node);
+
+  /// Gnutella-style publish: the item stays on a random node.
+  void publish_random(vsm::ItemId id, std::vector<vsm::KeywordId> keywords,
+                      Rng& rng);
+
+  /// TTL-bounded BFS flood from `from`, matching items containing all of
+  /// `keywords`.
+  [[nodiscard]] FloodResult search(std::span<const vsm::KeywordId> keywords,
+                                   std::size_t ttl, std::size_t from) const;
+
+  /// Total items an exhaustive (TTL = inf) search would match — ground
+  /// truth for scope-miss measurements.
+  [[nodiscard]] std::size_t total_matches(
+      std::span<const vsm::KeywordId> keywords) const;
+
+  [[nodiscard]] std::span<const std::size_t> neighbors(std::size_t node) const;
+
+ private:
+  struct Item {
+    vsm::ItemId id;
+    std::vector<vsm::KeywordId> keywords;  // sorted
+  };
+
+  static bool matches(const Item& item,
+                      std::span<const vsm::KeywordId> keywords);
+
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::vector<std::vector<Item>> stored_;
+};
+
+}  // namespace meteo::baseline

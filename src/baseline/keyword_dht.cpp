@@ -1,0 +1,87 @@
+#include "baseline/keyword_dht.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace meteo::baseline {
+
+KeywordDht::KeywordDht(const KeywordDhtConfig& config, std::uint64_t seed)
+    : overlay_(config.overlay), rng_(seed) {
+  METEO_EXPECTS(config.node_count >= 1);
+  while (overlay_.alive_count() < config.node_count) {
+    (void)overlay_.join(rng_.below(config.overlay.key_space));
+  }
+  overlay_.repair();
+  postings_.resize(overlay_.size());
+}
+
+overlay::Key KeywordDht::keyword_key(vsm::KeywordId keyword) const {
+  return splitmix64(keyword) % overlay_.config().key_space;
+}
+
+DhtPublishResult KeywordDht::publish(
+    vsm::ItemId id, std::span<const vsm::KeywordId> keywords) {
+  DhtPublishResult result;
+  const overlay::NodeId source = overlay_.random_alive(rng_);
+  for (const vsm::KeywordId keyword : keywords) {
+    const overlay::RouteResult route =
+        overlay_.route(source, keyword_key(keyword));
+    result.messages += route.hops;
+    auto& list = postings_[route.destination][keyword];
+    // Keep ascending for O(n) intersection; publishes arrive in any order.
+    const auto it = std::lower_bound(list.begin(), list.end(), id);
+    if (it == list.end() || *it != id) list.insert(it, id);
+  }
+  return result;
+}
+
+DhtQueryResult KeywordDht::search(std::span<const vsm::KeywordId> keywords) {
+  DhtQueryResult result;
+  if (keywords.empty()) return result;
+
+  const overlay::NodeId source = overlay_.random_alive(rng_);
+  std::vector<std::vector<vsm::ItemId>> lists;
+  lists.reserve(keywords.size());
+  for (const vsm::KeywordId keyword : keywords) {
+    const overlay::RouteResult route =
+        overlay_.route(source, keyword_key(keyword));
+    result.route_messages += route.hops;
+    const auto& node_postings = postings_[route.destination];
+    const auto it = node_postings.find(keyword);
+    std::vector<vsm::ItemId> list =
+        it == node_postings.end() ? std::vector<vsm::ItemId>{} : it->second;
+    // Every posting travels back to the requester: the §1 traffic cost for
+    // items that may not match the full conjunction.
+    result.transfer_messages += list.size();
+    result.postings_examined += list.size();
+    lists.push_back(std::move(list));
+  }
+
+  // Intersect smallest-first.
+  std::sort(lists.begin(), lists.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  std::vector<vsm::ItemId> acc = std::move(lists.front());
+  for (std::size_t i = 1; i < lists.size() && !acc.empty(); ++i) {
+    std::vector<vsm::ItemId> merged;
+    std::set_intersection(acc.begin(), acc.end(), lists[i].begin(),
+                          lists[i].end(), std::back_inserter(merged));
+    acc = std::move(merged);
+  }
+  result.items = std::move(acc);
+  return result;
+}
+
+std::vector<std::size_t> KeywordDht::node_loads() const {
+  std::vector<std::size_t> loads;
+  for (const overlay::NodeId id : overlay_.alive_nodes()) {
+    std::size_t load = 0;
+    for (const auto& [keyword, list] : postings_[id]) {
+      load += list.size();
+    }
+    loads.push_back(load);
+  }
+  return loads;
+}
+
+}  // namespace meteo::baseline

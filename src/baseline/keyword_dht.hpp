@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file keyword_dht.hpp
+/// The naive "one inverted list per keyword" structured baseline the
+/// paper's introduction argues against.
+///
+/// Each keyword hashes (uniformly) to a key; the node closest to that key
+/// stores the keyword's full posting list. Publishing an item with b
+/// keywords costs b routed messages; a multi-keyword query routes to every
+/// keyword's node, transfers the *entire* posting lists back, and
+/// intersects at the requester. The two §1 pathologies fall out directly:
+///  - a popular keyword's node stores (and ships) a posting per matching
+///    item — hotspot load and large traffic for items that do not match
+///    the full conjunction;
+///  - queries cost sum-of-posting-lengths messages, not O(result size).
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "overlay/overlay.hpp"
+#include "vsm/types.hpp"
+
+namespace meteo::baseline {
+
+struct KeywordDhtConfig {
+  overlay::OverlayConfig overlay;
+  std::size_t node_count = 1000;
+};
+
+struct DhtPublishResult {
+  std::size_t messages = 0;  ///< routed hops over all keyword postings
+};
+
+struct DhtQueryResult {
+  std::vector<vsm::ItemId> items;          ///< the conjunction result
+  std::size_t route_messages = 0;          ///< reaching the keyword nodes
+  std::size_t transfer_messages = 0;       ///< one per posting shipped back
+  std::size_t postings_examined = 0;
+  [[nodiscard]] std::size_t total_messages() const noexcept {
+    return route_messages + transfer_messages;
+  }
+};
+
+class KeywordDht {
+ public:
+  KeywordDht(const KeywordDhtConfig& config, std::uint64_t seed);
+
+  /// Stores item -> posting on every keyword's responsible node.
+  DhtPublishResult publish(vsm::ItemId id,
+                           std::span<const vsm::KeywordId> keywords);
+
+  /// Conjunctive query: fetch all posting lists, intersect locally.
+  [[nodiscard]] DhtQueryResult search(
+      std::span<const vsm::KeywordId> keywords);
+
+  /// Postings stored per alive node (the §1 hotspot measurement).
+  [[nodiscard]] std::vector<std::size_t> node_loads() const;
+
+  [[nodiscard]] const overlay::Overlay& network() const noexcept {
+    return overlay_;
+  }
+
+  /// The key a keyword hashes to (uniform over the space).
+  [[nodiscard]] overlay::Key keyword_key(vsm::KeywordId keyword) const;
+
+ private:
+  overlay::Overlay overlay_;
+  Rng rng_;
+  /// node -> keyword -> posting list (ascending item ids).
+  std::vector<std::unordered_map<vsm::KeywordId, std::vector<vsm::ItemId>>>
+      postings_;
+};
+
+}  // namespace meteo::baseline

@@ -1,0 +1,113 @@
+#include "baseline/psearch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace meteo::baseline {
+
+namespace {
+
+Rng make_build_rng(std::uint64_t seed) { return Rng(seed ^ 0xca9); }
+
+}  // namespace
+
+PSearch::PSearch(const PSearchConfig& config)
+    : config_(config),
+      basis_seed_(config.seed),
+      rng_(config.seed),
+      can_([&] {
+        Rng build = make_build_rng(config.seed);
+        return CanNetwork(config.nodes, config.dimensions, build);
+      }()),
+      stored_(config.nodes) {}
+
+double PSearch::gaussian_weight(vsm::KeywordId keyword,
+                                std::size_t dim) const {
+  // Irwin-Hall: the sum of 12 uniforms minus 6 approximates N(0, 1);
+  // chained splitmix64 makes it a pure function of (keyword, dim, basis).
+  std::uint64_t state = splitmix64(basis_seed_ ^
+                                   (static_cast<std::uint64_t>(keyword) << 20 ^
+                                    static_cast<std::uint64_t>(dim)));
+  double sum = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    state = splitmix64(state);
+    sum += static_cast<double>(state >> 11) * 0x1.0p-53;
+  }
+  return sum - 6.0;
+}
+
+CanPoint PSearch::project(const vsm::SparseVector& v) const {
+  METEO_EXPECTS(!v.empty());
+  CanPoint p(config_.dimensions, 0.0);
+  for (std::size_t d = 0; d < config_.dimensions; ++d) {
+    double acc = 0.0;
+    for (const vsm::Entry& e : v.entries()) {
+      acc += e.weight * gaussian_weight(e.keyword, d);
+    }
+    // acc / |v| is ~N(0,1); the normal CDF squashes it into (0,1), so
+    // nearby vectors land at nearby torus coordinates.
+    const double z = acc / v.norm();
+    double u = 0.5 * (1.0 + std::erf(z / std::sqrt(2.0)));
+    if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+    if (u < 0.0) u = 0.0;
+    p[d] = u;
+  }
+  return p;
+}
+
+PSearchPublishResult PSearch::publish(vsm::ItemId id,
+                                      vsm::SparseVector vector) {
+  const CanPoint point = project(vector);
+  const std::size_t from = rng_.below(can_.node_count());
+  const CanRouteResult route = can_.route(from, point);
+  stored_[route.owner].push_back(vsm::StoredItem{id, vector});
+  corpus_.push_back(vsm::StoredItem{id, std::move(vector)});
+  return PSearchPublishResult{route.owner, route.hops};
+}
+
+PSearchQueryResult PSearch::query(const vsm::SparseVector& query,
+                                  std::size_t k, std::size_t ring_radius) {
+  PSearchQueryResult result;
+  const CanPoint point = project(query);
+  const std::size_t from = rng_.below(can_.node_count());
+  const CanRouteResult route = can_.route(from, point);
+  result.route_hops = route.hops;
+
+  const std::vector<std::size_t> ring =
+      can_.expanding_ring(route.owner, ring_radius, &result.flood_messages);
+  result.nodes_searched = ring.size();
+  for (const std::size_t node : ring) {
+    for (const vsm::StoredItem& item : stored_[node]) {
+      result.items.push_back(
+          vsm::ScoredItem{item.id, vsm::cosine_similarity(query, item.vector)});
+    }
+  }
+  const std::size_t take = std::min(k, result.items.size());
+  std::partial_sort(result.items.begin(),
+                    result.items.begin() + static_cast<std::ptrdiff_t>(take),
+                    result.items.end(),
+                    [](const vsm::ScoredItem& a, const vsm::ScoredItem& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.id < b.id;
+                    });
+  result.items.resize(take);
+  return result;
+}
+
+std::size_t PSearch::rebuild_basis(std::uint64_t new_basis_seed) {
+  basis_seed_ = new_basis_seed;
+  for (auto& node : stored_) node.clear();
+  std::size_t messages = 0;
+  for (const vsm::StoredItem& item : corpus_) {
+    const CanPoint point = project(item.vector);
+    const CanRouteResult route =
+        can_.route(rng_.below(can_.node_count()), point);
+    stored_[route.owner].push_back(item);
+    messages += route.hops;
+  }
+  return messages;
+}
+
+}  // namespace meteo::baseline

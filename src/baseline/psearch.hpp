@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file psearch.hpp
+/// pSearch-style semantic search over CAN (Tang, Xu & Mahalingam, HotNets
+/// 2002) — the comparator §5 calls "the work most relevant to
+/// Meteorograph".
+///
+/// Items are projected into a low-dimensional semantic space (the real
+/// system uses LSI; this reproduction uses a seeded random projection —
+/// the rolling-index idea — which preserves the properties the comparison
+/// needs: similar vectors land at nearby points). The item is stored on
+/// the CAN node owning its point. A query routes to its own point and runs
+/// an *expanding ring search* around it, ranking everything found by
+/// cosine.
+///
+/// The §5 criticisms are all measurable here:
+///  - the ring search is a localized flood (messages grow with radius,
+///    recall is radius-limited);
+///  - CAN routing costs O(d * N^(1/d)) vs the linear overlays' O(log N);
+///  - changing the semantic basis (new dimensions / retrained LSI)
+///    invalidates every stored position: rebuild_basis() re-publishes the
+///    whole corpus and returns what that costs.
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/can.hpp"
+#include "common/rng.hpp"
+#include "vsm/local_index.hpp"
+#include "vsm/sparse_vector.hpp"
+#include "vsm/types.hpp"
+
+namespace meteo::baseline {
+
+struct PSearchConfig {
+  std::size_t nodes = 1000;
+  std::size_t dimensions = 4;  ///< CAN/semantic dimensionality
+  std::uint64_t seed = 1;
+};
+
+struct PSearchPublishResult {
+  std::size_t node = 0;
+  std::size_t route_hops = 0;
+};
+
+struct PSearchQueryResult {
+  std::vector<vsm::ScoredItem> items;  ///< cosine-ranked, descending
+  std::size_t route_hops = 0;
+  std::size_t flood_messages = 0;  ///< expanding-ring traffic
+  std::size_t nodes_searched = 0;
+};
+
+class PSearch {
+ public:
+  explicit PSearch(const PSearchConfig& config);
+
+  /// Projects a vector into the semantic space under the current basis.
+  [[nodiscard]] CanPoint project(const vsm::SparseVector& v) const;
+
+  PSearchPublishResult publish(vsm::ItemId id, vsm::SparseVector vector);
+
+  /// Routes to the query's point and expands a ring of `ring_radius`
+  /// hops, returning the top-k by true cosine among everything found.
+  [[nodiscard]] PSearchQueryResult query(const vsm::SparseVector& query,
+                                         std::size_t k,
+                                         std::size_t ring_radius);
+
+  /// Re-seeds the projection basis (the pSearch failure mode §5 points
+  /// at: a changed semantic space invalidates every stored position) and
+  /// re-publishes the entire corpus. Returns total re-publication
+  /// messages.
+  std::size_t rebuild_basis(std::uint64_t new_basis_seed);
+
+  [[nodiscard]] std::size_t item_count() const noexcept {
+    return corpus_.size();
+  }
+  [[nodiscard]] const CanNetwork& network() const noexcept { return can_; }
+
+ private:
+  /// Deterministic standard-normal hash of (keyword, dimension, basis).
+  [[nodiscard]] double gaussian_weight(vsm::KeywordId keyword,
+                                       std::size_t dim) const;
+
+  PSearchConfig config_;
+  std::uint64_t basis_seed_;
+  Rng rng_;
+  CanNetwork can_;
+  std::vector<std::vector<vsm::StoredItem>> stored_;  // per CAN node
+  std::vector<vsm::StoredItem> corpus_;               // master copy
+};
+
+}  // namespace meteo::baseline

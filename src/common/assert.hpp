@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file assert.hpp
+/// Contract-checking macros used across the library.
+///
+/// Following the C++ Core Guidelines (I.6/I.8), preconditions and
+/// postconditions are stated explicitly at API boundaries. Violations are
+/// programming errors, so they terminate via std::abort after printing a
+/// diagnostic; they are *not* recoverable error conditions (those use
+/// meteo::Result).
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace meteo::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) noexcept {
+  std::fprintf(stderr, "meteo: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace meteo::detail
+
+/// Precondition check: argument/state requirements of a function.
+#define METEO_EXPECTS(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::meteo::detail::contract_failure("precondition", #cond,      \
+                                              __FILE__, __LINE__))
+
+/// Postcondition check: guarantees a function makes on exit.
+#define METEO_ENSURES(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::meteo::detail::contract_failure("postcondition", #cond,     \
+                                              __FILE__, __LINE__))
+
+/// Internal invariant check.
+#define METEO_ASSERT(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::meteo::detail::contract_failure("invariant", #cond,         \
+                                              __FILE__, __LINE__))

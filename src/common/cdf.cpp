@@ -1,0 +1,86 @@
+#include "common/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace meteo {
+
+PiecewiseLinearMap::PiecewiseLinearMap(std::vector<Knot> knots)
+    : knots_(std::move(knots)) {
+  METEO_EXPECTS(knots_.size() >= 2);
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    METEO_EXPECTS(knots_[i].x > knots_[i - 1].x);
+    METEO_EXPECTS(knots_[i].y >= knots_[i - 1].y);
+  }
+}
+
+double PiecewiseLinearMap::operator()(double x) const noexcept {
+  if (x <= knots_.front().x) return knots_.front().y;
+  if (x >= knots_.back().x) return knots_.back().y;
+  // Find the segment [k[i-1], k[i]] containing x.
+  const auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), x,
+      [](double value, const Knot& k) { return value < k.x; });
+  const Knot& hi = *it;
+  const Knot& lo = *(it - 1);
+  const double t = (x - lo.x) / (hi.x - lo.x);
+  return lo.y + t * (hi.y - lo.y);
+}
+
+PiecewiseLinearMap PiecewiseLinearMap::inverse() const {
+  std::vector<Knot> inv;
+  inv.reserve(knots_.size());
+  for (const Knot& k : knots_) {
+    // Flat y-segments would produce duplicate x values in the inverse;
+    // keep only the first (left edge) to stay strictly increasing.
+    if (!inv.empty() && k.y <= inv.back().x) continue;
+    inv.push_back(Knot{k.y, k.x});
+  }
+  METEO_ENSURES(inv.size() >= 2);
+  return PiecewiseLinearMap(std::move(inv));
+}
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  METEO_EXPECTS(!samples.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::fraction_at(double x) const noexcept {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  METEO_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (q <= 0.0) return sorted_.front();
+  const auto n = static_cast<double>(sorted_.size());
+  auto idx = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+  if (idx >= sorted_.size()) idx = sorted_.size() - 1;
+  return sorted_[idx];
+}
+
+std::vector<Knot> EmpiricalCdf::resample(std::size_t points) const {
+  METEO_EXPECTS(points >= 2);
+  std::vector<Knot> out;
+  out.reserve(points);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  if (lo == hi) {
+    // Degenerate single-valued distribution: a two-knot step.
+    out.push_back(Knot{lo, 0.0});
+    out.push_back(Knot{lo + 1.0, 1.0});
+    return out;
+  }
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.push_back(Knot{x, fraction_at(x)});
+  }
+  return out;
+}
+
+}  // namespace meteo

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file cdf.hpp
+/// Empirical cumulative distribution functions and monotone piecewise-linear
+/// maps. These are the mathematical substrate for Meteorograph's
+/// unused-hash-space exploitation (Eq. 6): a sampled key CDF is reduced to a
+/// few knee points and the resulting piecewise-linear map re-spreads keys
+/// uniformly while preserving their order.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace meteo {
+
+/// A (x, y) knot of a monotone piecewise-linear function.
+struct Knot {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Knot&, const Knot&) = default;
+};
+
+/// Monotone non-decreasing piecewise-linear map through a knot sequence.
+///
+/// Inputs below the first knot clamp to the first knot's y; inputs above
+/// the last knot clamp to the last knot's y. Monotonicity of the knots is a
+/// precondition and is what guarantees Eq. 6 preserves key ordering (and
+/// therefore similarity adjacency).
+class PiecewiseLinearMap {
+ public:
+  /// \pre knots.size() >= 2, strictly increasing in x, non-decreasing in y
+  explicit PiecewiseLinearMap(std::vector<Knot> knots);
+
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  /// Inverse map (swaps x and y). Flat segments invert to their left edge.
+  [[nodiscard]] PiecewiseLinearMap inverse() const;
+
+  [[nodiscard]] std::span<const Knot> knots() const noexcept { return knots_; }
+
+ private:
+  std::vector<Knot> knots_;
+};
+
+/// Empirical CDF over a sample set.
+class EmpiricalCdf {
+ public:
+  /// Builds from samples (copied and sorted). \pre !samples.empty()
+  explicit EmpiricalCdf(std::span<const double> samples);
+
+  /// P(X <= x) in [0, 1].
+  [[nodiscard]] double fraction_at(double x) const noexcept;
+
+  /// Smallest sample value v with P(X <= v) >= q. \pre 0 <= q <= 1
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t sample_count() const noexcept {
+    return sorted_.size();
+  }
+  [[nodiscard]] double min() const noexcept { return sorted_.front(); }
+  [[nodiscard]] double max() const noexcept { return sorted_.back(); }
+
+  /// Reduces the CDF to `points` evenly spaced (in x) knots spanning
+  /// [min, max] — the curve fed to knee detection and to plots.
+  /// \pre points >= 2
+  [[nodiscard]] std::vector<Knot> resample(std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace meteo

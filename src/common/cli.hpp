@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file cli.hpp
+/// Tiny command-line flag parser shared by bench and example binaries.
+///
+/// Supported syntax: `--name=value`, `--name value`, and boolean
+/// `--name` / `--no-name`. Unknown flags are an error (fail fast rather
+/// than silently running the wrong experiment).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace meteo {
+
+class CliParser {
+ public:
+  /// Declares a flag with a default value and a help string.
+  void add_flag(std::string name, std::string default_value, std::string help);
+  void add_bool(std::string name, bool default_value, std::string help);
+
+  /// Parses argv. Returns false (after printing usage to stderr) on
+  /// unknown flags, missing values, or `--help`.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  void print_usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+    bool is_bool = false;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace meteo

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file result.hpp
+/// A minimal `Result<T, E>` sum type for recoverable errors.
+///
+/// C++20 has no std::expected; this is a deliberately small subset of its
+/// interface (value/error observers, map, value_or) sufficient for the
+/// library. Errors in this codebase are small enum/struct types, so both
+/// alternatives are stored by value.
+
+#include <utility>
+#include <variant>
+
+#include "common/assert.hpp"
+
+namespace meteo {
+
+/// Tag type used to construct a Result in the error state.
+template <typename E>
+struct Err {
+  E error;
+};
+
+template <typename E>
+Err(E) -> Err<E>;
+
+/// Discriminated union of a success value `T` and an error `E`.
+///
+/// A Result is truthy when it holds a value. Accessing the wrong
+/// alternative is a precondition violation (aborts), mirroring
+/// std::expected's undefined behaviour but fail-fast.
+template <typename T, typename E>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit construction from a success value.
+  Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+
+  /// Implicit construction from an `Err<E>` wrapper.
+  Result(Err<E> err) : storage_(std::in_place_index<1>, std::move(err.error)) {}
+
+  [[nodiscard]] bool has_value() const noexcept {
+    return storage_.index() == 0;
+  }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  /// \pre has_value()
+  [[nodiscard]] const T& value() const& {
+    METEO_EXPECTS(has_value());
+    return std::get<0>(storage_);
+  }
+  /// \pre has_value()
+  [[nodiscard]] T& value() & {
+    METEO_EXPECTS(has_value());
+    return std::get<0>(storage_);
+  }
+  /// \pre has_value()
+  [[nodiscard]] T&& value() && {
+    METEO_EXPECTS(has_value());
+    return std::get<0>(std::move(storage_));
+  }
+
+  /// \pre !has_value()
+  [[nodiscard]] const E& error() const& {
+    METEO_EXPECTS(!has_value());
+    return std::get<1>(storage_);
+  }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+  /// Applies `f` to the value, propagating the error unchanged.
+  template <typename F>
+  [[nodiscard]] auto map(F&& f) const& -> Result<decltype(f(std::declval<const T&>())), E> {
+    using U = decltype(f(std::declval<const T&>()));
+    if (has_value()) return Result<U, E>(f(std::get<0>(storage_)));
+    return Result<U, E>(Err<E>{std::get<1>(storage_)});
+  }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+}  // namespace meteo

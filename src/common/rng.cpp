@@ -1,0 +1,54 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace meteo {
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  METEO_EXPECTS(n > 0);
+  // Lemire (2019): multiply a 64-bit draw by n and keep the high word,
+  // rejecting the small biased band at the bottom of each residue class.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() noexcept {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double lambda) noexcept {
+  METEO_EXPECTS(lambda > 0.0);
+  // uniform() is in [0,1); 1-u is in (0,1] so the log is finite.
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+}  // namespace meteo

@@ -1,0 +1,117 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace meteo {
+
+void OnlineStats::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double OnlineStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  METEO_EXPECTS(bins >= 1);
+  METEO_EXPECTS(lo < hi);
+}
+
+void Histogram::add(double x, std::uint64_t weight) noexcept {
+  std::size_t bin = 0;
+  if (x >= hi_) {
+    bin = counts_.size() - 1;
+  } else if (x > lo_) {
+    bin = static_cast<std::size_t>((x - lo_) / width_);
+    if (bin >= counts_.size()) bin = counts_.size() - 1;
+  }
+  counts_[bin] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  METEO_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  METEO_EXPECTS(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  METEO_EXPECTS(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+double Histogram::cumulative_fraction(std::size_t bin) const {
+  METEO_EXPECTS(bin < counts_.size());
+  if (total_ == 0) return 0.0;
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i <= bin; ++i) acc += counts_[i];
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+double percentile(std::span<const double> xs, double p) {
+  METEO_EXPECTS(!xs.empty());
+  METEO_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double gini(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * sorted[i];
+  }
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+}  // namespace meteo

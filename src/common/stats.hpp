@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming and batch statistics used by every experiment:
+/// Welford online moments, fixed-bin histograms, percentiles, and the Gini
+/// coefficient (the load-imbalance metric for Fig. 8-style experiments).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace meteo {
+
+/// Numerically stable streaming mean/variance/min/max (Welford).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator (parallel reduction friendly).
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp to
+/// the boundary bins so no mass is silently dropped.
+class Histogram {
+ public:
+  /// \pre bins >= 1, lo < hi
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Inclusive lower edge of `bin`.
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  /// Exclusive upper edge of `bin`.
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  /// Fraction of all mass at or below the upper edge of `bin`.
+  [[nodiscard]] double cumulative_fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact percentile of a sample set (interpolated, type-7 / NumPy default).
+/// Sorts a copy; intended for post-hoc analysis, not hot loops.
+/// \pre !xs.empty(), 0 <= p <= 100
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Gini coefficient of a non-negative sample set in [0, 1]:
+/// 0 = perfectly even, ->1 = one element holds everything.
+/// Returns 0 for empty input or all-zero input.
+[[nodiscard]] double gini(std::span<const double> xs);
+
+}  // namespace meteo

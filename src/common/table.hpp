@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file table.hpp
+/// Aligned text-table / CSV emitter used by every bench binary so the
+/// reproduced tables and figure series all share one output format.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace meteo {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// monospace table (default, for terminals) or as CSV (for plotting).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row. Rows shorter than the header are padded with "".
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic cells with %g-style precision.
+  static std::string num(double v, int precision = 6);
+  static std::string integer(long long v);
+
+  /// Renders aligned columns, with a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace meteo

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A small fixed-size thread pool with a blocking parallel_for.
+///
+/// Simulations in this repo are mostly sequential state machines, but the
+/// embarrassingly parallel phases (publishing millions of items, running
+/// 100K independent queries, Monte-Carlo failure trials) scale linearly
+/// with cores. parallel_for splits an index range into contiguous chunks,
+/// one task per chunk, and blocks until all complete. Exceptions thrown by
+/// workers are captured and rethrown on the calling thread (first one wins).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace meteo {
+
+class ThreadPool {
+ public:
+  /// \param threads worker count; 0 means std::thread::hardware_concurrency()
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Runs `body(i)` for every i in [begin, end), partitioned into
+  /// contiguous chunks across the pool, and blocks until done.
+  /// `body` must be safe to invoke concurrently for distinct i.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Chunked variant: runs `body(lo, hi)` on disjoint subranges. Preferred
+  /// when per-index dispatch overhead matters.
+  void parallel_for_chunked(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace meteo

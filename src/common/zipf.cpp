@@ -1,0 +1,125 @@
+#include "common/zipf.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace meteo {
+
+// ---------------------------------------------------------------------------
+// ZipfSampler — rejection-inversion after Hörmann & Derflinger (1996).
+// Sampling works on the continuous envelope h(x) = (x)^-s over
+// [0.5, n + 0.5] (ranks are 1-based internally), inverting the exact
+// integral H and rejecting against the true discrete mass.
+// ---------------------------------------------------------------------------
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : n_(n), s_(s) {
+  METEO_EXPECTS(n >= 1);
+  METEO_EXPECTS(s > 0.0);
+  h_x1_ = h_integral(1.5) - 1.0;
+  h_n_ = h_integral(static_cast<double>(n) + 0.5);
+  for (std::size_t k = 1; k <= n_; ++k) {
+    normalizer_ += std::pow(static_cast<double>(k), -s_);
+  }
+}
+
+double ZipfSampler::h(double x) const noexcept { return std::pow(x, -s_); }
+
+double ZipfSampler::h_integral(double x) const noexcept {
+  const double log_x = std::log(x);
+  // Integral of t^-s dt: handles s == 1 via the expm1/log1p stable form.
+  const double t = (1.0 - s_) * log_x;
+  if (std::abs(t) < 1e-8) {
+    return log_x * (1.0 + t / 2.0 + t * t / 6.0);
+  }
+  return std::expm1(t) / (1.0 - s_);
+}
+
+double ZipfSampler::h_integral_inverse(double x) const noexcept {
+  double t = x * (1.0 - s_);
+  if (t < -1.0) t = -1.0;  // numeric guard near the lower boundary
+  if (std::abs(t) < 1e-8) {
+    return std::exp(x * (1.0 - t / 2.0 + t * t / 3.0));
+  }
+  return std::exp(std::log1p(t) / (1.0 - s_));
+}
+
+std::size_t ZipfSampler::operator()(Rng& rng) const noexcept {
+  while (true) {
+    const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+    const double x = h_integral_inverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    // Accept if u lies under the discrete mass at k.
+    if (u >= h_integral(k + 0.5) - h(k)) {
+      return static_cast<std::size_t>(k) - 1;
+    }
+  }
+}
+
+double ZipfSampler::pmf(std::size_t k) const noexcept {
+  METEO_EXPECTS(k < n_);
+  return std::pow(static_cast<double>(k + 1), -s_) / normalizer_;
+}
+
+// ---------------------------------------------------------------------------
+// AliasTable — Vose's stable construction.
+// ---------------------------------------------------------------------------
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  METEO_EXPECTS(!weights.empty());
+  const std::size_t n = weights.size();
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  METEO_EXPECTS(total > 0.0);
+
+  normalized_.resize(n);
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    METEO_EXPECTS(weights[i] >= 0.0);
+    normalized_[i] = weights[i] / total;
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      large.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  for (const std::uint32_t i : large) prob_[i] = 1.0;
+  for (const std::uint32_t i : small) prob_[i] = 1.0;  // numeric leftovers
+}
+
+std::size_t AliasTable::operator()(Rng& rng) const noexcept {
+  const std::size_t column = rng.below(prob_.size());
+  return rng.uniform() < prob_[column] ? column : alias_[column];
+}
+
+double AliasTable::probability(std::size_t i) const noexcept {
+  METEO_EXPECTS(i < normalized_.size());
+  return normalized_[i];
+}
+
+}  // namespace meteo

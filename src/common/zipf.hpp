@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file zipf.hpp
+/// Discrete heavy-tailed samplers.
+///
+/// Two samplers are provided:
+///  - ZipfSampler: rank-frequency Zipf(s, n) using rejection-inversion
+///    (Hörmann & Derflinger 1996), O(1) per draw, no O(n) tables.
+///  - AliasTable: Walker/Vose alias method for arbitrary discrete
+///    distributions, O(n) build, O(1) per draw.
+///
+/// The workload synthesizer uses Zipf for keyword popularity (web object
+/// accesses are classically Zipf-like) and alias tables when sampling from
+/// an empirically measured distribution.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace meteo {
+
+/// Zipf(s, n): P(k) proportional to 1/(k+1)^s for k in [0, n).
+///
+/// Uses rejection-inversion so construction is O(1) and sampling is O(1)
+/// expected, independent of n — essential when n is the 89K-keyword
+/// dictionary and millions of draws are needed.
+class ZipfSampler {
+ public:
+  /// \pre n >= 1, s > 0
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws a rank in [0, n), rank 0 being the most popular.
+  [[nodiscard]] std::size_t operator()(Rng& rng) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] double exponent() const noexcept { return s_; }
+
+  /// Probability mass of rank k (for tests and analytic comparisons).
+  [[nodiscard]] double pmf(std::size_t k) const noexcept;
+
+ private:
+  [[nodiscard]] double h(double x) const noexcept;          // integrand
+  [[nodiscard]] double h_integral(double x) const noexcept; // antiderivative
+  [[nodiscard]] double h_integral_inverse(double x) const noexcept;
+
+  std::size_t n_;
+  double s_;
+  double h_x1_;               // H(1.5) - h(1)
+  double h_n_;                // H(n + 0.5)
+  double normalizer_ = 0.0;   // generalized harmonic number H_{n,s}
+};
+
+/// Walker/Vose alias table over an arbitrary non-negative weight vector.
+class AliasTable {
+ public:
+  /// \pre !weights.empty(), all weights >= 0, sum(weights) > 0
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Draws an index in [0, size()) with probability proportional to its
+  /// weight.
+  [[nodiscard]] std::size_t operator()(Rng& rng) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Normalized probability of index i (for tests).
+  [[nodiscard]] double probability(std::size_t i) const noexcept;
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+  std::vector<double> normalized_;
+};
+
+}  // namespace meteo

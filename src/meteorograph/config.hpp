@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file config.hpp
+/// Configuration of a Meteorograph deployment (overlay + naming + storage
+/// + search policies). Defaults mirror the paper's evaluation setup.
+
+#include <cstddef>
+#include <vector>
+
+#include "overlay/overlay.hpp"
+#include "vsm/absolute_angle.hpp"
+
+namespace meteo::core {
+
+/// The three system variants compared throughout §4.
+enum class LoadBalanceMode {
+  /// Raw Eq. 5 keys for items, uniform random node keys ("None").
+  kNone,
+  /// Eq. 6 CDF-equalized item keys ("Unused Hash Space", §3.4.1).
+  kUnusedHashSpace,
+  /// Eq. 6 plus hot-region node placement ("Unused Hash Space + Hot
+  /// Regions", §3.4.2).
+  kUnusedHashSpacePlusHotRegions,
+};
+
+/// How a full node chooses its victim when a publish overflows (Fig. 2's
+/// "replace the least similar item").
+enum class EvictionPolicy {
+  /// Evict the stored item whose *raw angle key* is farthest from the
+  /// incoming item's — O(log c), preserves the global angle ordering, and
+  /// migrates items outward in the direction they belong. Default.
+  kFarthestAngle,
+  /// Evict the stored item with the lowest cosine similarity to the
+  /// incoming one — the paper's literal wording, O(c) per eviction.
+  kLeastSimilarCosine,
+  /// Evict the oldest stored item (baseline for the eviction ablation).
+  kFifo,
+};
+
+/// Per-node local ranking backend (§3.3: "nodes may further implement the
+/// vector space model (VSM) or the latent semantic indexing (LSI)").
+enum class LocalRanking {
+  /// Exact cosine over the node's stored vectors. Default.
+  kVsm,
+  /// Rank-`lsi_rank` latent space (randomized truncated SVD per node);
+  /// surfaces items sharing correlated-but-not-identical keywords.
+  kLsi,
+};
+
+struct SystemConfig {
+  /// Overlay shape (key space size, routing base, leaf sets).
+  overlay::OverlayConfig overlay;
+  /// Number of peer nodes (paper sweeps 1,000..10,000).
+  std::size_t node_count = 1000;
+  /// Universal dictionary dimension m (§3.7; paper workload: 89K).
+  std::size_t dimension = 89'000;
+  /// Absolute-angle convention (universal is the paper's §3.7 mode).
+  vsm::AngleMode angle_mode = vsm::AngleMode::kUniversal;
+
+  LoadBalanceMode load_balance =
+      LoadBalanceMode::kUnusedHashSpacePlusHotRegions;
+  /// Fraction of items sampled to fit Eq. 6 / hot regions (§3.4: 0.5%).
+  double sample_fraction = 0.005;
+  /// Knee budget for the Eq. 6 remap (paper: 5).
+  std::size_t eq6_knees = 5;
+  /// Max number of hot regions (paper identifies 2: B and C).
+  std::size_t hot_regions = 2;
+  /// Knee budget inside each hot region (paper: 12 for B, 6 for C).
+  std::size_t hot_region_knees = 12;
+  /// Density threshold (x mean) above which a bucket counts as hot. The
+  /// paper's regions B and C are *wide* (55% and 25% of the space) with
+  /// internal skew, so the default is close to 1: adjacent mildly-hot
+  /// buckets merge into wide regions whose internal skew the Fig. 5 node
+  /// naming then equalizes.
+  double hot_density_factor = 1.15;
+
+  /// Items a node can store; 0 = unlimited (Fig. 7/8 use unlimited,
+  /// Fig. 9/10 use 8c).
+  std::size_t node_capacity = 0;
+  /// Capability-aware storage (Tornado's hallmark): weight of capability
+  /// class i, whose nodes hold node_capacity * 2^i items. Empty =
+  /// homogeneous. E.g. {0.6, 0.25, 0.1, 0.05} gives classes 1x/2x/4x/8x.
+  std::vector<double> capability_weights;
+  EvictionPolicy eviction = EvictionPolicy::kFarthestAngle;
+  /// Max overflow-chain hops for one publish; 0 = unlimited ("infinite
+  /// hop count", §4).
+  std::size_t publish_hop_limit = 0;
+
+  /// Replicas per item including the primary (§3.6; paper sweeps 1,2,4,8).
+  std::size_t replicas = 1;
+
+  /// Publish a directory pointer at each item's raw key (§3.5.2). Disable
+  /// to measure the pure walk-based search of Fig. 2.
+  bool directory_pointers = true;
+
+  /// Nodes a retrieval walk may visit before giving up; 0 = entire ring.
+  std::size_t max_walk_nodes = 0;
+
+  /// Local ranking backend used by retrieve().
+  LocalRanking local_ranking = LocalRanking::kVsm;
+  /// Latent dimensions per node under kLsi.
+  std::size_t lsi_rank = 16;
+};
+
+}  // namespace meteo::core

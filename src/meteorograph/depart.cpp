@@ -1,0 +1,117 @@
+/// Graceful node departure with data handoff. Tornado-style storage
+/// overlays migrate a leaver's state to the nodes that become responsible
+/// for its key range; without this, only crash failures (and replicas)
+/// would exist and every planned shutdown would lose data.
+
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "meteorograph/meteorograph.hpp"
+
+namespace meteo::core {
+
+DepartResult Meteorograph::depart_node(overlay::NodeId node) {
+  METEO_EXPECTS(overlay_.is_alive(node));
+  METEO_EXPECTS(overlay_.alive_count() > 1);
+  sync_node_data();
+
+  DepartResult result;
+  // Take the node's state, then leave the overlay so routing and
+  // closest-key decisions already reflect the departure when re-homing.
+  NodeData state = std::move(node_data_[node]);
+  node_data_[node] = NodeData{};
+  overlay_.leave(node);
+
+  // Items: re-insert through the publish overflow path at the node now
+  // closest to each item's key (capacity is respected; an item may chain).
+  std::vector<StoredEntry> entries;
+  state.items.for_each([&](const StoredEntry& e) { entries.push_back(e); });
+  for (StoredEntry& entry : entries) {
+    const overlay::Key key = naming_.balanced_key(entry.vector);
+    overlay::NodeId cur = overlay_.closest_alive(key);
+    ++result.messages;  // the handoff transfer itself
+    StoredEntry moving = std::move(entry);
+    bool placed = false;
+    for (std::size_t guard = 0; guard < overlay_.alive_count(); ++guard) {
+      NodeData& data = node_data_[cur];
+      const std::size_t capacity = node_capacity_[cur];
+      if (capacity == 0 || data.items.size() < capacity) {
+        data.items.insert(std::move(moving));
+        placed = true;
+        break;
+      }
+      Eviction evicted = data.items.evict(moving, config_.eviction);
+      data.items.insert(std::move(moving));
+      overlay::NodeId next = evicted.side == EvictSide::kLow
+                                 ? overlay_.predecessor(cur)
+                                 : overlay_.successor(cur);
+      if (next == overlay::kInvalidNode) {
+        next = evicted.side == EvictSide::kLow ? overlay_.successor(cur)
+                                               : overlay_.predecessor(cur);
+      }
+      if (next == overlay::kInvalidNode) break;
+      moving = std::move(evicted.entry);
+      cur = next;
+      ++result.messages;
+    }
+    if (placed) ++result.items_transferred;
+  }
+
+  // Replicas: re-home on the now-closest node holding no copy yet.
+  for (auto& [id, vector] : state.replicas) {
+    const overlay::Key key = naming_.balanced_key(vector);
+    for (const overlay::NodeId home :
+         overlay_.closest_nodes(key, config_.replicas + 2)) {
+      if (node_data_[home].items.contains(id) ||
+          node_data_[home].replicas.contains(id)) {
+        continue;
+      }
+      node_data_[home].replicas.emplace(id, std::move(vector));
+      ++result.replicas_transferred;
+      ++result.messages;
+      break;
+    }
+  }
+
+  // Directory pointers: move to the node now closest to each raw key.
+  for (DirectoryPointer& pointer : state.directory) {
+    const auto v = vsm::SparseVector::binary(pointer.keywords);
+    const overlay::Key raw = naming_.raw_key(v);
+    node_data_[overlay_.closest_alive(raw)].directory.push_back(
+        std::move(pointer));
+    ++result.pointers_transferred;
+    ++result.messages;
+  }
+
+  // Subscriptions: re-plant and fix the home registry.
+  for (Subscription& sub : state.subscriptions) {
+    const auto v = vsm::SparseVector::binary(sub.keywords);
+    const overlay::Key raw = naming_.raw_key(v);
+    const overlay::NodeId home = overlay_.closest_alive(raw);
+    auto& homes = subscription_homes_[sub.id];
+    for (overlay::NodeId& h : homes) {
+      if (h == node) h = home;
+    }
+    node_data_[home].subscriptions.push_back(std::move(sub));
+    ++result.subscriptions_transferred;
+    ++result.messages;
+  }
+
+  // Attribute records: re-home per value key.
+  for (auto& [attribute, records] : state.attributes) {
+    const AttributeSpace& space = attributes_.space(attribute);
+    for (const auto& [value, id] : records) {
+      const overlay::NodeId home = overlay_.closest_alive(space.key_of(value));
+      node_data_[home].attributes[attribute].emplace(value, id);
+      ++result.attribute_records_transferred;
+      ++result.messages;
+    }
+  }
+
+  ++metrics_.counter("depart.count");
+  metrics_.counter("depart.messages") += result.messages;
+  return result;
+}
+
+}  // namespace meteo::core

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file directory.hpp
+/// Directory pointers (paper §3.5.2).
+///
+/// With Eq. 6 in force, items are spread nearly uniformly over the key
+/// space, so similar items no longer sit on adjacent nodes. Meteorograph
+/// restores similarity locality with a level of indirection: alongside the
+/// item (stored at its Eq. 6 key), a small *pointer* is published at the
+/// item's raw Eq. 5 key. Pointers of similar items therefore cluster, and
+/// a similarity search walks the pointer space, chasing each matching
+/// pointer to the node holding the item.
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "overlay/key_space.hpp"
+#include "vsm/types.hpp"
+
+namespace meteo::core {
+
+struct DirectoryPointer {
+  vsm::ItemId item = 0;
+  /// Where the item itself lives: its Eq. 6 (balanced) key.
+  overlay::Key item_key = 0;
+  /// The keywords characterizing the item (sorted), used for matching.
+  std::vector<vsm::KeywordId> keywords;
+
+  /// True when the pointer's item contains every keyword of `query`.
+  [[nodiscard]] bool matches(std::span<const vsm::KeywordId> query) const {
+    return std::all_of(query.begin(), query.end(), [&](vsm::KeywordId k) {
+      return std::binary_search(keywords.begin(), keywords.end(), k);
+    });
+  }
+};
+
+}  // namespace meteo::core

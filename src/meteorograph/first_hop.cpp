@@ -1,0 +1,47 @@
+#include "meteorograph/first_hop.hpp"
+
+#include <algorithm>
+
+namespace meteo::core {
+
+void FirstHopIndex::add(overlay::Key raw_key,
+                        std::vector<vsm::KeywordId> keywords) {
+  std::sort(keywords.begin(), keywords.end());
+  keywords.erase(std::unique(keywords.begin(), keywords.end()),
+                 keywords.end());
+  const auto index = static_cast<std::uint32_t>(entries_.size());
+  for (const vsm::KeywordId k : keywords) {
+    postings_[k].push_back(index);
+  }
+  entries_.push_back(Entry{raw_key, std::move(keywords)});
+}
+
+std::optional<overlay::Key> FirstHopIndex::smallest_matching_key(
+    std::span<const vsm::KeywordId> keywords) const {
+  if (keywords.empty()) return std::nullopt;
+
+  // Intersect posting lists, starting from the rarest keyword.
+  const std::vector<std::uint32_t>* smallest = nullptr;
+  for (const vsm::KeywordId k : keywords) {
+    const auto it = postings_.find(k);
+    if (it == postings_.end()) return std::nullopt;
+    if (smallest == nullptr || it->second.size() < smallest->size()) {
+      smallest = &it->second;
+    }
+  }
+
+  std::optional<overlay::Key> best;
+  for (const std::uint32_t idx : *smallest) {
+    const Entry& e = entries_[idx];
+    const bool all = std::all_of(
+        keywords.begin(), keywords.end(), [&](vsm::KeywordId k) {
+          return std::binary_search(e.keywords.begin(), e.keywords.end(), k);
+        });
+    if (all && (!best.has_value() || e.raw_key < *best)) {
+      best = e.raw_key;
+    }
+  }
+  return best;
+}
+
+}  // namespace meteo::core

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file first_hop.hpp
+/// The first-hop optimization (paper §3.5.1).
+///
+/// A query with few keywords has a raw key far from the keys of the
+/// (many-keyword) items that match it. Before issuing a search, a node
+/// consults a small sampled data set — downloaded from the bootstrap node
+/// at join time — and starts the search at the *smallest* raw key among
+/// sample items matching the queried keywords, which places the walk at
+/// the low edge of the matching items' key range.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/key_space.hpp"
+#include "vsm/types.hpp"
+
+namespace meteo::core {
+
+class FirstHopIndex {
+ public:
+  /// Adds a sample item (its raw Eq. 5 key and its keyword set).
+  void add(overlay::Key raw_key, std::vector<vsm::KeywordId> keywords);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Smallest raw key among sample items containing *all* of `keywords`;
+  /// nullopt when no sample item matches (or the query is empty).
+  [[nodiscard]] std::optional<overlay::Key> smallest_matching_key(
+      std::span<const vsm::KeywordId> keywords) const;
+
+ private:
+  struct Entry {
+    overlay::Key raw_key;
+    std::vector<vsm::KeywordId> keywords;  // sorted
+  };
+  std::vector<Entry> entries_;
+  /// keyword -> indices of entries containing it (ascending).
+  std::unordered_map<vsm::KeywordId, std::vector<std::uint32_t>> postings_;
+};
+
+}  // namespace meteo::core

@@ -1,0 +1,130 @@
+#include "meteorograph/hot_regions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "workload/knee.hpp"
+
+namespace meteo::core {
+
+namespace {
+
+constexpr std::size_t kDetectionBuckets = 64;
+
+}  // namespace
+
+HotRegionSet HotRegionSet::detect(std::span<const overlay::Key> sample_keys,
+                                  const SystemConfig& config) {
+  HotRegionSet set;
+  set.key_space_ = config.overlay.key_space;
+  if (sample_keys.empty() || config.hot_regions == 0) return set;
+
+  // 1. Bucket the sample over the full space.
+  std::vector<std::uint64_t> buckets(kDetectionBuckets, 0);
+  const double width = static_cast<double>(config.overlay.key_space) /
+                       static_cast<double>(kDetectionBuckets);
+  for (const overlay::Key k : sample_keys) {
+    auto b = static_cast<std::size_t>(static_cast<double>(k) / width);
+    if (b >= kDetectionBuckets) b = kDetectionBuckets - 1;
+    ++buckets[b];
+  }
+  const double mean = static_cast<double>(sample_keys.size()) /
+                      static_cast<double>(kDetectionBuckets);
+  const double threshold = config.hot_density_factor * mean;
+
+  // 2. Merge adjacent hot buckets into candidate regions.
+  struct Candidate {
+    std::size_t lo_bucket;
+    std::size_t hi_bucket;  // exclusive
+    std::uint64_t mass;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t b = 0; b < kDetectionBuckets; ++b) {
+    if (static_cast<double>(buckets[b]) <= threshold) continue;
+    if (!candidates.empty() && candidates.back().hi_bucket == b) {
+      candidates.back().hi_bucket = b + 1;
+      candidates.back().mass += buckets[b];
+    } else {
+      candidates.push_back(Candidate{b, b + 1, buckets[b]});
+    }
+  }
+  if (candidates.empty()) return set;
+
+  // 3. Keep the heaviest `hot_regions` candidates, in key order.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.mass > b.mass; });
+  candidates.resize(std::min(candidates.size(), config.hot_regions));
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.lo_bucket < b.lo_bucket;
+            });
+
+  // 4. Describe each region's internal CDF with knee points.
+  for (const Candidate& c : candidates) {
+    HotRegion region;
+    region.lo = static_cast<overlay::Key>(static_cast<double>(c.lo_bucket) * width);
+    region.hi = static_cast<overlay::Key>(static_cast<double>(c.hi_bucket) * width);
+    if (c.hi_bucket == kDetectionBuckets) region.hi = config.overlay.key_space;
+    region.item_share = static_cast<double>(c.mass) /
+                        static_cast<double>(sample_keys.size());
+
+    std::vector<double> inside;
+    for (const overlay::Key k : sample_keys) {
+      if (k >= region.lo && k < region.hi) {
+        inside.push_back(static_cast<double>(k));
+      }
+    }
+    METEO_ASSERT(inside.size() >= 1);
+    if (inside.size() < 2) continue;  // too thin to describe; skip region
+    const EmpiricalCdf cdf(inside);
+    std::vector<Knot> curve = cdf.resample(128);
+    // Cumulative *counts* rather than fractions (Eq. 7 uses differences,
+    // so the unit cancels; counts match the paper's Fig. 4 axis).
+    for (Knot& k : curve) k.y *= static_cast<double>(inside.size());
+    region.knees = workload::find_knees(
+        curve, {std::max<std::size_t>(config.hot_region_knees, 2), 0.0});
+    if (region.knees.size() >= 2) set.regions_.push_back(std::move(region));
+  }
+  return set;
+}
+
+const HotRegion* HotRegionSet::region_of(overlay::Key key) const noexcept {
+  for (const HotRegion& r : regions_) {
+    if (key >= r.lo && key < r.hi) return &r;
+  }
+  return nullptr;
+}
+
+double HotRegionSet::degree_of_hotness(const HotRegion& region,
+                                       std::size_t j) {
+  METEO_EXPECTS(j + 1 < region.knees.size());
+  const double y1 = region.knees.front().y;
+  const double yt = region.knees.back().y;
+  METEO_EXPECTS(yt > y1);
+  return (region.knees[j + 1].y - region.knees[j].y) / (yt - y1);
+}
+
+overlay::Key HotRegionSet::name_node(Rng& rng) const {
+  const overlay::Key uniform = rng.below(key_space_);
+  const HotRegion* region = region_of(uniform);
+  if (region == nullptr) return uniform;
+
+  // Pick the sub-region with probability = degree of hotness (Eq. 7),
+  // then draw uniformly inside it (equivalent to Fig. 5's re-draw loop,
+  // without the wasted rejection sampling).
+  const double r = rng.uniform();
+  double acc = 0.0;
+  for (std::size_t j = 0; j + 1 < region->knees.size(); ++j) {
+    acc += degree_of_hotness(*region, j);
+    if (r < acc || j + 2 == region->knees.size()) {
+      const auto lo = static_cast<overlay::Key>(region->knees[j].x);
+      auto hi = static_cast<overlay::Key>(region->knees[j + 1].x);
+      if (hi <= lo) hi = lo + 1;
+      return lo + rng.below(hi - lo);
+    }
+  }
+  return uniform;  // unreachable with >= 2 knees; keeps the compiler happy
+}
+
+}  // namespace meteo::core

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file hot_regions.hpp
+/// Hot-region identification and the node-naming algorithm (paper §3.4.2,
+/// Eq. 7 and Fig. 5).
+///
+/// Even after the Eq. 6 remap, segments fitted by only a handful of knees
+/// retain internal skew: regions of the key space (the paper's B and C)
+/// hold more items than a uniform share. Meteorograph compensates on the
+/// *node* side — joining nodes that would land inside a hot region
+/// re-draw their key biased toward the hotter sub-regions, so node density
+/// tracks item density.
+///
+/// Detection here is algorithmic where the paper eyeballs its plots:
+/// bucket the (post-remap) sampled item keys, mark buckets denser than
+/// `hot_density_factor` x the mean, merge adjacent marked buckets into
+/// regions, keep the heaviest `hot_regions` of them, and describe each
+/// region's internal CDF with `hot_region_knees` knee points. The degree of
+/// hotness of sub-region [x_a, x_b) is Eq. 7:
+///
+///     p_a = (y_b - y_a) / (y_t - y_1)
+///
+/// i.e. the share of the region's items that fall into that sub-region.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/cdf.hpp"
+#include "common/rng.hpp"
+#include "meteorograph/config.hpp"
+#include "overlay/key_space.hpp"
+
+namespace meteo::core {
+
+/// One contiguous hot region with its internal knee description.
+struct HotRegion {
+  overlay::Key lo = 0;  // inclusive
+  overlay::Key hi = 0;  // exclusive
+  /// Knees of the region-internal item CDF: x = key, y = cumulative item
+  /// count (any monotone unit works; Eq. 7 uses only differences).
+  std::vector<Knot> knees;
+  /// Fraction of all sampled items inside this region.
+  double item_share = 0.0;
+};
+
+class HotRegionSet {
+ public:
+  /// Detects hot regions from the post-remap keys of the sampled items.
+  /// Returns an empty set when the distribution is already flat.
+  static HotRegionSet detect(std::span<const overlay::Key> sample_keys,
+                             const SystemConfig& config);
+
+  /// An empty set: name_node() degenerates to a uniform draw.
+  HotRegionSet() = default;
+
+  [[nodiscard]] std::span<const HotRegion> regions() const noexcept {
+    return regions_;
+  }
+
+  /// The region containing `key`, or nullptr.
+  [[nodiscard]] const HotRegion* region_of(overlay::Key key) const noexcept;
+
+  /// Eq. 7 for sub-region index `j` of `region` (between knees j and j+1).
+  /// \pre j + 1 < region.knees.size()
+  [[nodiscard]] static double degree_of_hotness(const HotRegion& region,
+                                                std::size_t j);
+
+  /// The Fig. 5 naming algorithm: draw a uniform key; if it falls in a hot
+  /// region, re-draw it inside a sub-region chosen with probability equal
+  /// to its degree of hotness.
+  [[nodiscard]] overlay::Key name_node(Rng& rng) const;
+
+ private:
+  overlay::Key key_space_ = overlay::kDefaultKeySpace;
+  std::vector<HotRegion> regions_;  // sorted by lo
+};
+
+}  // namespace meteo::core

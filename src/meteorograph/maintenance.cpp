@@ -1,0 +1,59 @@
+#include "meteorograph/maintenance.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace meteo::core {
+
+MaintenanceProcess::MaintenanceProcess(Meteorograph& system,
+                                       sim::EventQueue* queue, double period)
+    : system_(system), queue_(queue), period_(period) {
+  if (queue_ != nullptr && period_ > 0.0) schedule();
+}
+
+void MaintenanceProcess::schedule() {
+  queue_->schedule_in(period_, [this] {
+    if (stopped_) return;
+    stats_.messages += run_once();
+    schedule();
+  });
+}
+
+void MaintenanceProcess::track(vsm::ItemId id, vsm::SparseVector vector) {
+  METEO_EXPECTS(!vector.empty());
+  const auto it = std::find_if(items_.begin(), items_.end(),
+                               [&](const TrackedItem& t) { return t.id == id; });
+  if (it != items_.end()) {
+    it->vector = std::move(vector);
+    return;
+  }
+  items_.push_back(TrackedItem{id, std::move(vector)});
+}
+
+bool MaintenanceProcess::untrack(vsm::ItemId id) {
+  const auto it = std::find_if(items_.begin(), items_.end(),
+                               [&](const TrackedItem& t) { return t.id == id; });
+  if (it == items_.end()) return false;
+  items_.erase(it);
+  return true;
+}
+
+std::size_t MaintenanceProcess::run_once() {
+  std::size_t messages = 0;
+  if (system_.network().alive_count() == 0) return 0;
+  for (const TrackedItem& item : items_) {
+    // Withdraw the (possibly stale-homed) copy first so churn-induced home
+    // changes do not leave duplicates behind, then publish fresh: the item
+    // lands on the node currently closest to its key with a full replica
+    // set.
+    messages += system_.withdraw(item.id, item.vector).messages;
+    const PublishResult r = system_.publish(item.id, item.vector);
+    messages += r.total_messages();
+    if (r.success) ++stats_.items_republished;
+  }
+  ++stats_.cycles;
+  return messages;
+}
+
+}  // namespace meteo::core

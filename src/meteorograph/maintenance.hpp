@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file maintenance.hpp
+/// Soft-state maintenance (paper §3.6): "a data owner will periodically
+/// republish data items it generated, the corresponding virtual home also
+/// needs to periodically republish replicas to k-1 nodes."
+///
+/// MaintenanceProcess tracks item ownership (the publishing node's view of
+/// what it has put into the system) and periodically re-publishes every
+/// item: the item moves to the node *currently* closest to its key (churn
+/// may have changed that), and missing replicas are restored. Combined
+/// with overlay repair, this is what keeps availability at the §4.3 levels
+/// under continuous churn instead of decaying as replica holders die.
+///
+/// The process can run standalone (run_once()) or scheduled on a
+/// sim::EventQueue alongside a ChurnProcess.
+
+#include <cstddef>
+#include <vector>
+
+#include "meteorograph/meteorograph.hpp"
+#include "sim/event_queue.hpp"
+
+namespace meteo::core {
+
+struct MaintenanceStats {
+  std::size_t cycles = 0;
+  std::size_t items_republished = 0;
+  std::size_t messages = 0;
+};
+
+class MaintenanceProcess {
+ public:
+  /// \param period republish interval on the event queue; <= 0 disables
+  ///        scheduling (use run_once()).
+  MaintenanceProcess(Meteorograph& system, sim::EventQueue* queue = nullptr,
+                     double period = 0.0);
+
+  /// Registers an item the owner wants kept alive. The vector is copied:
+  /// the owner's ground-truth copy is what republish re-injects.
+  void track(vsm::ItemId id, vsm::SparseVector vector);
+
+  /// Stops maintaining an item (e.g. the owner withdrew it).
+  bool untrack(vsm::ItemId id);
+
+  [[nodiscard]] std::size_t tracked_count() const noexcept {
+    return items_.size();
+  }
+
+  /// One full republish pass over every tracked item. Returns messages.
+  std::size_t run_once();
+
+  [[nodiscard]] const MaintenanceStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Stops future scheduled cycles (in-flight ones still fire).
+  void stop() noexcept { stopped_ = true; }
+
+ private:
+  void schedule();
+
+  struct TrackedItem {
+    vsm::ItemId id;
+    vsm::SparseVector vector;
+  };
+
+  Meteorograph& system_;
+  sim::EventQueue* queue_;
+  double period_;
+  bool stopped_ = false;
+  std::vector<TrackedItem> items_;
+  MaintenanceStats stats_;
+};
+
+}  // namespace meteo::core

@@ -1,0 +1,118 @@
+#include "meteorograph/meteorograph.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/assert.hpp"
+#include "common/zipf.hpp"
+#include "vsm/absolute_angle.hpp"
+
+namespace meteo::core {
+
+namespace {
+
+std::vector<overlay::Key> raw_keys_of(
+    std::span<const vsm::SparseVector> sample, const SystemConfig& config) {
+  std::vector<overlay::Key> keys;
+  keys.reserve(sample.size());
+  for (const vsm::SparseVector& v : sample) {
+    keys.push_back(vsm::absolute_angle_key(
+        v, config.dimension, config.overlay.key_space, config.angle_mode));
+  }
+  return keys;
+}
+
+std::vector<vsm::KeywordId> keywords_of(const vsm::SparseVector& v) {
+  std::vector<vsm::KeywordId> out;
+  out.reserve(v.nnz());
+  for (const vsm::Entry& e : v.entries()) out.push_back(e.keyword);
+  return out;
+}
+
+}  // namespace
+
+Meteorograph::Meteorograph(SystemConfig config,
+                           std::span<const vsm::SparseVector> sample,
+                           std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      naming_(NamingScheme::fit(raw_keys_of(sample, config), config)),
+      overlay_(config.overlay),
+      attributes_(config.overlay.key_space) {
+  METEO_EXPECTS(config_.node_count >= 1);
+
+  // Hot-region statistics come from the *post-remap* sample keys (§3.4.2).
+  if (config_.load_balance == LoadBalanceMode::kUnusedHashSpacePlusHotRegions) {
+    std::vector<overlay::Key> balanced;
+    balanced.reserve(sample.size());
+    for (const overlay::Key raw : raw_keys_of(sample, config_)) {
+      balanced.push_back(naming_.remap(raw));
+    }
+    hot_regions_ = HotRegionSet::detect(balanced, config_);
+  }
+
+  // Join the peer population; hot-region-aware names when configured.
+  const bool hot_naming =
+      config_.load_balance == LoadBalanceMode::kUnusedHashSpacePlusHotRegions;
+  while (overlay_.alive_count() < config_.node_count) {
+    const overlay::Key key = hot_naming
+                                 ? hot_regions_.name_node(rng_)
+                                 : rng_.below(config_.overlay.key_space);
+    (void)overlay_.join(key);  // collisions simply retry
+  }
+  overlay_.repair();
+  sync_node_data();
+
+  // The bootstrap sample doubles as the first-hop data set (§3.5.1).
+  const auto raws = raw_keys_of(sample, config_);
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    first_hop_.add(raws[i], keywords_of(sample[i]));
+  }
+}
+
+void Meteorograph::sync_node_data() {
+  if (node_data_.size() < overlay_.size()) {
+    node_data_.resize(overlay_.size());
+  }
+  // Capability classes are assigned at join time: class i (probability
+  // proportional to capability_weights[i]) holds node_capacity * 2^i.
+  if (node_capacity_.size() < node_data_.size()) {
+    std::optional<AliasTable> classes;
+    if (config_.node_capacity != 0 && !config_.capability_weights.empty()) {
+      classes.emplace(config_.capability_weights);
+    }
+    while (node_capacity_.size() < node_data_.size()) {
+      std::size_t capacity = config_.node_capacity;
+      if (classes.has_value()) capacity <<= (*classes)(rng_);
+      node_capacity_.push_back(capacity);
+    }
+  }
+}
+
+std::size_t Meteorograph::capacity_of(overlay::NodeId id) const {
+  METEO_EXPECTS(id < node_capacity_.size());
+  return node_capacity_[id];
+}
+
+std::vector<std::size_t> Meteorograph::node_loads() const {
+  std::vector<std::size_t> loads;
+  const auto nodes = overlay_.alive_nodes();
+  loads.reserve(nodes.size());
+  for (const overlay::NodeId id : nodes) {
+    loads.push_back(id < node_data_.size() ? node_data_[id].items.size() : 0);
+  }
+  return loads;
+}
+
+std::size_t Meteorograph::stored_item_count() const {
+  std::size_t total = 0;
+  for (const NodeData& d : node_data_) total += d.items.size();
+  return total;
+}
+
+const AngleStore& Meteorograph::store_of(overlay::NodeId id) const {
+  METEO_EXPECTS(id < node_data_.size());
+  return node_data_[id].items;
+}
+
+}  // namespace meteo::core

@@ -1,0 +1,332 @@
+#pragma once
+
+/// \file meteorograph.hpp
+/// The Meteorograph system facade — the public API of the paper's primary
+/// contribution.
+///
+/// A Meteorograph instance owns a structured overlay (nodes named per the
+/// configured load-balance mode), the fitted naming scheme (Eq. 5 + Eq. 6),
+/// hot-region statistics, the per-node stores (items, replicas, directory
+/// pointers), and the bootstrap sample used by the first-hop optimization.
+/// Every operation returns its exact cost in hops and messages so the
+/// benches can regenerate the paper's figures.
+///
+/// Typical use:
+///
+///   SystemConfig cfg;                     // defaults mirror the paper
+///   Meteorograph sys(cfg, sample, seed);  // sample: ~0.5% of the items
+///   sys.publish(id, vector);              // Fig. 2 _publish
+///   auto r = sys.retrieve(query, 10);     // Fig. 2 _retrieve
+///   auto s = sys.similarity_search(keywords, 10);  // §3.5 two-phase
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "meteorograph/config.hpp"
+#include "meteorograph/directory.hpp"
+#include "meteorograph/first_hop.hpp"
+#include "meteorograph/hot_regions.hpp"
+#include "meteorograph/naming.hpp"
+#include "meteorograph/range_search.hpp"
+#include "meteorograph/storage.hpp"
+#include "overlay/overlay.hpp"
+#include "sim/metrics.hpp"
+#include "vsm/sparse_vector.hpp"
+#include "vsm/types.hpp"
+
+namespace meteo::core {
+
+struct PublishResult {
+  bool success = false;
+  /// The node the publish request routed to (closest to the item's key).
+  overlay::NodeId home = overlay::kInvalidNode;
+  /// Where the item finally landed after any overflow chaining.
+  overlay::NodeId stored_at = overlay::kInvalidNode;
+  std::size_t route_hops = 0;      ///< request routing (== messages)
+  std::size_t chain_hops = 0;      ///< overflow-chain forwards
+  std::size_t replica_messages = 0;///< replica placement traffic
+  std::size_t pointer_messages = 0;///< directory-pointer publication
+  std::size_t notify_messages = 0; ///< subscription deliveries triggered
+  [[nodiscard]] std::size_t total_messages() const noexcept {
+    return route_hops + chain_hops + replica_messages + pointer_messages +
+           notify_messages;
+  }
+};
+
+struct RetrieveResult {
+  std::vector<vsm::ScoredItem> items;  ///< cosine-ranked, descending
+  std::size_t route_hops = 0;
+  std::size_t walk_hops = 0;
+  std::size_t nodes_visited = 0;
+  [[nodiscard]] std::size_t total_messages() const noexcept {
+    return route_hops + walk_hops;
+  }
+};
+
+struct LocateResult {
+  bool found = false;
+  overlay::NodeId node = overlay::kInvalidNode;
+  /// True when the hit was a replica rather than the primary copy.
+  bool via_replica = false;
+  std::size_t route_hops = 0;  ///< "Closest" series of Fig. 9
+  std::size_t walk_hops = 0;   ///< "Neighbors" series of Fig. 9
+  [[nodiscard]] std::size_t total_hops() const noexcept {
+    return route_hops + walk_hops;
+  }
+};
+
+// --- notifications (§6 future work) -----------------------------------------
+
+using SubscriptionId = std::uint64_t;
+
+/// A standing multi-keyword interest planted in the directory space.
+struct Subscription {
+  SubscriptionId id = 0;
+  std::vector<vsm::KeywordId> keywords;  ///< sorted, conjunctive
+  overlay::NodeId subscriber = overlay::kInvalidNode;
+
+  [[nodiscard]] bool matches(const vsm::SparseVector& v) const {
+    return std::all_of(keywords.begin(), keywords.end(),
+                       [&](vsm::KeywordId k) { return v.contains(k); });
+  }
+};
+
+/// Delivered to the subscriber's inbox when a matching item is published.
+struct Notification {
+  SubscriptionId subscription = 0;
+  vsm::ItemId item = 0;
+
+  friend bool operator==(const Notification&, const Notification&) = default;
+};
+
+struct SubscribeResult {
+  SubscriptionId id = 0;
+  std::size_t planted_nodes = 0;  ///< directory nodes holding a copy
+  std::size_t route_hops = 0;
+  std::size_t walk_hops = 0;
+  [[nodiscard]] std::size_t total_messages() const noexcept {
+    return route_hops + walk_hops;
+  }
+};
+
+struct DepartResult {
+  std::size_t items_transferred = 0;
+  std::size_t replicas_transferred = 0;
+  std::size_t pointers_transferred = 0;
+  std::size_t subscriptions_transferred = 0;
+  std::size_t attribute_records_transferred = 0;
+  std::size_t messages = 0;
+};
+
+struct WithdrawResult {
+  bool removed = false;               ///< a primary copy was found and erased
+  std::size_t replicas_removed = 0;
+  bool pointer_removed = false;
+  std::size_t messages = 0;
+};
+
+struct RangePublishResult {
+  overlay::NodeId node = overlay::kInvalidNode;
+  std::size_t route_hops = 0;
+};
+
+/// One (value, item) hit of a range search, in ascending value order.
+struct RangeMatch {
+  double value = 0.0;
+  vsm::ItemId item = 0;
+
+  friend bool operator==(const RangeMatch&, const RangeMatch&) = default;
+};
+
+struct RangeSearchResult {
+  std::vector<RangeMatch> matches;
+  std::size_t route_hops = 0;
+  std::size_t walk_hops = 0;
+  std::size_t nodes_visited = 0;
+  [[nodiscard]] std::size_t total_messages() const noexcept {
+    return route_hops + walk_hops;
+  }
+};
+
+struct SearchResult {
+  std::vector<vsm::ItemId> items;
+  /// Hops spent on the lookup that discovered items[i] (0 when the item
+  /// was found directly on a directory node) — Fig. 10(a)'s metric.
+  std::vector<std::size_t> discovery_hops;
+  std::size_t route_hops = 0;        ///< reaching the directory region
+  std::size_t walk_hops = 0;         ///< directory-space neighbor steps
+  std::size_t lookup_messages = 0;   ///< pointer-chasing traffic
+  std::size_t nodes_visited = 0;     ///< directory nodes scanned
+  [[nodiscard]] std::size_t total_messages() const noexcept {
+    return route_hops + walk_hops + lookup_messages;
+  }
+};
+
+class Meteorograph {
+ public:
+  /// Builds the system: fits Eq. 6 and hot regions from `sample` (the
+  /// bootstrap node's sampled data set, §3.4/§3.5.1), then joins
+  /// config.node_count nodes named per the load-balance mode.
+  /// \pre sample non-empty unless config.load_balance == kNone
+  Meteorograph(SystemConfig config, std::span<const vsm::SparseVector> sample,
+               std::uint64_t seed);
+
+  // --- naming -------------------------------------------------------------
+  [[nodiscard]] overlay::Key raw_key(const vsm::SparseVector& v) const {
+    return naming_.raw_key(v);
+  }
+  [[nodiscard]] overlay::Key balanced_key(const vsm::SparseVector& v) const {
+    return naming_.balanced_key(v);
+  }
+
+  // --- operations ----------------------------------------------------------
+  /// Publishes an item (Fig. 2 _publish + §3.5.2 pointer + §3.6 replicas).
+  /// `from` defaults to a uniformly random alive node.
+  PublishResult publish(vsm::ItemId id, const vsm::SparseVector& vector,
+                        std::optional<overlay::NodeId> from = std::nullopt);
+
+  /// Fig. 2 _retrieve: route to the query's key, then walk closest
+  /// neighbors until `amount` items with positive similarity are gathered.
+  RetrieveResult retrieve(const vsm::SparseVector& query, std::size_t amount,
+                          std::optional<overlay::NodeId> from = std::nullopt);
+
+  /// Graceful departure: the node hands its stored state (items, replicas,
+  /// directory pointers, subscriptions, attribute records) to the nodes
+  /// now responsible before leaving — the storage-layer counterpart of
+  /// the overlay's leave(). \pre node alive, alive_count() > 1
+  DepartResult depart_node(overlay::NodeId node);
+
+  /// Removes an item from the system: erases the primary copy (located by
+  /// routing + neighbor walk), the replicas held near the item's key, and
+  /// the directory pointer at its raw key. Replica removal is best-effort
+  /// over the current closest homes (churn may have stranded copies
+  /// elsewhere; soft state expires with its host).
+  WithdrawResult withdraw(vsm::ItemId id, const vsm::SparseVector& vector,
+                          std::optional<overlay::NodeId> from = std::nullopt);
+
+  /// Routes toward a specific published item and walks neighbors until a
+  /// node holding it (primary or replica) is found. walk_limit 0 = config
+  /// default (whole ring). Used by Fig. 9 and the §4.3 availability study.
+  LocateResult locate(vsm::ItemId id, const vsm::SparseVector& vector,
+                      std::optional<overlay::NodeId> from = std::nullopt,
+                      std::size_t walk_limit = 0);
+
+  /// §3.5 two-phase similarity search over directory pointers, starting at
+  /// the first-hop key when the sample has a match. k = 0 means "discover
+  /// all matching items" (walks the entire pointer space).
+  SearchResult similarity_search(std::span<const vsm::KeywordId> keywords,
+                                 std::size_t k,
+                                 std::optional<overlay::NodeId> from = std::nullopt);
+
+  // --- range search (§6 future work) ---------------------------------------
+  /// Registers a numeric attribute (e.g. memory size) over [lo, hi]; its
+  /// values map order-preservingly into a dedicated slice of the key space.
+  AttributeId register_attribute(double lo, double hi,
+                                 AttributeScale scale = AttributeScale::kLinear);
+
+  /// Publishes an (attribute, value) record for an item to the node
+  /// responsible for the value's key.
+  RangePublishResult publish_attribute(
+      vsm::ItemId id, AttributeId attribute, double value,
+      std::optional<overlay::NodeId> from = std::nullopt);
+
+  /// All items whose `attribute` value lies in [lo, hi], ascending by
+  /// value: one O(log N) route plus a successor walk across the range.
+  [[nodiscard]] RangeSearchResult range_search(
+      AttributeId attribute, double lo, double hi,
+      std::optional<overlay::NodeId> from = std::nullopt);
+
+  [[nodiscard]] const AttributeRegistry& attributes() const noexcept {
+    return attributes_;
+  }
+
+  // --- notifications (§6 future work) ---------------------------------------
+  /// Plants a standing interest in the directory space: copies of the
+  /// subscription live on `horizon` consecutive directory nodes starting
+  /// at the query's first-hop key, where matching items' pointers will be
+  /// published. Future matching publishes push a Notification to
+  /// `subscriber`'s inbox.
+  SubscribeResult subscribe(std::span<const vsm::KeywordId> keywords,
+                            overlay::NodeId subscriber,
+                            std::size_t horizon = 8);
+
+  /// Removes every planted copy; false if the id is unknown.
+  bool unsubscribe(SubscriptionId id);
+
+  /// Drains the inbox of `subscriber` (delivery order preserved).
+  [[nodiscard]] std::vector<Notification> take_notifications(
+      overlay::NodeId subscriber);
+
+  // --- introspection --------------------------------------------------------
+  [[nodiscard]] overlay::Overlay& network() noexcept { return overlay_; }
+  [[nodiscard]] const overlay::Overlay& network() const noexcept {
+    return overlay_;
+  }
+  [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const NamingScheme& naming() const noexcept { return naming_; }
+  [[nodiscard]] const HotRegionSet& hot_regions() const noexcept {
+    return hot_regions_;
+  }
+  [[nodiscard]] const FirstHopIndex& first_hop() const noexcept {
+    return first_hop_;
+  }
+  [[nodiscard]] sim::MetricRegistry& metrics() noexcept { return metrics_; }
+
+  /// Primary-item count per alive node (Fig. 8's load metric).
+  [[nodiscard]] std::vector<std::size_t> node_loads() const;
+  /// Storage capacity of a node (0 = unlimited). Heterogeneous when
+  /// capability_weights is configured.
+  [[nodiscard]] std::size_t capacity_of(overlay::NodeId id) const;
+  /// Total primary items currently stored.
+  [[nodiscard]] std::size_t stored_item_count() const;
+  [[nodiscard]] const AngleStore& store_of(overlay::NodeId id) const;
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+ private:
+  struct NodeData {
+    AngleStore items;
+    std::unordered_map<vsm::ItemId, vsm::SparseVector> replicas;
+    std::vector<DirectoryPointer> directory;
+    /// Range-search records: attribute -> (value -> items), value-sorted.
+    std::map<AttributeId, std::multimap<double, vsm::ItemId>> attributes;
+    /// Standing interests planted on this directory node.
+    std::vector<Subscription> subscriptions;
+    /// Notifications delivered to this node as a subscriber.
+    std::vector<Notification> inbox;
+  };
+
+  /// Ensures node_data_ covers every overlay node id.
+  void sync_node_data();
+
+  /// Publish hook: fires notifications for subscriptions on the node that
+  /// received the item's directory pointer. Returns delivery messages.
+  std::size_t deliver_notifications(overlay::NodeId pointer_node,
+                                    vsm::ItemId item,
+                                    const vsm::SparseVector& vector);
+
+  /// Walk iterator state: expands outward from a start node, alternating
+  /// sides by key distance.
+  struct Walker;
+
+  SystemConfig config_;
+  Rng rng_;
+  NamingScheme naming_;
+  HotRegionSet hot_regions_;
+  FirstHopIndex first_hop_;
+  overlay::Overlay overlay_;
+  AttributeRegistry attributes_;
+  std::vector<NodeData> node_data_;
+  std::vector<std::size_t> node_capacity_;  // parallel to node_data_
+  sim::MetricRegistry metrics_;
+  SubscriptionId next_subscription_ = 1;
+  std::unordered_map<SubscriptionId, std::vector<overlay::NodeId>>
+      subscription_homes_;
+};
+
+}  // namespace meteo::core

@@ -1,0 +1,89 @@
+#include "meteorograph/naming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+#include "vsm/absolute_angle.hpp"
+#include "workload/knee.hpp"
+
+namespace meteo::core {
+
+NamingScheme NamingScheme::fit(std::span<const overlay::Key> sample_raw_keys,
+                               const SystemConfig& config) {
+  NamingScheme scheme(config);
+  if (config.load_balance == LoadBalanceMode::kNone) return scheme;
+
+  METEO_EXPECTS(!sample_raw_keys.empty());
+  std::vector<double> samples;
+  samples.reserve(sample_raw_keys.size());
+  for (const overlay::Key k : sample_raw_keys) {
+    samples.push_back(static_cast<double>(k));
+  }
+  const EmpiricalCdf cdf(samples);
+
+  // Resample the CDF finely, then reduce to the configured knee budget.
+  // 512 probe points resolve knees well even for the very narrow raw band
+  // the universal-dictionary mode produces.
+  const std::vector<Knot> curve = cdf.resample(512);
+  std::vector<Knot> knees =
+      workload::find_knees(curve, {config.eq6_knees, 0.0});
+
+  // Pin the map to the full address space: raw keys below/above the sample
+  // range clamp to 0 / R (the paper's first knee is (0,0), last (1, R)).
+  // Scale CDF fractions onto [0, R-1] so remapped keys stay inside the
+  // space even at the top knee.
+  const auto top = static_cast<double>(config.overlay.key_space - 1);
+  for (Knot& k : knees) k.y *= top;
+  if (knees.front().x > 0.0) {
+    knees.insert(knees.begin(), Knot{0.0, 0.0});
+  } else {
+    knees.front().y = 0.0;
+  }
+  if (knees.back().x < top) {
+    knees.push_back(Knot{top, top});
+  } else {
+    knees.back().y = top;
+  }
+  scheme.remap_.emplace(std::move(knees));
+  return scheme;
+}
+
+overlay::Key NamingScheme::raw_key(const vsm::SparseVector& v) const {
+  return vsm::absolute_angle_key(v, config_.dimension,
+                                 config_.overlay.key_space,
+                                 config_.angle_mode);
+}
+
+double NamingScheme::raw_value(const vsm::SparseVector& v) const {
+  const double theta =
+      vsm::absolute_angle(v, config_.dimension, config_.angle_mode);
+  return theta / std::numbers::pi *
+         static_cast<double>(config_.overlay.key_space);
+}
+
+overlay::Key NamingScheme::remap(overlay::Key raw) const {
+  if (!remap_.has_value()) return raw;
+  const double mapped = (*remap_)(static_cast<double>(raw));
+  METEO_ASSERT(mapped >= 0.0);
+  auto key = static_cast<overlay::Key>(mapped);
+  if (key >= config_.overlay.key_space) key = config_.overlay.key_space - 1;
+  return key;
+}
+
+overlay::Key NamingScheme::balanced_key(const vsm::SparseVector& v) const {
+  if (!remap_.has_value()) return raw_key(v);
+  const double mapped = (*remap_)(raw_value(v));
+  METEO_ASSERT(mapped >= 0.0);
+  auto key = static_cast<overlay::Key>(mapped);
+  if (key >= config_.overlay.key_space) key = config_.overlay.key_space - 1;
+  return key;
+}
+
+std::span<const Knot> NamingScheme::knees() const {
+  if (!remap_.has_value()) return {};
+  return remap_->knots();
+}
+
+}  // namespace meteo::core

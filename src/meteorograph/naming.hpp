@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file naming.hpp
+/// Item naming: Eq. 5 raw keys and the Eq. 6 unused-hash-space remap.
+///
+/// Eq. 6 re-spreads item keys over the whole address space using the CDF of
+/// a small sampled data set: between two knees (b_i, a_i) and (b_j, a_j) of
+/// the sampled CDF, a raw key h maps to
+///
+///     f(h) = R * (a_i + (a_j - a_i) * (h - b_i) / (b_j - b_i))
+///
+/// which is exactly a piecewise-linear map through knots (b, a*R). Because
+/// the knees come from a CDF the map is monotone, so the angle ordering of
+/// items — and with it similarity adjacency — is preserved (the paper's
+/// "without scrambling those similar items that are aggregated").
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/cdf.hpp"
+#include "meteorograph/config.hpp"
+#include "overlay/key_space.hpp"
+#include "vsm/sparse_vector.hpp"
+
+namespace meteo::core {
+
+class NamingScheme {
+ public:
+  /// Builds the scheme from the raw (Eq. 5) keys of the sampled items.
+  /// With kNone no remap is fitted and balanced keys equal raw keys.
+  /// \pre sample_raw_keys non-empty unless mode == kNone
+  static NamingScheme fit(std::span<const overlay::Key> sample_raw_keys,
+                          const SystemConfig& config);
+
+  /// Eq. 5: the raw absolute-angle key of a vector. \pre !v.empty()
+  [[nodiscard]] overlay::Key raw_key(const vsm::SparseVector& v) const;
+
+  /// The *continuous* pre-floor key (theta/pi * R). The raw band of a
+  /// universal dictionary is only a few thousand integer keys wide, so
+  /// flooring before the remap would collapse thousands of items onto
+  /// identical keys; the remap therefore runs on this value and floors
+  /// once at the end.
+  [[nodiscard]] double raw_value(const vsm::SparseVector& v) const;
+
+  /// Eq. 6 applied to the continuous raw value of v, floored into the key
+  /// space (identity modulo flooring under kNone).
+  [[nodiscard]] overlay::Key balanced_key(const vsm::SparseVector& v) const;
+
+  /// Eq. 6 applied to an already-quantized raw key (used for directory
+  /// placement and tests; coarser than balanced_key).
+  [[nodiscard]] overlay::Key remap(overlay::Key raw) const;
+
+  /// The fitted Eq. 6 knees ((b_i, a_i * R) knots); empty under kNone.
+  [[nodiscard]] std::span<const Knot> knees() const;
+
+  [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
+
+ private:
+  explicit NamingScheme(SystemConfig config) : config_(std::move(config)) {}
+
+  SystemConfig config_;
+  std::optional<PiecewiseLinearMap> remap_;
+};
+
+}  // namespace meteo::core

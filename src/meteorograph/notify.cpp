@@ -1,0 +1,97 @@
+/// Notification operations (paper §6 future work): "Notification can
+/// rapidly transfer the states of resources to subscribed consumers."
+///
+/// A subscription is a standing conjunctive keyword query. It is planted
+/// on a window of consecutive *directory* nodes starting at the query's
+/// first-hop key — the same region where pointers of matching items are
+/// published — so a publish can fire notifications locally, without any
+/// global matching service. The horizon bounds the window; items whose
+/// pointers land outside it are missed, the same locality trade-off the
+/// first-hop optimization itself makes (§3.5.1).
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "meteorograph/meteorograph.hpp"
+#include "meteorograph/walk.hpp"
+
+namespace meteo::core {
+
+SubscribeResult Meteorograph::subscribe(
+    std::span<const vsm::KeywordId> keywords, overlay::NodeId subscriber,
+    std::size_t horizon) {
+  METEO_EXPECTS(!keywords.empty());
+  METEO_EXPECTS(horizon >= 1);
+  METEO_EXPECTS(subscriber < overlay_.size());
+  sync_node_data();
+
+  std::vector<vsm::KeywordId> sorted(keywords.begin(), keywords.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  SubscribeResult result;
+  result.id = next_subscription_++;
+
+  const overlay::Key fallback =
+      naming_.raw_key(vsm::SparseVector::binary(sorted));
+  const overlay::Key start_key =
+      first_hop_.smallest_matching_key(sorted).value_or(fallback);
+
+  const overlay::RouteResult route = overlay_.route(subscriber, start_key);
+  result.route_hops = route.hops;
+
+  const Subscription subscription{result.id, std::move(sorted), subscriber};
+  std::vector<overlay::NodeId> homes;
+  NeighborWalk walk(overlay_, route.destination, start_key);
+  while (homes.size() < horizon) {
+    node_data_[walk.current()].subscriptions.push_back(subscription);
+    homes.push_back(walk.current());
+    if (!walk.advance()) break;
+  }
+  result.walk_hops = walk.hops();
+  result.planted_nodes = homes.size();
+  subscription_homes_.emplace(result.id, std::move(homes));
+
+  ++metrics_.counter("notify.subscribe.count");
+  metrics_.counter("notify.subscribe.messages") += result.total_messages();
+  return result;
+}
+
+bool Meteorograph::unsubscribe(SubscriptionId id) {
+  const auto it = subscription_homes_.find(id);
+  if (it == subscription_homes_.end()) return false;
+  for (const overlay::NodeId node : it->second) {
+    auto& subs = node_data_[node].subscriptions;
+    subs.erase(std::remove_if(subs.begin(), subs.end(),
+                              [&](const Subscription& s) { return s.id == id; }),
+               subs.end());
+  }
+  subscription_homes_.erase(it);
+  return true;
+}
+
+std::vector<Notification> Meteorograph::take_notifications(
+    overlay::NodeId subscriber) {
+  METEO_EXPECTS(subscriber < node_data_.size());
+  std::vector<Notification> out;
+  out.swap(node_data_[subscriber].inbox);
+  return out;
+}
+
+std::size_t Meteorograph::deliver_notifications(
+    overlay::NodeId pointer_node, vsm::ItemId item,
+    const vsm::SparseVector& vector) {
+  std::size_t messages = 0;
+  for (const Subscription& s : node_data_[pointer_node].subscriptions) {
+    if (!s.matches(vector)) continue;
+    if (!overlay_.is_alive(s.subscriber)) continue;
+    const overlay::RouteResult leg =
+        overlay_.route(pointer_node, overlay_.key_of(s.subscriber));
+    messages += std::max<std::size_t>(leg.hops, 1);
+    node_data_[s.subscriber].inbox.push_back(Notification{s.id, item});
+    ++metrics_.counter("notify.delivered");
+  }
+  return messages;
+}
+
+}  // namespace meteo::core

@@ -1,0 +1,171 @@
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "meteorograph/meteorograph.hpp"
+#include "meteorograph/walk.hpp"
+
+namespace meteo::core {
+
+namespace {
+
+std::vector<vsm::KeywordId> keyword_list(const vsm::SparseVector& v) {
+  std::vector<vsm::KeywordId> out;
+  out.reserve(v.nnz());
+  for (const vsm::Entry& e : v.entries()) out.push_back(e.keyword);
+  return out;  // entries are keyword-sorted already
+}
+
+}  // namespace
+
+PublishResult Meteorograph::publish(vsm::ItemId id,
+                                    const vsm::SparseVector& vector,
+                                    std::optional<overlay::NodeId> from) {
+  METEO_EXPECTS(!vector.empty());
+  sync_node_data();
+
+  PublishResult result;
+  const overlay::Key raw = naming_.raw_key(vector);
+  const overlay::Key key = naming_.balanced_key(vector);
+
+  // Step 1-2 (Fig. 2): route the publish request to the node whose key is
+  // closest to the item's hash key.
+  const overlay::NodeId source = from.value_or(overlay_.random_alive(rng_));
+  const overlay::RouteResult route = overlay_.route(source, key);
+  result.home = route.destination;
+  result.route_hops = route.hops;
+
+  // Step 3: store, overflow-chaining through closest neighbors when full.
+  // The displaced item always moves toward the side of the band it belongs
+  // to, which keeps the global angle order intact.
+  StoredEntry entry{id, raw, vector};
+  overlay::NodeId cur = route.destination;
+  const std::size_t hop_budget =
+      config_.publish_hop_limit > 0
+          ? config_.publish_hop_limit
+          : 16 * std::max<std::size_t>(overlay_.alive_count(), 1);
+  result.success = false;
+  while (true) {
+    NodeData& data = node_data_[cur];
+    const std::size_t capacity = node_capacity_[cur];
+    if (capacity == 0 || data.items.size() < capacity) {
+      data.items.insert(std::move(entry));
+      result.stored_at = cur;
+      result.success = true;
+      break;
+    }
+    Eviction evicted = data.items.evict(entry, config_.eviction);
+    data.items.insert(std::move(entry));
+    overlay::NodeId next = evicted.side == EvictSide::kLow
+                               ? overlay_.predecessor(cur)
+                               : overlay_.successor(cur);
+    if (next == overlay::kInvalidNode) {
+      // Edge of the key space: chain back the other way.
+      next = evicted.side == EvictSide::kLow ? overlay_.successor(cur)
+                                             : overlay_.predecessor(cur);
+    }
+    if (next == overlay::kInvalidNode) break;  // single-node overlay, full
+    entry = std::move(evicted.entry);
+    cur = next;
+    ++result.chain_hops;
+    if (result.chain_hops >= hop_budget) break;  // hop count exhausted
+  }
+
+  if (!result.success) {
+    ++metrics_.counter("publish.failures");
+    return result;
+  }
+
+  // §3.6: place k-1 replicas on the nodes numerically closest to the key.
+  if (config_.replicas > 1) {
+    std::size_t placed = 0;
+    for (const overlay::NodeId home :
+         overlay_.closest_nodes(key, config_.replicas)) {
+      if (home == result.home) continue;
+      node_data_[home].replicas.insert_or_assign(id, vector);
+      const overlay::RouteResult leg =
+          overlay_.route(result.home, overlay_.key_of(home));
+      result.replica_messages += std::max<std::size_t>(leg.hops, 1);
+      if (++placed + 1 >= config_.replicas) break;
+    }
+  }
+
+  // §3.5.2: publish the directory pointer at the item's *raw* key, where
+  // pointers of similar items aggregate.
+  if (config_.directory_pointers) {
+    const overlay::RouteResult leg = overlay_.route(result.home, raw);
+    result.pointer_messages = leg.hops;
+    node_data_[leg.destination].directory.push_back(
+        DirectoryPointer{id, key, keyword_list(vector)});
+    // §6 notifications: standing interests planted on this directory node
+    // fire as the pointer arrives.
+    result.notify_messages =
+        deliver_notifications(leg.destination, id, vector);
+  }
+
+  ++metrics_.counter("publish.count");
+  metrics_.counter("publish.messages") += result.total_messages();
+  metrics_.distribution("publish.route_hops")
+      .add(static_cast<double>(result.route_hops));
+  metrics_.distribution("publish.chain_hops")
+      .add(static_cast<double>(result.chain_hops));
+  return result;
+}
+
+WithdrawResult Meteorograph::withdraw(vsm::ItemId id,
+                                      const vsm::SparseVector& vector,
+                                      std::optional<overlay::NodeId> from) {
+  METEO_EXPECTS(!vector.empty());
+  sync_node_data();
+
+  WithdrawResult result;
+  // Primary copy: find it the same way a query would, then erase.
+  const LocateResult located = locate(id, vector, from);
+  result.messages += located.route_hops + located.walk_hops;
+  if (located.found && !located.via_replica) {
+    node_data_[located.node].items.erase(id);
+    result.removed = true;
+  } else if (located.found) {
+    node_data_[located.node].replicas.erase(id);
+    ++result.replicas_removed;
+  }
+
+  // Replicas at the key's current closest homes (best-effort: the homes
+  // at publish time; churn may have moved them, in which case the copies
+  // expire with their hosts).
+  const overlay::Key key = naming_.balanced_key(vector);
+  for (const overlay::NodeId home :
+       overlay_.closest_nodes(key, config_.replicas + 4)) {
+    if (node_data_[home].replicas.erase(id) > 0) {
+      ++result.replicas_removed;
+      ++result.messages;
+    }
+  }
+
+  // Directory pointer at the raw key (walk a small horizon: the pointer
+  // sits on or next to the closest node).
+  if (config_.directory_pointers && overlay_.alive_count() > 0) {
+    const overlay::Key raw = naming_.raw_key(vector);
+    const overlay::NodeId start = overlay_.closest_alive(raw);
+    NeighborWalk walk(overlay_, start, raw);
+    for (int step = 0; step < 8; ++step) {
+      auto& dir = node_data_[walk.current()].directory;
+      const auto it = std::find_if(
+          dir.begin(), dir.end(),
+          [&](const DirectoryPointer& p) { return p.item == id; });
+      if (it != dir.end()) {
+        dir.erase(it);
+        result.pointer_removed = true;
+        break;
+      }
+      if (!walk.advance()) break;
+      ++result.messages;
+    }
+  }
+
+  ++metrics_.counter("withdraw.count");
+  metrics_.counter("withdraw.messages") += result.messages;
+  return result;
+}
+
+}  // namespace meteo::core

@@ -1,0 +1,87 @@
+/// Range-search operations of the Meteorograph facade (paper §6 future
+/// work): attribute registration, value publication, and [lo, hi] range
+/// queries over the order-preserving attribute key slices.
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "meteorograph/meteorograph.hpp"
+
+namespace meteo::core {
+
+AttributeId Meteorograph::register_attribute(double lo, double hi,
+                                             AttributeScale scale) {
+  return attributes_.register_attribute(lo, hi, scale);
+}
+
+RangePublishResult Meteorograph::publish_attribute(
+    vsm::ItemId id, AttributeId attribute, double value,
+    std::optional<overlay::NodeId> from) {
+  sync_node_data();
+  const AttributeSpace& space = attributes_.space(attribute);
+  const overlay::Key key = space.key_of(value);
+  const overlay::NodeId source = from.value_or(overlay_.random_alive(rng_));
+  const overlay::RouteResult route = overlay_.route(source, key);
+
+  RangePublishResult result;
+  result.node = route.destination;
+  result.route_hops = route.hops;
+  node_data_[route.destination].attributes[attribute].emplace(value, id);
+
+  ++metrics_.counter("range.publish.count");
+  metrics_.counter("range.publish.messages") += route.hops;
+  return result;
+}
+
+RangeSearchResult Meteorograph::range_search(
+    AttributeId attribute, double lo, double hi,
+    std::optional<overlay::NodeId> from) {
+  METEO_EXPECTS(lo <= hi);
+  sync_node_data();
+
+  RangeSearchResult result;
+  const AttributeSpace& space = attributes_.space(attribute);
+  const overlay::Key key_lo = space.key_of(lo);
+  const overlay::Key key_hi = space.key_of(hi);
+
+  const overlay::NodeId source = from.value_or(overlay_.random_alive(rng_));
+  const overlay::RouteResult route = overlay_.route(source, key_lo);
+  result.route_hops = route.hops;
+
+  // A record with key k lives on the node *closest* to k, which may sit
+  // just below key_lo or just above key_hi — start one node early and
+  // stop one node late.
+  overlay::NodeId cur = route.destination;
+  if (const overlay::NodeId pred = overlay_.predecessor(cur);
+      pred != overlay::kInvalidNode) {
+    cur = pred;
+    ++result.walk_hops;
+  }
+  bool past_hi = false;
+  while (cur != overlay::kInvalidNode) {
+    ++result.nodes_visited;
+    const auto& per_node = node_data_[cur].attributes;
+    if (const auto it = per_node.find(attribute); it != per_node.end()) {
+      for (auto rec = it->second.lower_bound(lo);
+           rec != it->second.end() && rec->first <= hi; ++rec) {
+        result.matches.push_back(RangeMatch{rec->first, rec->second});
+      }
+    }
+    if (past_hi) break;
+    if (overlay_.key_of(cur) > key_hi) past_hi = true;  // one-node margin
+    cur = overlay_.successor(cur);
+    if (cur != overlay::kInvalidNode) ++result.walk_hops;
+  }
+
+  std::sort(result.matches.begin(), result.matches.end(),
+            [](const RangeMatch& a, const RangeMatch& b) {
+              if (a.value != b.value) return a.value < b.value;
+              return a.item < b.item;
+            });
+
+  ++metrics_.counter("range.search.count");
+  metrics_.counter("range.search.messages") += result.total_messages();
+  return result;
+}
+
+}  // namespace meteo::core

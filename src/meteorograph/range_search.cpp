@@ -1,0 +1,51 @@
+#include "meteorograph/range_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace meteo::core {
+
+AttributeSpace::AttributeSpace(AttributeId id, double lo, double hi,
+                               overlay::Key key_lo, overlay::Key key_hi,
+                               AttributeScale scale)
+    : id_(id), lo_(lo), hi_(hi), key_lo_(key_lo), key_hi_(key_hi),
+      scale_(scale) {
+  METEO_EXPECTS(lo < hi);
+  METEO_EXPECTS(key_lo < key_hi);
+  METEO_EXPECTS(scale != AttributeScale::kLog || lo > 0.0);
+}
+
+overlay::Key AttributeSpace::key_of(double value) const {
+  value = std::clamp(value, lo_, hi_);
+  double t = 0.0;
+  switch (scale_) {
+    case AttributeScale::kLinear:
+      t = (value - lo_) / (hi_ - lo_);
+      break;
+    case AttributeScale::kLog:
+      t = (std::log(value) - std::log(lo_)) / (std::log(hi_) - std::log(lo_));
+      break;
+  }
+  const auto width = static_cast<double>(key_hi_ - key_lo_);
+  auto key = key_lo_ + static_cast<overlay::Key>(t * width);
+  if (key > key_hi_) key = key_hi_;
+  return key;
+}
+
+AttributeId AttributeRegistry::register_attribute(double lo, double hi,
+                                                  AttributeScale scale) {
+  METEO_EXPECTS(spaces_.size() < kMaxAttributes);
+  const auto id = static_cast<AttributeId>(spaces_.size());
+  const overlay::Key slice = key_space_ / kMaxAttributes;
+  const overlay::Key key_lo = static_cast<overlay::Key>(id) * slice;
+  const overlay::Key key_hi = key_lo + slice - 1;
+  spaces_.emplace_back(id, lo, hi, key_lo, key_hi, scale);
+  return id;
+}
+
+const AttributeSpace& AttributeRegistry::space(AttributeId id) const {
+  METEO_EXPECTS(id < spaces_.size());
+  return spaces_[id];
+}
+
+}  // namespace meteo::core

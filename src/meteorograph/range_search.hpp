@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file range_search.hpp
+/// Range searches over numeric attributes (paper §6, future work):
+/// "discovering machines that have memory in size between 1G and 8G bytes.
+/// Mapping the range of values into the linear structure provided by
+/// Tornado may solve this problem."
+///
+/// This implements exactly that: each registered attribute owns a slice of
+/// the key space, and an order-preserving map (linear or logarithmic)
+/// takes attribute values to keys inside the slice. Publishing an
+/// (attribute, value, item) triple routes to the value's key; a range
+/// query [lo, hi] routes to lo's key and walks successors until the first
+/// node past hi's key — O(log N) + O(span) hops, the same walk machinery
+/// similarity search uses.
+///
+/// Attribute slices are disjoint, so different attributes never collide,
+/// and within a slice key order == value order (the property range
+/// queries need).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "overlay/key_space.hpp"
+
+namespace meteo::core {
+
+using AttributeId = std::uint32_t;
+
+enum class AttributeScale {
+  kLinear,
+  /// Log-scale mapping for values spanning orders of magnitude (memory
+  /// sizes, file sizes, bandwidths). \pre lo > 0
+  kLog,
+};
+
+/// Order-preserving value -> key map for one attribute.
+class AttributeSpace {
+ public:
+  /// \pre lo < hi; key_lo < key_hi; lo > 0 when scale == kLog
+  AttributeSpace(AttributeId id, double lo, double hi, overlay::Key key_lo,
+                 overlay::Key key_hi, AttributeScale scale);
+
+  [[nodiscard]] AttributeId id() const noexcept { return id_; }
+  [[nodiscard]] double value_lo() const noexcept { return lo_; }
+  [[nodiscard]] double value_hi() const noexcept { return hi_; }
+  [[nodiscard]] overlay::Key key_lo() const noexcept { return key_lo_; }
+  [[nodiscard]] overlay::Key key_hi() const noexcept { return key_hi_; }
+
+  /// Maps a value (clamped to [lo, hi]) into the attribute's key slice.
+  /// Monotone: v1 <= v2 implies key(v1) <= key(v2).
+  [[nodiscard]] overlay::Key key_of(double value) const;
+
+ private:
+  AttributeId id_;
+  double lo_;
+  double hi_;
+  overlay::Key key_lo_;
+  overlay::Key key_hi_;
+  AttributeScale scale_;
+};
+
+/// Registry slicing the key space evenly across registered attributes.
+class AttributeRegistry {
+ public:
+  explicit AttributeRegistry(overlay::Key key_space = overlay::kDefaultKeySpace)
+      : key_space_(key_space) {}
+
+  /// Registers a new attribute over [lo, hi]; slices are assigned in
+  /// registration order over a fixed budget of kMaxAttributes slots.
+  AttributeId register_attribute(double lo, double hi,
+                                 AttributeScale scale = AttributeScale::kLinear);
+
+  [[nodiscard]] const AttributeSpace& space(AttributeId id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return spaces_.size(); }
+
+  static constexpr std::size_t kMaxAttributes = 64;
+
+ private:
+  overlay::Key key_space_;
+  std::vector<AttributeSpace> spaces_;
+};
+
+}  // namespace meteo::core

@@ -1,0 +1,125 @@
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+#include "meteorograph/meteorograph.hpp"
+#include "meteorograph/walk.hpp"
+
+namespace meteo::core {
+
+RetrieveResult Meteorograph::retrieve(const vsm::SparseVector& query,
+                                      std::size_t amount,
+                                      std::optional<overlay::NodeId> from) {
+  METEO_EXPECTS(!query.empty());
+  METEO_EXPECTS(amount > 0);
+  sync_node_data();
+
+  RetrieveResult result;
+  const overlay::Key key = naming_.balanced_key(query);
+  const overlay::NodeId source = from.value_or(overlay_.random_alive(rng_));
+  const overlay::RouteResult route = overlay_.route(source, key);
+  result.route_hops = route.hops;
+
+  // Fig. 2 _retrieve: harvest locally, then consult closest neighbors
+  // until the requested amount is satisfied.
+  const std::size_t walk_limit = config_.max_walk_nodes > 0
+                                     ? config_.max_walk_nodes
+                                     : overlay_.alive_count();
+  NeighborWalk walk(overlay_, route.destination, key);
+  std::size_t remaining = amount;
+  std::unordered_set<vsm::ItemId> seen;
+  while (true) {
+    const NodeData& data = node_data_[walk.current()];
+    ++result.nodes_visited;
+    const std::vector<vsm::ScoredItem> local =
+        config_.local_ranking == LocalRanking::kLsi
+            ? data.items.top_k_lsi(query, remaining, config_.lsi_rank,
+                                   config_.node_count /*stable seed*/)
+            : data.items.top_k(query, remaining);
+    for (const vsm::ScoredItem& hit : local) {
+      if (hit.score <= 0.0) continue;  // no (latent) overlap: not a match
+      if (!seen.insert(hit.id).second) continue;
+      result.items.push_back(hit);
+      --remaining;
+    }
+    // Replica copies answer too (§3.6 failover: after the primary's host
+    // dies, the numerically-closest surviving home serves the item).
+    for (const auto& [id, vector] : data.replicas) {
+      if (remaining == 0) break;
+      if (seen.contains(id)) continue;
+      const double score = vsm::cosine_similarity(query, vector);
+      if (score <= 0.0) continue;
+      seen.insert(id);
+      result.items.push_back(vsm::ScoredItem{id, score});
+      --remaining;
+    }
+    if (remaining == 0 || result.nodes_visited >= walk_limit) break;
+    if (!walk.advance()) break;
+  }
+  result.walk_hops = walk.hops();
+
+  // Final ranking across all visited nodes.
+  std::sort(result.items.begin(), result.items.end(),
+            [](const vsm::ScoredItem& a, const vsm::ScoredItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+
+  ++metrics_.counter("retrieve.count");
+  metrics_.counter("retrieve.messages") += result.total_messages();
+  metrics_.distribution("retrieve.route_hops")
+      .add(static_cast<double>(result.route_hops));
+  metrics_.distribution("retrieve.walk_hops")
+      .add(static_cast<double>(result.walk_hops));
+  return result;
+}
+
+LocateResult Meteorograph::locate(vsm::ItemId id,
+                                  const vsm::SparseVector& vector,
+                                  std::optional<overlay::NodeId> from,
+                                  std::size_t walk_limit) {
+  METEO_EXPECTS(!vector.empty());
+  sync_node_data();
+
+  LocateResult result;
+  const overlay::Key key = naming_.balanced_key(vector);
+  const overlay::NodeId source = from.value_or(overlay_.random_alive(rng_));
+  const overlay::RouteResult route = overlay_.route(source, key);
+  result.route_hops = route.hops;
+
+  if (walk_limit == 0) {
+    walk_limit = config_.max_walk_nodes > 0 ? config_.max_walk_nodes
+                                            : overlay_.alive_count();
+  }
+
+  NeighborWalk walk(overlay_, route.destination, key);
+  std::size_t visited = 0;
+  while (true) {
+    const overlay::NodeId cur = walk.current();
+    const NodeData& data = node_data_[cur];
+    ++visited;
+    if (data.items.contains(id)) {
+      result.found = true;
+      result.node = cur;
+      break;
+    }
+    if (data.replicas.contains(id)) {
+      result.found = true;
+      result.node = cur;
+      result.via_replica = true;
+      break;
+    }
+    if (visited >= walk_limit || !walk.advance()) break;
+  }
+  result.walk_hops = walk.hops();
+
+  ++metrics_.counter("locate.count");
+  if (result.found) ++metrics_.counter("locate.found");
+  metrics_.distribution("locate.route_hops")
+      .add(static_cast<double>(result.route_hops));
+  metrics_.distribution("locate.walk_hops")
+      .add(static_cast<double>(result.walk_hops));
+  return result;
+}
+
+}  // namespace meteo::core

@@ -1,0 +1,106 @@
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+#include "meteorograph/meteorograph.hpp"
+#include "meteorograph/walk.hpp"
+
+namespace meteo::core {
+
+namespace {
+
+/// Spill distance: an item displaced by overflow chaining sits a few nodes
+/// from its key's home; lookups walk at most this many extra neighbors.
+constexpr std::size_t kLookupSpillLimit = 16;
+
+}  // namespace
+
+SearchResult Meteorograph::similarity_search(
+    std::span<const vsm::KeywordId> keywords, std::size_t k,
+    std::optional<overlay::NodeId> from) {
+  METEO_EXPECTS(!keywords.empty());
+  sync_node_data();
+
+  std::vector<vsm::KeywordId> query(keywords.begin(), keywords.end());
+  std::sort(query.begin(), query.end());
+  query.erase(std::unique(query.begin(), query.end()), query.end());
+
+  SearchResult result;
+
+  // §3.5.1 first hop: start at the smallest matching sample key; fall back
+  // to the raw key of the query vector itself.
+  const overlay::Key fallback =
+      naming_.raw_key(vsm::SparseVector::binary(query));
+  const overlay::Key start_key =
+      first_hop_.smallest_matching_key(query).value_or(fallback);
+
+  const overlay::NodeId source = from.value_or(overlay_.random_alive(rng_));
+  const overlay::RouteResult route = overlay_.route(source, start_key);
+  result.route_hops = route.hops;
+
+  std::unordered_set<vsm::ItemId> seen;
+  auto add_item = [&](vsm::ItemId id, std::size_t hops) {
+    if (!seen.insert(id).second) return false;
+    result.items.push_back(id);
+    result.discovery_hops.push_back(hops);
+    return true;
+  };
+  auto satisfied = [&] { return k > 0 && result.items.size() >= k; };
+
+  // Chase one directory pointer: route to the item's key, harvesting every
+  // matching item at each visited node (the paper's k'-batched replies),
+  // walking past overflow spill until the pointed-to item is found.
+  auto chase = [&](overlay::NodeId origin, const DirectoryPointer& pointer) {
+    const overlay::RouteResult leg = overlay_.route(origin, pointer.item_key);
+    result.lookup_messages += leg.hops + 1;  // request legs + reply
+    NeighborWalk spill(overlay_, leg.destination, pointer.item_key);
+    bool found_target = false;
+    while (true) {
+      const NodeData& data = node_data_[spill.current()];
+      for (const vsm::ItemId id : data.items.match_all(query)) {
+        add_item(id, leg.hops + spill.hops());
+      }
+      found_target = found_target || data.items.contains(pointer.item);
+      if (found_target || spill.hops() >= kLookupSpillLimit) break;
+      if (!spill.advance()) break;
+      ++result.lookup_messages;
+    }
+  };
+
+  // Walk the directory (raw-key) space outward from the start node.
+  const std::size_t walk_limit = config_.max_walk_nodes > 0
+                                     ? config_.max_walk_nodes
+                                     : overlay_.alive_count();
+  NeighborWalk walk(overlay_, route.destination, start_key);
+  while (true) {
+    const overlay::NodeId cur = walk.current();
+    const NodeData& data = node_data_[cur];
+    ++result.nodes_visited;
+
+    // Local search on stored items (§3.5.2 searches items and pointers).
+    // Items found on a walked node cost one marginal neighbor step (the
+    // walk itself is accounted in walk_hops); items on the start node are
+    // free riders of the initial route.
+    for (const vsm::ItemId id : data.items.match_all(query)) {
+      add_item(id, walk.hops() > 0 ? 1 : 0);
+    }
+    // Chase matching pointers, one lookup at a time, stopping at k.
+    for (const DirectoryPointer& pointer : data.directory) {
+      if (satisfied()) break;
+      if (seen.contains(pointer.item) || !pointer.matches(query)) continue;
+      chase(cur, pointer);
+    }
+
+    if (satisfied() || result.nodes_visited >= walk_limit) break;
+    if (!walk.advance()) break;
+  }
+  result.walk_hops = walk.hops();
+
+  ++metrics_.counter("search.count");
+  metrics_.counter("search.messages") += result.total_messages();
+  metrics_.distribution("search.items")
+      .add(static_cast<double>(result.items.size()));
+  return result;
+}
+
+}  // namespace meteo::core

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file storage.hpp
+/// Per-node item storage ordered by raw angle key, supporting the three
+/// eviction policies of the publish overflow path (Fig. 2 step 3).
+///
+/// Keeping items sorted by their raw (Eq. 5) key makes the default
+/// farthest-angle eviction O(log c) and gives the walk-based retrieval a
+/// natural invariant: after any publish sequence every node holds a
+/// contiguous band of the global angle order (its own band plus overflow
+/// spill from neighbors).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+#include <unordered_map>
+#include <vector>
+
+#include "meteorograph/config.hpp"
+#include "overlay/key_space.hpp"
+#include "vsm/local_index.hpp"
+#include "vsm/lsi.hpp"
+#include "vsm/sparse_vector.hpp"
+#include "vsm/types.hpp"
+
+namespace meteo::core {
+
+struct StoredEntry {
+  vsm::ItemId id = 0;
+  overlay::Key raw_key = 0;  // Eq. 5 key (angle order)
+  vsm::SparseVector vector;
+};
+
+/// Which side of the node's band an eviction came from — the direction the
+/// evicted item should chain toward.
+enum class EvictSide {
+  kLow,   // toward the predecessor (smaller keys)
+  kHigh,  // toward the successor (larger keys)
+};
+
+struct Eviction {
+  StoredEntry entry;
+  EvictSide side = EvictSide::kHigh;
+};
+
+class AngleStore {
+ public:
+  /// Inserts an entry (replaces an existing item with the same id).
+  void insert(StoredEntry entry);
+
+  [[nodiscard]] std::size_t size() const noexcept { return by_id_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return by_id_.empty(); }
+  [[nodiscard]] bool contains(vsm::ItemId id) const noexcept {
+    return by_id_.contains(id);
+  }
+
+  /// The stored vector of `id`, or nullptr.
+  [[nodiscard]] const vsm::SparseVector* vector_of(vsm::ItemId id) const;
+
+  bool erase(vsm::ItemId id);
+
+  /// Removes one entry according to `policy`:
+  ///  - kFarthestAngle: the end of the key-sorted band farther from
+  ///    `incoming`'s raw key; side reports which end.
+  ///  - kLeastSimilarCosine: lowest cosine to `incoming`'s vector; side is
+  ///    the evictee's position relative to `incoming`'s raw key.
+  ///  - kFifo: oldest insertion; side relative to `incoming`'s raw key.
+  /// \pre !empty()
+  [[nodiscard]] Eviction evict(const StoredEntry& incoming,
+                               EvictionPolicy policy);
+
+  /// Top-k by cosine to `query`, descending (score ties toward smaller id).
+  [[nodiscard]] std::vector<vsm::ScoredItem> top_k(
+      const vsm::SparseVector& query, std::size_t k) const;
+
+  /// Top-k by latent-space cosine (§3.3's LSI option). The per-node LSI
+  /// model is built lazily and cached until the store mutates; `seed`
+  /// makes the randomized SVD deterministic.
+  [[nodiscard]] std::vector<vsm::ScoredItem> top_k_lsi(
+      const vsm::SparseVector& query, std::size_t k, std::size_t rank,
+      std::uint64_t seed) const;
+
+  /// Items containing every keyword of `keywords`, ascending id.
+  [[nodiscard]] std::vector<vsm::ItemId> match_all(
+      std::span<const vsm::KeywordId> keywords) const;
+
+  /// Iterates all entries (angle order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [key, entry] : by_key_) fn(entry);
+  }
+
+  /// Smallest/largest raw key stored. \pre !empty()
+  [[nodiscard]] overlay::Key min_raw_key() const;
+  [[nodiscard]] overlay::Key max_raw_key() const;
+
+ private:
+  using KeyMap = std::multimap<overlay::Key, StoredEntry>;
+
+  void invalidate_lsi() noexcept { ++version_; }
+
+  KeyMap by_key_;
+  std::unordered_map<vsm::ItemId, KeyMap::iterator> by_id_;
+  std::unordered_map<vsm::ItemId, std::uint64_t> insert_order_;
+  std::uint64_t next_order_ = 0;
+
+  /// LSI cache: rebuilt when the store version moves past the cached one.
+  std::uint64_t version_ = 0;
+  mutable std::uint64_t lsi_version_ = ~std::uint64_t{0};
+  mutable std::size_t lsi_rank_ = 0;
+  mutable std::optional<vsm::LsiModel> lsi_model_;
+};
+
+}  // namespace meteo::core

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file walk.hpp
+/// The closest-neighbor walk shared by retrieval, item location, and the
+/// directory-space scan: starting from a node, expand outward along the
+/// linear node order, always advancing the frontier whose next node is
+/// closer to the target key. Each advance is one overlay hop (and one
+/// message). The walk observes only *live* leaf pointers, so after
+/// unrepaired failures it stops at the first dead neighbor on a side —
+/// exactly the reachability loss §4.3 measures.
+
+#include "overlay/overlay.hpp"
+
+namespace meteo::core {
+
+class NeighborWalk {
+ public:
+  NeighborWalk(const overlay::Overlay& net, overlay::NodeId start,
+               overlay::Key target)
+      : net_(net), target_(target), current_(start), low_(start), high_(start) {}
+
+  [[nodiscard]] overlay::NodeId current() const noexcept { return current_; }
+  [[nodiscard]] std::size_t hops() const noexcept { return hops_; }
+
+  /// Moves to the nearest unvisited neighbor (one hop); false when both
+  /// directions are exhausted (space edge or dead neighbor).
+  bool advance() {
+    const overlay::NodeId down = net_.predecessor(low_);
+    const overlay::NodeId up = net_.successor(high_);
+    if (down == overlay::kInvalidNode && up == overlay::kInvalidNode) {
+      return false;
+    }
+    bool take_down;
+    if (down != overlay::kInvalidNode && up != overlay::kInvalidNode) {
+      take_down = overlay::strictly_closer(net_.key_of(down),
+                                           net_.key_of(up), target_);
+    } else {
+      take_down = down != overlay::kInvalidNode;
+    }
+    if (take_down) {
+      low_ = down;
+      current_ = down;
+    } else {
+      high_ = up;
+      current_ = up;
+    }
+    ++hops_;
+    return true;
+  }
+
+ private:
+  const overlay::Overlay& net_;
+  overlay::Key target_;
+  overlay::NodeId current_;
+  overlay::NodeId low_;   // lowest-key node visited
+  overlay::NodeId high_;  // highest-key node visited
+  std::size_t hops_ = 0;
+};
+
+}  // namespace meteo::core

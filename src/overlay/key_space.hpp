@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file key_space.hpp
+/// The linear hash address space of the overlay.
+///
+/// Meteorograph requires a *single-dimensional* hash space (the paper's
+/// central argument against CAN/pSearch). Tornado — like the absolute-angle
+/// construction itself, which maps items onto a half circle with fixed
+/// endpoints 0 and pi — orders nodes linearly, so the key space here is the
+/// integer line [0, size) with plain numeric distance, not a modular ring.
+/// The paper's Eq. 6 knees put the top of the space at 1e8, which is the
+/// default size.
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace meteo::overlay {
+
+/// A position in the hash address space.
+using Key = std::uint64_t;
+
+/// Dense handle for a node inside an Overlay (index-stable for the
+/// overlay's lifetime; departed nodes keep their id but turn !alive).
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// The paper's hash space size (Eq. 6 knee list tops out at 1e8).
+inline constexpr Key kDefaultKeySpace = 100'000'000;
+
+/// Linear distance |a - b| on the key line.
+[[nodiscard]] constexpr Key key_distance(Key a, Key b) noexcept {
+  return a > b ? a - b : b - a;
+}
+
+/// True when candidate `a` is strictly closer to `target` than `b`,
+/// breaking exact ties toward the *smaller key* so "numerically closest"
+/// is a total order (deterministic homes for replication).
+[[nodiscard]] constexpr bool strictly_closer(Key a, Key b, Key target) noexcept {
+  const Key da = key_distance(a, target);
+  const Key db = key_distance(b, target);
+  if (da != db) return da < db;
+  return a < b;
+}
+
+}  // namespace meteo::overlay

@@ -1,0 +1,231 @@
+#include "overlay/overlay.hpp"
+
+#include <algorithm>
+
+namespace meteo::overlay {
+
+Overlay::Overlay(OverlayConfig config) : config_(config) {
+  METEO_EXPECTS(config_.key_space > 0);
+  METEO_EXPECTS(config_.routing_base >= 2);
+}
+
+std::size_t Overlay::registry_lower_bound(Key key) const {
+  const auto it = std::lower_bound(
+      registry_.begin(), registry_.end(), key,
+      [](const RegistryEntry& e, Key k) { return e.key < k; });
+  return static_cast<std::size_t>(it - registry_.begin());
+}
+
+NodeId Overlay::registry_closest(Key key) const {
+  METEO_ASSERT(!registry_.empty());
+  const std::size_t pos = registry_lower_bound(key);
+  NodeId best = kInvalidNode;
+  Key best_key = 0;
+  auto consider = [&](std::size_t i) {
+    if (i >= registry_.size()) return;
+    if (best == kInvalidNode ||
+        strictly_closer(registry_[i].key, best_key, key)) {
+      best = registry_[i].id;
+      best_key = registry_[i].key;
+    }
+  };
+  consider(pos);
+  if (pos > 0) consider(pos - 1);
+  return best;
+}
+
+Result<NodeId, JoinError> Overlay::join(Key key) {
+  METEO_EXPECTS(key < config_.key_space);
+  const std::size_t pos = registry_lower_bound(key);
+  if (pos < registry_.size() && registry_[pos].key == key) {
+    return Err{JoinError::kKeyTaken};
+  }
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(NodeState{key, true, {}});
+  registry_.insert(registry_.begin() + static_cast<std::ptrdiff_t>(pos),
+                   RegistryEntry{key, id});
+  build_table(id);
+  // The two adjacent nodes learn about the joiner (leaf relink); distant
+  // nodes' fingers stay as they are, as in an incremental join protocol.
+  if (pos > 0) nodes_[registry_[pos - 1].id].table.successor = id;
+  if (pos + 1 < registry_.size()) {
+    nodes_[registry_[pos + 1].id].table.predecessor = id;
+  }
+  return id;
+}
+
+void Overlay::build_table(NodeId id) {
+  NodeState& node = nodes_[id];
+  RoutingTable& table = node.table;
+  table.fingers.clear();
+  table.predecessor = kInvalidNode;
+  table.successor = kInvalidNode;
+
+  const std::size_t pos = registry_lower_bound(node.key);
+  METEO_ASSERT(pos < registry_.size() && registry_[pos].id == id);
+  if (pos > 0) table.predecessor = registry_[pos - 1].id;
+  if (pos + 1 < registry_.size()) table.successor = registry_[pos + 1].id;
+
+  // Leaf set: up to leaf_set_size nearest nodes on each side.
+  table.leaf_set.clear();
+  for (std::size_t i = 1; i <= config_.leaf_set_size; ++i) {
+    if (pos >= i) table.leaf_set.push_back(registry_[pos - i].id);
+    if (pos + i < registry_.size()) table.leaf_set.push_back(registry_[pos + i].id);
+  }
+
+  // Digit fingers: at each geometric level d the table points toward
+  // key +/- j*d for every digit j in [1, base), so one hop always drops
+  // the remaining distance below d.
+  auto add_finger = [&](Key target) {
+    const NodeId candidate = registry_closest(target);
+    if (candidate != id &&
+        std::find(table.fingers.begin(), table.fingers.end(), candidate) ==
+            table.fingers.end()) {
+      table.fingers.push_back(candidate);
+    }
+  };
+  for (Key d = config_.key_space / config_.routing_base; d >= 1;
+       d /= config_.routing_base) {
+    for (unsigned j = 1; j < config_.routing_base; ++j) {
+      const Key step = d * j;
+      if (node.key + step < config_.key_space) add_finger(node.key + step);
+      if (node.key >= step) add_finger(node.key - step);
+    }
+  }
+}
+
+void Overlay::leave(NodeId id) {
+  METEO_EXPECTS(is_alive(id));
+  const std::size_t pos = registry_lower_bound(nodes_[id].key);
+  METEO_ASSERT(registry_[pos].id == id);
+  const NodeId pred = pos > 0 ? registry_[pos - 1].id : kInvalidNode;
+  const NodeId succ =
+      pos + 1 < registry_.size() ? registry_[pos + 1].id : kInvalidNode;
+  if (pred != kInvalidNode) nodes_[pred].table.successor = succ;
+  if (succ != kInvalidNode) nodes_[succ].table.predecessor = pred;
+  registry_.erase(registry_.begin() + static_cast<std::ptrdiff_t>(pos));
+  nodes_[id].alive = false;
+}
+
+void Overlay::fail(NodeId id) {
+  METEO_EXPECTS(is_alive(id));
+  const std::size_t pos = registry_lower_bound(nodes_[id].key);
+  METEO_ASSERT(registry_[pos].id == id);
+  registry_.erase(registry_.begin() + static_cast<std::ptrdiff_t>(pos));
+  nodes_[id].alive = false;
+  // No relinking: everyone pointing here now holds a stale pointer.
+}
+
+void Overlay::repair() {
+  for (const RegistryEntry& entry : registry_) build_table(entry.id);
+}
+
+bool Overlay::is_alive(NodeId id) const {
+  METEO_EXPECTS(id < nodes_.size());
+  return nodes_[id].alive;
+}
+
+Key Overlay::key_of(NodeId id) const {
+  METEO_EXPECTS(id < nodes_.size());
+  return nodes_[id].key;
+}
+
+const RoutingTable& Overlay::table_of(NodeId id) const {
+  METEO_EXPECTS(id < nodes_.size());
+  return nodes_[id].table;
+}
+
+NodeId Overlay::closest_alive(Key key) const {
+  METEO_EXPECTS(!registry_.empty());
+  return registry_closest(key);
+}
+
+std::vector<NodeId> Overlay::closest_nodes(Key key, std::size_t k) const {
+  std::vector<NodeId> out;
+  if (registry_.empty() || k == 0) return out;
+  // Two-pointer expansion around the insertion point; always take the
+  // closer frontier (ties toward the smaller key, matching
+  // strictly_closer).
+  std::size_t hi = registry_lower_bound(key);
+  std::size_t lo = hi;  // [lo, hi) consumed so far is empty
+  while (out.size() < k && (lo > 0 || hi < registry_.size())) {
+    const bool has_lo = lo > 0;
+    const bool has_hi = hi < registry_.size();
+    bool take_lo;
+    if (has_lo && has_hi) {
+      take_lo = strictly_closer(registry_[lo - 1].key, registry_[hi].key, key);
+    } else {
+      take_lo = has_lo;
+    }
+    if (take_lo) {
+      out.push_back(registry_[--lo].id);
+    } else {
+      out.push_back(registry_[hi++].id);
+    }
+  }
+  return out;
+}
+
+NodeId Overlay::predecessor(NodeId id) const {
+  METEO_EXPECTS(id < nodes_.size());
+  const NodeId p = nodes_[id].table.predecessor;
+  if (p == kInvalidNode || !nodes_[p].alive) return kInvalidNode;
+  return p;
+}
+
+NodeId Overlay::successor(NodeId id) const {
+  METEO_EXPECTS(id < nodes_.size());
+  const NodeId s = nodes_[id].table.successor;
+  if (s == kInvalidNode || !nodes_[s].alive) return kInvalidNode;
+  return s;
+}
+
+RouteResult Overlay::route(NodeId from, Key target) const {
+  METEO_EXPECTS(is_alive(from));
+  METEO_EXPECTS(target < config_.key_space);
+
+  RouteResult result;
+  NodeId cur = from;
+  for (std::size_t step = 0; step <= config_.max_route_hops; ++step) {
+    const NodeState& node = nodes_[cur];
+    NodeId best = cur;
+    Key best_key = node.key;
+    auto consider = [&](NodeId candidate) {
+      if (candidate == kInvalidNode) return;
+      const NodeState& c = nodes_[candidate];
+      if (!c.alive) return;  // observable per-hop timeout: skip dead links
+      if (strictly_closer(c.key, best_key, target)) {
+        best = candidate;
+        best_key = c.key;
+      }
+    };
+    for (const NodeId f : node.table.fingers) consider(f);
+    for (const NodeId l : node.table.leaf_set) consider(l);
+    consider(node.table.predecessor);
+    consider(node.table.successor);
+
+    if (best == cur) break;  // local minimum: no live pointer is closer
+    cur = best;
+    ++result.hops;
+  }
+
+  result.destination = cur;
+  const NodeId oracle = registry_.empty() ? kInvalidNode : registry_closest(target);
+  result.reached_closest = (cur == oracle);
+  result.stranded = !result.reached_closest;
+  return result;
+}
+
+std::vector<NodeId> Overlay::alive_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(registry_.size());
+  for (const RegistryEntry& e : registry_) out.push_back(e.id);
+  return out;
+}
+
+NodeId Overlay::random_alive(Rng& rng) const {
+  METEO_EXPECTS(!registry_.empty());
+  return registry_[rng.below(registry_.size())].id;
+}
+
+}  // namespace meteo::overlay

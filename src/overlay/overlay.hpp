@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file overlay.hpp
+/// The structured P2P overlay simulator (the Tornado stand-in).
+///
+/// Provides the four properties Meteorograph needs from its substrate
+/// (DESIGN.md, substitutions table):
+///   (a) a single-dimensional hash space ([0, key_space) on a line),
+///   (b) greedy key routing in O(log_base N) hops with per-hop message
+///       accounting,
+///   (c) a linear ordering of nodes with closest-neighbor (pred/succ)
+///       pointers, and
+///   (d) the k numerically-closest nodes to a key (replication homes).
+///
+/// Dynamics: nodes can join (their own table is built fresh and the two
+/// adjacent nodes relink; other nodes' fingers stay stale, as in a real
+/// incremental join), depart gracefully (neighbors relink), or crash
+/// (everyone else's pointers to the dead node go stale until repair()).
+/// Routing skips pointers it can observe to be dead — the per-hop timeout
+/// a real implementation would have — and reports a stranded route as
+/// failed, which is exactly the availability loss measured in §4.3.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "overlay/key_space.hpp"
+#include "overlay/routing_table.hpp"
+
+namespace meteo::overlay {
+
+struct OverlayConfig {
+  Key key_space = kDefaultKeySpace;
+  /// Geometric finger spacing; hops scale as log_base(N). The paper's
+  /// 6.91 hops at N = 10^4 matches base 4.
+  unsigned routing_base = 4;
+  /// Nearest neighbors kept on each side (leaf-set redundancy).
+  std::size_t leaf_set_size = 4;
+  /// Safety valve for routing loops under heavy damage.
+  std::size_t max_route_hops = 256;
+};
+
+enum class JoinError {
+  kKeyTaken,
+};
+
+struct RouteResult {
+  /// The node the request ended at (kInvalidNode only if `from` was dead).
+  NodeId destination = kInvalidNode;
+  /// Overlay hops taken == request messages sent.
+  std::size_t hops = 0;
+  /// destination is the ground-truth closest alive node to the target key.
+  bool reached_closest = false;
+  /// Route stranded: some strictly closer node exists but every pointer
+  /// toward it was dead.
+  bool stranded = false;
+};
+
+class Overlay {
+ public:
+  explicit Overlay(OverlayConfig config = {});
+
+  [[nodiscard]] const OverlayConfig& config() const noexcept { return config_; }
+
+  /// Adds a node at `key`, builds its routing table, and relinks the two
+  /// adjacent nodes' leaf pointers. O(log N + fingers).
+  Result<NodeId, JoinError> join(Key key);
+
+  /// Graceful departure: neighbors relink around the leaver.
+  /// \pre is_alive(id)
+  void leave(NodeId id);
+
+  /// Crash failure: the node vanishes but every pointer to it elsewhere
+  /// remains stale until repair().
+  /// \pre is_alive(id)
+  void fail(NodeId id);
+
+  /// Rebuilds every alive node's routing table and leaf pointers from the
+  /// current membership (periodic stabilization).
+  void repair();
+
+  [[nodiscard]] std::size_t alive_count() const noexcept {
+    return registry_.size();
+  }
+  /// Total ids ever issued (alive + departed).
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  [[nodiscard]] bool is_alive(NodeId id) const;
+  [[nodiscard]] Key key_of(NodeId id) const;
+  [[nodiscard]] const RoutingTable& table_of(NodeId id) const;
+
+  /// Ground-truth closest alive node to `key` (the oracle the simulator
+  /// uses to judge routing outcomes). \pre alive_count() > 0
+  [[nodiscard]] NodeId closest_alive(Key key) const;
+
+  /// The k alive nodes numerically closest to `key`, closest first —
+  /// the replication homes of §3.6. Returns fewer when the overlay is
+  /// smaller than k.
+  [[nodiscard]] std::vector<NodeId> closest_nodes(Key key,
+                                                  std::size_t k) const;
+
+  /// Live closest-neighbor pointers (leaf links). kInvalidNode at the
+  /// space boundary or when the pointer is stale-dead.
+  [[nodiscard]] NodeId predecessor(NodeId id) const;
+  [[nodiscard]] NodeId successor(NodeId id) const;
+
+  /// Greedy routing from `from` toward the node responsible for `target`.
+  /// \pre is_alive(from)
+  [[nodiscard]] RouteResult route(NodeId from, Key target) const;
+
+  /// All alive node ids in ascending key order.
+  [[nodiscard]] std::vector<NodeId> alive_nodes() const;
+
+  /// Uniformly random alive node. \pre alive_count() > 0
+  [[nodiscard]] NodeId random_alive(Rng& rng) const;
+
+ private:
+  struct NodeState {
+    Key key = 0;
+    bool alive = false;
+    RoutingTable table;
+  };
+
+  struct RegistryEntry {
+    Key key;
+    NodeId id;
+  };
+
+  void build_table(NodeId id);
+  [[nodiscard]] std::size_t registry_lower_bound(Key key) const;
+  [[nodiscard]] NodeId registry_closest(Key key) const;
+
+  OverlayConfig config_;
+  std::vector<NodeState> nodes_;
+  /// Alive nodes sorted by key (the oracle membership view).
+  std::vector<RegistryEntry> registry_;
+};
+
+}  // namespace meteo::overlay

@@ -1,0 +1,81 @@
+#include "sim/churn.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace meteo::sim {
+
+std::size_t fail_fraction(overlay::Overlay& overlay, double fraction,
+                          Rng& rng) {
+  METEO_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+  std::vector<overlay::NodeId> nodes = overlay.alive_nodes();
+  // Partial Fisher-Yates: shuffle the victims to the front.
+  const auto victims =
+      static_cast<std::size_t>(fraction * static_cast<double>(nodes.size()));
+  for (std::size_t i = 0; i < victims; ++i) {
+    const std::size_t j = i + rng.below(nodes.size() - i);
+    std::swap(nodes[i], nodes[j]);
+    overlay.fail(nodes[i]);
+  }
+  return victims;
+}
+
+ChurnProcess::ChurnProcess(overlay::Overlay& overlay, EventQueue& queue,
+                           Rng& rng, ChurnConfig config,
+                           std::function<void(overlay::NodeId)> on_join)
+    : overlay_(overlay),
+      queue_(queue),
+      rng_(rng),
+      config_(config),
+      on_join_(std::move(on_join)) {
+  METEO_EXPECTS(config_.join_rate >= 0.0);
+  METEO_EXPECTS(config_.fail_rate_per_node >= 0.0);
+  if (config_.join_rate > 0.0) schedule_join();
+  if (config_.fail_rate_per_node > 0.0) schedule_fail();
+  if (config_.repair_interval > 0.0) schedule_repair();
+}
+
+void ChurnProcess::schedule_join() {
+  queue_.schedule_in(rng_.exponential(config_.join_rate), [this] {
+    if (stopped_) return;
+    // Retry on key collisions (vanishingly rare in a 1e8 space).
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const auto joined = overlay_.join(rng_.below(overlay_.config().key_space));
+      if (joined.has_value()) {
+        ++joins_;
+        if (on_join_) on_join_(joined.value());
+        break;
+      }
+    }
+    schedule_join();
+  });
+}
+
+void ChurnProcess::schedule_fail() {
+  // The aggregate failure rate scales with the live population; resampling
+  // after each event approximates the inhomogeneous process well enough
+  // for simulation purposes.
+  const double population = static_cast<double>(
+      overlay_.alive_count() > 0 ? overlay_.alive_count() : 1);
+  queue_.schedule_in(
+      rng_.exponential(config_.fail_rate_per_node * population), [this] {
+        if (stopped_) return;
+        if (overlay_.alive_count() > 1) {
+          overlay_.fail(overlay_.random_alive(rng_));
+          ++failures_;
+        }
+        schedule_fail();
+      });
+}
+
+void ChurnProcess::schedule_repair() {
+  queue_.schedule_in(config_.repair_interval, [this] {
+    if (stopped_) return;
+    overlay_.repair();
+    ++repairs_;
+    schedule_repair();
+  });
+}
+
+}  // namespace meteo::sim

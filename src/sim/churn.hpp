@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file churn.hpp
+/// Membership dynamics for the failure experiments (§4.3) and for
+/// longer-running churn scenarios.
+///
+/// Two levels of fidelity:
+///  - fail_fraction(): the paper's §4.3 setup — an instantaneous mass
+///    failure of a random fraction of nodes.
+///  - ChurnProcess: a Poisson join/fail process driven by an EventQueue,
+///    for continuous-churn studies (arrival rate lambda_join overlays-wide,
+///    per-node failure rate lambda_fail).
+
+#include <cstddef>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "overlay/overlay.hpp"
+#include "sim/event_queue.hpp"
+
+namespace meteo::sim {
+
+/// Crashes `fraction` of the currently alive nodes, chosen uniformly at
+/// random without repair. Returns the number of nodes failed.
+/// \pre 0 <= fraction <= 1
+std::size_t fail_fraction(overlay::Overlay& overlay, double fraction,
+                          Rng& rng);
+
+struct ChurnConfig {
+  /// Expected node arrivals per unit time (overlay-wide).
+  double join_rate = 1.0;
+  /// Expected failures per node per unit time.
+  double fail_rate_per_node = 0.01;
+  /// Period of the stabilization (repair) pass; 0 disables repair.
+  double repair_interval = 10.0;
+};
+
+/// Drives join/fail/repair events on an overlay. Construction schedules
+/// the first events; the caller advances the shared EventQueue.
+class ChurnProcess {
+ public:
+  /// `on_join` (optional) is invoked with each new node id, letting the
+  /// caller install state (e.g. republish items) on arrival.
+  ChurnProcess(overlay::Overlay& overlay, EventQueue& queue, Rng& rng,
+               ChurnConfig config,
+               std::function<void(overlay::NodeId)> on_join = nullptr);
+
+  [[nodiscard]] std::size_t joins() const noexcept { return joins_; }
+  [[nodiscard]] std::size_t failures() const noexcept { return failures_; }
+  [[nodiscard]] std::size_t repairs() const noexcept { return repairs_; }
+
+  /// Stops scheduling further events (in-flight ones still fire).
+  void stop() noexcept { stopped_ = true; }
+
+ private:
+  void schedule_join();
+  void schedule_fail();
+  void schedule_repair();
+
+  overlay::Overlay& overlay_;
+  EventQueue& queue_;
+  Rng& rng_;
+  ChurnConfig config_;
+  std::function<void(overlay::NodeId)> on_join_;
+  std::size_t joins_ = 0;
+  std::size_t failures_ = 0;
+  std::size_t repairs_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace meteo::sim

@@ -1,0 +1,65 @@
+#include "sim/event_queue.hpp"
+
+namespace meteo::sim {
+
+EventId EventQueue::schedule_at(SimTime when, std::function<void()> action) {
+  METEO_EXPECTS(when >= now_);
+  METEO_EXPECTS(action != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(action)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = pending_ids_.find(id);
+  if (it == pending_ids_.end()) return false;  // unknown, fired, or cancelled
+  pending_ids_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+std::size_t EventQueue::run_all(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (fired < max_events && fire_next()) ++fired;
+  return fired;
+}
+
+std::size_t EventQueue::run_until(SimTime until) {
+  METEO_EXPECTS(until >= now_);
+  std::size_t fired = 0;
+  while (!heap_.empty()) {
+    // Drop cancelled heads without advancing time.
+    if (cancelled_.contains(heap_.top().id)) {
+      cancelled_.erase(heap_.top().id);
+      heap_.pop();
+      continue;
+    }
+    if (heap_.top().when > until) break;
+    fire_next();
+    ++fired;
+  }
+  now_ = until;
+  return fired;
+}
+
+bool EventQueue::fire_next() {
+  while (!heap_.empty()) {
+    if (cancelled_.contains(heap_.top().id)) {
+      cancelled_.erase(heap_.top().id);
+      heap_.pop();
+      continue;
+    }
+    // std::priority_queue::top() is const; the move is safe because the
+    // entry is popped immediately after.
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    pending_ids_.erase(entry.id);
+    now_ = entry.when;
+    entry.action();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace meteo::sim

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// Discrete-event simulation core: a virtual clock plus a priority queue
+/// of scheduled callbacks with support for cancellation.
+///
+/// Events at equal timestamps fire in scheduling order (FIFO), which keeps
+/// simulations deterministic. Cancellation is lazy: a cancelled event stays
+/// in the heap but is skipped when popped.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace meteo::sim {
+
+using SimTime = double;
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules `action` to fire at absolute time `when`.
+  /// \pre when >= now()
+  EventId schedule_at(SimTime when, std::function<void()> action);
+
+  /// Schedules `action` to fire `delay` from now. \pre delay >= 0
+  EventId schedule_in(SimTime delay, std::function<void()> action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Cancels a pending event; returns false if already fired, cancelled,
+  /// or unknown.
+  bool cancel(EventId id);
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_ids_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return pending() == 0; }
+
+  /// Runs events until the queue is empty or `max_events` fired.
+  /// Returns the number of events fired.
+  std::size_t run_all(std::size_t max_events = ~std::size_t{0});
+
+  /// Runs events with time <= `until`, then advances the clock to `until`
+  /// (even if no event fired). Returns the number of events fired.
+  std::size_t run_until(SimTime until);
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // FIFO among equal timestamps
+    }
+  };
+
+  /// Pops and fires one event; returns false when nothing is pending.
+  bool fire_next();
+
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_ids_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace meteo::sim

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Named counters and distributions accumulated by experiments.
+///
+/// Every publish/retrieve operation in the core library reports its costs
+/// (hops, messages by type) through a MetricRegistry, so each bench can
+/// print exactly the quantities the paper's figures plot. Handles returned
+/// by counter()/distribution() stay valid for the registry's lifetime.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.hpp"
+
+namespace meteo::sim {
+
+class MetricRegistry {
+ public:
+  /// Monotonic counter, created on first access.
+  [[nodiscard]] std::uint64_t& counter(const std::string& name) {
+    return counters_[name];
+  }
+
+  /// Streaming distribution, created on first access.
+  [[nodiscard]] OnlineStats& distribution(const std::string& name) {
+    return distributions_[name];
+  }
+
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] const OnlineStats* find_distribution(
+      const std::string& name) const {
+    const auto it = distributions_.find(name);
+    return it == distributions_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, OnlineStats>& distributions()
+      const {
+    return distributions_;
+  }
+
+  void reset() {
+    counters_.clear();
+    distributions_.clear();
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, OnlineStats> distributions_;
+};
+
+}  // namespace meteo::sim

@@ -1,0 +1,52 @@
+#include "vsm/absolute_angle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+
+namespace meteo::vsm {
+
+double absolute_angle(const SparseVector& v, std::size_t dimension,
+                      AngleMode mode) {
+  METEO_EXPECTS(!v.empty());
+  const std::size_t m =
+      mode == AngleMode::kUniversal ? dimension : v.nnz();
+  METEO_EXPECTS(m >= v.nnz());
+  METEO_EXPECTS(m > 0);
+
+  const double norm = v.norm();
+  METEO_ASSERT(norm > 0.0);
+
+  constexpr double kHalfPi = std::numbers::pi / 2.0;
+  double sum_sq = 0.0;
+  for (const Entry& e : v.entries()) {
+    const double cosine = std::clamp(e.weight / norm, -1.0, 1.0);
+    const double theta_i = std::acos(cosine);
+    sum_sq += theta_i * theta_i;
+  }
+  // Coordinates outside the support contribute (pi/2)^2 each.
+  sum_sq += static_cast<double>(m - v.nnz()) * kHalfPi * kHalfPi;
+
+  const double theta = std::sqrt(sum_sq / static_cast<double>(m));
+  METEO_ENSURES(theta >= 0.0 && theta <= kHalfPi + 1e-9);
+  return std::min(theta, kHalfPi);
+}
+
+std::uint64_t angle_to_key(double theta, std::uint64_t key_space) {
+  METEO_EXPECTS(key_space > 0);
+  METEO_EXPECTS(theta >= 0.0 && theta <= std::numbers::pi);
+  const double scaled =
+      (theta / std::numbers::pi) * static_cast<double>(key_space);
+  auto key = static_cast<std::uint64_t>(scaled);
+  if (key >= key_space) key = key_space - 1;
+  return key;
+}
+
+std::uint64_t absolute_angle_key(const SparseVector& v, std::size_t dimension,
+                                 std::uint64_t key_space, AngleMode mode) {
+  return angle_to_key(absolute_angle(v, dimension, mode), key_space);
+}
+
+}  // namespace meteo::vsm

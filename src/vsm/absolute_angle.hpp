@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file absolute_angle.hpp
+/// The absolute angle (paper §3.1, Eq. 1-3) and its hash key (§3.2,
+/// Eq. 4-5) — the heart of Meteorograph's naming scheme.
+///
+/// For a vector d in an m-dimensional space, the angle between d and the
+/// axis subspace spanned by I_i is theta_i = acos(d_i / |d|) (Eq. 2-3
+/// collapse to this because the projection of d onto axis i is the vector
+/// [0..0, d_i, 0..0]). The absolute angle is the quadratic mean
+///
+///     theta = sqrt( (theta_1^2 + ... + theta_m^2) / m )          (Eq. 1)
+///
+/// For coordinates outside the support d_i = 0, so theta_i = pi/2; the sum
+/// therefore needs only O(nnz) work:
+///
+///     theta = sqrt( (sum_{i in supp} acos(d_i/|d|)^2
+///                    + (m - nnz) * (pi/2)^2) / m )               (Eq. 5)
+///
+/// This is what makes the universal-dictionary mode of §3.7 cheap: vectors
+/// are very sparse, and the absolute angle "needs no sophisticated
+/// computations".
+///
+/// Two dimension conventions are provided:
+///  - kUniversal (the paper's §3.7 mode): m = dictionary dimension. With
+///    m >> nnz all angles concentrate just below pi/2; the Eq. 6 remap then
+///    spreads the occupied band over the full key space.
+///  - kSupportOnly: m = nnz(d), an ablation mode that spreads raw angles
+///    more aggressively but changes every item's key when its keyword set
+///    changes.
+///
+/// For non-negative vectors theta is always in [0, pi/2].
+
+#include <cstdint>
+
+#include "vsm/sparse_vector.hpp"
+
+namespace meteo::vsm {
+
+enum class AngleMode {
+  kUniversal,
+  kSupportOnly,
+};
+
+/// Computes the absolute angle in radians.
+/// \pre !v.empty(); dimension >= v.nnz() when mode == kUniversal
+[[nodiscard]] double absolute_angle(const SparseVector& v,
+                                    std::size_t dimension,
+                                    AngleMode mode = AngleMode::kUniversal);
+
+/// Eq. 4: maps an angle to an integer hash key in [0, key_space):
+/// h = floor((theta / pi) * key_space), clamped into range.
+/// \pre key_space > 0, theta in [0, pi]
+[[nodiscard]] std::uint64_t angle_to_key(double theta,
+                                         std::uint64_t key_space);
+
+/// Eq. 5 end to end: the raw (pre-load-balancing) hash key of a vector.
+[[nodiscard]] std::uint64_t absolute_angle_key(
+    const SparseVector& v, std::size_t dimension, std::uint64_t key_space,
+    AngleMode mode = AngleMode::kUniversal);
+
+}  // namespace meteo::vsm

@@ -1,0 +1,27 @@
+#include "vsm/dictionary.hpp"
+
+#include "common/assert.hpp"
+
+namespace meteo::vsm {
+
+KeywordId Dictionary::intern(std::string_view keyword) {
+  const auto it = ids_.find(std::string(keyword));
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<KeywordId>(spellings_.size());
+  spellings_.emplace_back(keyword);
+  ids_.emplace(spellings_.back(), id);
+  return id;
+}
+
+std::optional<KeywordId> Dictionary::find(std::string_view keyword) const {
+  const auto it = ids_.find(std::string(keyword));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Dictionary::spelling(KeywordId id) const {
+  METEO_EXPECTS(id < spellings_.size());
+  return spellings_[id];
+}
+
+}  // namespace meteo::vsm

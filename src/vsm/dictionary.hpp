@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file dictionary.hpp
+/// Keyword dictionary: string <-> KeywordId mapping plus the *universal
+/// dimension* concept of paper §3.7.
+///
+/// Meteorograph avoids republishing items when the keyword set grows by
+/// fixing the vector space dimension up front to a "comprehensive set of
+/// keywords from a dictionary". We model this as a dictionary whose
+/// `dimension()` is a fixed universal size (default 89K to mirror the
+/// evaluation workload); interning more keywords than the declared
+/// dimension grows the dimension, which is exactly the re-publishing hazard
+/// the paper warns about, so callers can detect it via dimension_grew().
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "vsm/types.hpp"
+
+namespace meteo::vsm {
+
+class Dictionary {
+ public:
+  /// \param universal_dimension fixed vector-space dimension m (§3.7).
+  ///        0 means "track interned count" (the naive, republish-prone mode).
+  explicit Dictionary(std::size_t universal_dimension = 0)
+      : universal_dimension_(universal_dimension) {}
+
+  /// Interns `keyword`, returning its stable id. Idempotent.
+  KeywordId intern(std::string_view keyword);
+
+  /// Looks up an already-interned keyword.
+  [[nodiscard]] std::optional<KeywordId> find(std::string_view keyword) const;
+
+  /// The keyword string for an id. \pre id < interned_count()
+  [[nodiscard]] const std::string& spelling(KeywordId id) const;
+
+  [[nodiscard]] std::size_t interned_count() const noexcept {
+    return spellings_.size();
+  }
+
+  /// The vector-space dimension m used in the absolute-angle formula:
+  /// max(universal dimension, interned count).
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return std::max(universal_dimension_, spellings_.size());
+  }
+
+  /// True when interning outgrew the declared universal dimension — the
+  /// condition under which a naive system would have to republish all
+  /// items (§3.7).
+  [[nodiscard]] bool dimension_grew() const noexcept {
+    return universal_dimension_ != 0 &&
+           spellings_.size() > universal_dimension_;
+  }
+
+ private:
+  std::size_t universal_dimension_;
+  std::unordered_map<std::string, KeywordId> ids_;
+  std::vector<std::string> spellings_;
+};
+
+}  // namespace meteo::vsm

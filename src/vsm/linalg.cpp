@@ -1,0 +1,147 @@
+#include "vsm/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace meteo::vsm {
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  METEO_EXPECTS(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  METEO_EXPECTS(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = a.at(k, i);
+      if (aki == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aki * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      t.at(j, i) = a.at(i, j);
+    }
+  }
+  return t;
+}
+
+std::size_t orthonormalize_columns(Matrix& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  std::size_t rank = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    // Subtract projections onto all previous (already normalized) columns.
+    for (std::size_t k = 0; k < j; ++k) {
+      double proj = 0.0;
+      for (std::size_t i = 0; i < m; ++i) proj += a.at(i, k) * a.at(i, j);
+      for (std::size_t i = 0; i < m; ++i) a.at(i, j) -= proj * a.at(i, k);
+    }
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm_sq += a.at(i, j) * a.at(i, j);
+    const double norm = std::sqrt(norm_sq);
+    if (norm < 1e-12) {
+      for (std::size_t i = 0; i < m; ++i) a.at(i, j) = 0.0;
+      continue;
+    }
+    for (std::size_t i = 0; i < m; ++i) a.at(i, j) /= norm;
+    ++rank;
+  }
+  return rank;
+}
+
+EigenResult symmetric_eigen(Matrix a, double tolerance,
+                            std::size_t max_sweeps) {
+  METEO_EXPECTS(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+
+  Matrix v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v.at(i, i) = 1.0;
+
+  auto off_diagonal_norm = [&] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        s += a.at(i, j) * a.at(i, j);
+      }
+    }
+    return std::sqrt(s);
+  };
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= tolerance) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a.at(p, q);
+        if (std::abs(apq) <= tolerance) continue;
+        const double app = a.at(p, p);
+        const double aqq = a.at(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // Apply the rotation J(p,q,theta) on both sides of A and
+        // accumulate into V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a.at(k, p);
+          const double akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a.at(p, k);
+          const double aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v.at(k, p);
+          const double vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort by eigenvalue, descending, permuting eigenvector columns to match.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a.at(x, x) > a.at(y, y);
+  });
+
+  EigenResult result;
+  result.values.resize(n);
+  result.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    result.values[j] = a.at(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) {
+      result.vectors.at(i, j) = v.at(i, order[j]);
+    }
+  }
+  return result;
+}
+
+}  // namespace meteo::vsm

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file linalg.hpp
+/// Small dense linear algebra kernels backing the LSI module: row-major
+/// matrices, products, modified Gram-Schmidt QR, and a cyclic Jacobi
+/// eigensolver for symmetric matrices.
+///
+/// These run on per-node document sets (hundreds to a few thousand
+/// documents, compacted term space), so the O(n^3) dense algorithms are
+/// appropriate; no BLAS dependency is wanted for an offline-buildable
+/// simulator.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace meteo::vsm {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    METEO_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    METEO_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] const std::vector<double>& data() const noexcept {
+    return data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B. \pre a.cols() == b.rows()
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B. \pre a.rows() == b.rows()
+[[nodiscard]] Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+
+[[nodiscard]] Matrix transpose(const Matrix& a);
+
+/// In-place modified Gram-Schmidt orthonormalization of the columns of `a`.
+/// Columns that become numerically zero are replaced by zero columns (rank
+/// deficiency is tolerated; callers using the result as a basis should check
+/// column norms). Returns the effective rank.
+std::size_t orthonormalize_columns(Matrix& a);
+
+/// Eigendecomposition of a symmetric matrix via cyclic Jacobi rotations.
+/// Returns eigenvalues (descending) and the matching eigenvectors as the
+/// columns of `vectors`.
+struct EigenResult {
+  std::vector<double> values;
+  Matrix vectors;
+};
+
+/// \pre a is square and (numerically) symmetric
+[[nodiscard]] EigenResult symmetric_eigen(Matrix a, double tolerance = 1e-12,
+                                          std::size_t max_sweeps = 64);
+
+}  // namespace meteo::vsm

@@ -1,0 +1,128 @@
+#include "vsm/local_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace meteo::vsm {
+
+void LocalIndex::insert(ItemId id, SparseVector vector) {
+  METEO_EXPECTS(!vector.empty());
+  const auto it = positions_.find(id);
+  if (it != positions_.end()) {
+    items_[it->second].vector = std::move(vector);
+    return;
+  }
+  positions_.emplace(id, items_.size());
+  items_.push_back(StoredItem{id, std::move(vector)});
+}
+
+bool LocalIndex::erase(ItemId id) {
+  const auto it = positions_.find(id);
+  if (it == positions_.end()) return false;
+  const std::size_t pos = it->second;
+  positions_.erase(it);
+  if (pos != items_.size() - 1) {
+    items_[pos] = std::move(items_.back());
+    positions_[items_[pos].id] = pos;
+  }
+  items_.pop_back();
+  return true;
+}
+
+bool LocalIndex::contains(ItemId id) const noexcept {
+  return positions_.contains(id);
+}
+
+const SparseVector* LocalIndex::vector_of(ItemId id) const noexcept {
+  const auto it = positions_.find(id);
+  if (it == positions_.end()) return nullptr;
+  return &items_[it->second].vector;
+}
+
+std::optional<StoredItem> LocalIndex::evict_least_similar(
+    const SparseVector& reference) {
+  if (items_.empty()) return std::nullopt;
+  std::size_t worst = 0;
+  double worst_score = 2.0;  // above any cosine
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    const double score = cosine_similarity(reference, items_[i].vector);
+    if (score < worst_score ||
+        (score == worst_score && items_[i].id < items_[worst].id)) {
+      worst = i;
+      worst_score = score;
+    }
+  }
+  StoredItem evicted = std::move(items_[worst]);
+  positions_.erase(evicted.id);
+  if (worst != items_.size() - 1) {
+    items_[worst] = std::move(items_.back());
+    positions_[items_[worst].id] = worst;
+  }
+  items_.pop_back();
+  return evicted;
+}
+
+std::vector<ScoredItem> LocalIndex::top_k(const SparseVector& query,
+                                          std::size_t k) const {
+  std::vector<ScoredItem> scored;
+  scored.reserve(items_.size());
+  for (const StoredItem& item : items_) {
+    scored.push_back(ScoredItem{item.id, cosine_similarity(query, item.vector)});
+  }
+  const std::size_t take = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(take),
+                    scored.end(), [](const ScoredItem& a, const ScoredItem& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.id < b.id;
+                    });
+  scored.resize(take);
+  return scored;
+}
+
+std::vector<ItemId> LocalIndex::match_all(
+    std::span<const KeywordId> keywords) const {
+  std::vector<ItemId> out;
+  for (const StoredItem& item : items_) {
+    const bool all = std::all_of(
+        keywords.begin(), keywords.end(),
+        [&](KeywordId k) { return item.vector.contains(k); });
+    if (all) out.push_back(item.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ItemId> LocalIndex::match_any(
+    std::span<const KeywordId> keywords) const {
+  std::vector<ItemId> out;
+  for (const StoredItem& item : items_) {
+    const bool any = std::any_of(
+        keywords.begin(), keywords.end(),
+        [&](KeywordId k) { return item.vector.contains(k); });
+    if (any) out.push_back(item.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ScoredItem> LocalIndex::within_angle(const SparseVector& query,
+                                                 double tau) const {
+  METEO_EXPECTS(tau >= 0.0);
+  // cos(pi/2) is ~6e-17 rather than 0; the epsilon keeps boundary angles
+  // (exactly tau) inside the result set.
+  const double min_cosine = std::cos(tau) - 1e-12;
+  std::vector<ScoredItem> out;
+  for (const StoredItem& item : items_) {
+    const double score = cosine_similarity(query, item.vector);
+    if (score >= min_cosine) out.push_back(ScoredItem{item.id, score});
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredItem& a, const ScoredItem& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+}  // namespace meteo::vsm

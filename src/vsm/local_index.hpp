@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file local_index.hpp
+/// Per-node item store with VSM ranking (paper §3.3: "nodes may further
+/// implement the vector space model (VSM) or the latent semantic indexing
+/// (LSI) to manipulate the items stored locally").
+///
+/// This is the VSM flavour: exact cosine ranking over the node's items.
+/// It also provides the primitive the publish algorithm's replacement
+/// policy needs — removing the stored item *least similar* to an incoming
+/// one (Fig. 2, `_publish` overflow branch).
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "vsm/sparse_vector.hpp"
+#include "vsm/types.hpp"
+
+namespace meteo::vsm {
+
+struct StoredItem {
+  ItemId id = 0;
+  SparseVector vector;
+};
+
+/// An item with its retrieval score (cosine similarity to the query).
+struct ScoredItem {
+  ItemId id = 0;
+  double score = 0.0;
+};
+
+class LocalIndex {
+ public:
+  /// Inserts (or replaces) an item. \pre !vector.empty()
+  void insert(ItemId id, SparseVector vector);
+
+  /// Removes an item; returns false if absent.
+  bool erase(ItemId id);
+
+  [[nodiscard]] bool contains(ItemId id) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+
+  /// The stored vector of `id`, or nullptr if absent.
+  [[nodiscard]] const SparseVector* vector_of(ItemId id) const noexcept;
+
+  /// Removes and returns the stored item with the lowest cosine similarity
+  /// to `reference` (ties broken toward the smallest item id so eviction is
+  /// deterministic). Returns nullopt when the index is empty.
+  std::optional<StoredItem> evict_least_similar(const SparseVector& reference);
+
+  /// The k most similar items to `query`, scored by cosine, descending.
+  /// Fewer than k are returned if the index is smaller.
+  [[nodiscard]] std::vector<ScoredItem> top_k(const SparseVector& query,
+                                              std::size_t k) const;
+
+  /// All items whose vectors contain *every* keyword in `keywords`
+  /// (conjunctive multi-keyword match, the query type from §1).
+  [[nodiscard]] std::vector<ItemId> match_all(
+      std::span<const KeywordId> keywords) const;
+
+  /// All items containing *at least one* of `keywords`.
+  [[nodiscard]] std::vector<ItemId> match_any(
+      std::span<const KeywordId> keywords) const;
+
+  /// All items whose angle to `query` is at most `tau` radians (§2's
+  /// threshold-based similarity set U), scored by cosine descending.
+  [[nodiscard]] std::vector<ScoredItem> within_angle(const SparseVector& query,
+                                                     double tau) const;
+
+  /// Stable view of all stored items (iteration order is unspecified).
+  [[nodiscard]] std::span<const StoredItem> items() const noexcept {
+    return items_;
+  }
+
+ private:
+  std::vector<StoredItem> items_;
+  std::unordered_map<ItemId, std::size_t> positions_;
+};
+
+}  // namespace meteo::vsm

@@ -1,0 +1,199 @@
+#include "vsm/lsi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace meteo::vsm {
+
+namespace {
+
+/// Sparse term-document product helpers working directly on the documents'
+/// sparse vectors (A is never materialized densely).
+///
+/// A is |terms| x |docs|: column j holds doc j's weights on the compact
+/// term rows.
+
+// Y = A * X, X is |docs| x k.
+Matrix a_times(const std::vector<const SparseVector*>& docs,
+               const std::unordered_map<KeywordId, std::size_t>& term_rows,
+               std::size_t n_terms, const Matrix& x) {
+  METEO_EXPECTS(x.rows() == docs.size());
+  Matrix y(n_terms, x.cols());
+  for (std::size_t j = 0; j < docs.size(); ++j) {
+    for (const Entry& e : docs[j]->entries()) {
+      const std::size_t row = term_rows.at(e.keyword);
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        y.at(row, c) += e.weight * x.at(j, c);
+      }
+    }
+  }
+  return y;
+}
+
+// Z = A^T * Y, Y is |terms| x k; Z is |docs| x k.
+Matrix at_times(const std::vector<const SparseVector*>& docs,
+                const std::unordered_map<KeywordId, std::size_t>& term_rows,
+                const Matrix& y) {
+  Matrix z(docs.size(), y.cols());
+  for (std::size_t j = 0; j < docs.size(); ++j) {
+    for (const Entry& e : docs[j]->entries()) {
+      const std::size_t row = term_rows.at(e.keyword);
+      for (std::size_t c = 0; c < y.cols(); ++c) {
+        z.at(j, c) += e.weight * y.at(row, c);
+      }
+    }
+  }
+  return z;
+}
+
+double latent_cosine(std::span<const double> a, std::span<const double> b) {
+  METEO_ASSERT(a.size() == b.size());
+  double dot_ab = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot_ab += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot_ab / std::sqrt(na * nb);
+}
+
+}  // namespace
+
+LsiModel LsiModel::build(std::span<const StoredItem> docs, std::size_t rank,
+                         Rng& rng, std::size_t power_iterations,
+                         std::size_t oversample) {
+  METEO_EXPECTS(!docs.empty());
+  METEO_EXPECTS(rank >= 1);
+
+  LsiModel model;
+  std::vector<const SparseVector*> vectors;
+  vectors.reserve(docs.size());
+  for (const StoredItem& d : docs) {
+    METEO_EXPECTS(!d.vector.empty());
+    model.doc_ids_.push_back(d.id);
+    vectors.push_back(&d.vector);
+    for (const Entry& e : d.vector.entries()) {
+      model.term_rows_.emplace(e.keyword, model.term_rows_.size());
+    }
+  }
+  const std::size_t n_terms = model.term_rows_.size();
+  const std::size_t n_docs = docs.size();
+  const std::size_t max_rank = std::min(n_terms, n_docs);
+  rank = std::min(rank, max_rank);
+  const std::size_t k = std::min(rank + oversample, max_rank);
+
+  // 1. Random test matrix Omega (|docs| x k) and sketch Y = A Omega.
+  Matrix omega(n_docs, k);
+  for (std::size_t i = 0; i < n_docs; ++i) {
+    for (std::size_t j = 0; j < k; ++j) omega.at(i, j) = rng.normal();
+  }
+  Matrix y = a_times(vectors, model.term_rows_, n_terms, omega);
+
+  // 2. Power iterations sharpen the spectrum; orthonormalize between
+  //    applications for numerical stability.
+  for (std::size_t it = 0; it < power_iterations; ++it) {
+    orthonormalize_columns(y);
+    y = a_times(vectors, model.term_rows_, n_terms,
+                at_times(vectors, model.term_rows_, y));
+  }
+  orthonormalize_columns(y);  // Q = orth(Y), |terms| x k
+
+  // 3. B = Q^T A  (k x |docs|) built column-by-column from the sparse docs.
+  Matrix b(k, n_docs);
+  for (std::size_t j = 0; j < n_docs; ++j) {
+    for (const Entry& e : vectors[j]->entries()) {
+      const std::size_t row = model.term_rows_.at(e.keyword);
+      for (std::size_t c = 0; c < k; ++c) {
+        b.at(c, j) += y.at(row, c) * e.weight;
+      }
+    }
+  }
+
+  // 4. Eigendecompose B B^T (k x k) to get the singular structure:
+  //    B = U_b S V^T  with  B B^T = U_b S^2 U_b^T.
+  Matrix bbt(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      double s = 0.0;
+      for (std::size_t d = 0; d < n_docs; ++d) s += b.at(i, d) * b.at(j, d);
+      bbt.at(i, j) = s;
+    }
+  }
+  const EigenResult eig = symmetric_eigen(std::move(bbt));
+
+  model.rank_ = rank;
+  model.singular_values_.resize(rank);
+  for (std::size_t r = 0; r < rank; ++r) {
+    model.singular_values_[r] = std::sqrt(std::max(0.0, eig.values[r]));
+  }
+
+  // U = Q * U_b (|terms| x rank).
+  model.term_space_ = Matrix(n_terms, rank);
+  for (std::size_t i = 0; i < n_terms; ++i) {
+    for (std::size_t r = 0; r < rank; ++r) {
+      double s = 0.0;
+      for (std::size_t c = 0; c < k; ++c) {
+        s += y.at(i, c) * eig.vectors.at(c, r);
+      }
+      model.term_space_.at(i, r) = s;
+    }
+  }
+
+  // V rows: v_j = (1/s_r) * (U^T a_j), i.e. the fold-in of each document.
+  model.doc_space_ = Matrix(n_docs, rank);
+  for (std::size_t j = 0; j < n_docs; ++j) {
+    const std::vector<double> latent = model.fold_in(*vectors[j]);
+    for (std::size_t r = 0; r < rank; ++r) {
+      model.doc_space_.at(j, r) = latent[r];
+    }
+  }
+  return model;
+}
+
+std::vector<double> LsiModel::fold_in(const SparseVector& query) const {
+  std::vector<double> latent(rank_, 0.0);
+  for (const Entry& e : query.entries()) {
+    const auto it = term_rows_.find(e.keyword);
+    if (it == term_rows_.end()) continue;  // unseen term contributes nothing
+    for (std::size_t r = 0; r < rank_; ++r) {
+      latent[r] += term_space_.at(it->second, r) * e.weight;
+    }
+  }
+  for (std::size_t r = 0; r < rank_; ++r) {
+    if (singular_values_[r] > 1e-12) {
+      latent[r] /= singular_values_[r];
+    } else {
+      latent[r] = 0.0;
+    }
+  }
+  return latent;
+}
+
+std::vector<ScoredItem> LsiModel::top_k(const SparseVector& query,
+                                        std::size_t k) const {
+  const std::vector<double> q = fold_in(query);
+  std::vector<ScoredItem> scored;
+  scored.reserve(doc_ids_.size());
+  std::vector<double> row(rank_);
+  for (std::size_t j = 0; j < doc_ids_.size(); ++j) {
+    for (std::size_t r = 0; r < rank_; ++r) row[r] = doc_space_.at(j, r);
+    scored.push_back(ScoredItem{doc_ids_[j], latent_cosine(q, row)});
+  }
+  const std::size_t take = std::min(k, scored.size());
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<std::ptrdiff_t>(take),
+                    scored.end(),
+                    [](const ScoredItem& a, const ScoredItem& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.id < b.id;
+                    });
+  scored.resize(take);
+  return scored;
+}
+
+}  // namespace meteo::vsm

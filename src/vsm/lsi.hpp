@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file lsi.hpp
+/// Latent Semantic Indexing (the paper's optional per-node local index,
+/// §3.3) via randomized truncated SVD.
+///
+/// A node's documents form a term-document matrix A (terms compacted to the
+/// union of keywords actually present). We approximate A ~= U S V^T with a
+/// randomized subspace iteration (Halko, Martinsson & Tropp 2011):
+///
+///   1. Y = A * Omega, Omega gaussian (n x (r + oversample))
+///   2. power iterations: Y = A * (A^T * Y), re-orthonormalizing
+///   3. Q = orth(Y); B = Q^T A  ((r+p) x n, small)
+///   4. eigendecompose B B^T to recover the top-r singular triplets
+///
+/// Queries are folded into the latent space (q_hat = S^-1 U^T q) and ranked
+/// by latent-space cosine, which surfaces items sharing *correlated*
+/// keywords even without literal overlap — the classic LSI win over raw VSM.
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "vsm/linalg.hpp"
+#include "vsm/local_index.hpp"
+#include "vsm/sparse_vector.hpp"
+
+namespace meteo::vsm {
+
+class LsiModel {
+ public:
+  /// Builds a rank-`rank` model over `docs`. Ranks larger than the matrix
+  /// allows are clamped. \pre !docs.empty(), every doc non-empty
+  static LsiModel build(std::span<const StoredItem> docs, std::size_t rank,
+                        Rng& rng, std::size_t power_iterations = 2,
+                        std::size_t oversample = 4);
+
+  [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
+  [[nodiscard]] std::size_t doc_count() const noexcept {
+    return doc_ids_.size();
+  }
+  [[nodiscard]] std::span<const double> singular_values() const noexcept {
+    return singular_values_;
+  }
+
+  /// Projects a query vector into the latent space.
+  [[nodiscard]] std::vector<double> fold_in(const SparseVector& query) const;
+
+  /// Ranks all indexed documents against `query` by latent cosine,
+  /// descending; returns at most k.
+  [[nodiscard]] std::vector<ScoredItem> top_k(const SparseVector& query,
+                                              std::size_t k) const;
+
+ private:
+  std::size_t rank_ = 0;
+  std::vector<double> singular_values_;        // s_1 >= ... >= s_r
+  Matrix term_space_;                          // |terms| x r  (U)
+  Matrix doc_space_;                           // |docs| x r   (V, row per doc)
+  std::vector<ItemId> doc_ids_;                    // row -> item id
+  std::unordered_map<KeywordId, std::size_t> term_rows_;  // keyword -> U row
+};
+
+}  // namespace meteo::vsm

@@ -1,0 +1,86 @@
+#include "vsm/sparse_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace meteo::vsm {
+
+SparseVector SparseVector::from_entries(std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.keyword < b.keyword; });
+  SparseVector v;
+  v.entries_.reserve(entries.size());
+  for (const Entry& e : entries) {
+    METEO_EXPECTS(e.weight >= 0.0);
+    if (e.weight == 0.0) continue;
+    if (!v.entries_.empty() && v.entries_.back().keyword == e.keyword) {
+      v.entries_.back().weight += e.weight;
+    } else {
+      v.entries_.push_back(e);
+    }
+  }
+  double sq = 0.0;
+  for (const Entry& e : v.entries_) sq += e.weight * e.weight;
+  v.norm_ = std::sqrt(sq);
+  return v;
+}
+
+SparseVector SparseVector::binary(std::span<const KeywordId> keywords) {
+  std::vector<Entry> entries;
+  entries.reserve(keywords.size());
+  for (const KeywordId k : keywords) entries.push_back(Entry{k, 1.0});
+  return from_entries(std::move(entries));
+}
+
+double SparseVector::weight_of(KeywordId keyword) const noexcept {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), keyword,
+      [](const Entry& e, KeywordId k) { return e.keyword < k; });
+  if (it == entries_.end() || it->keyword != keyword) return 0.0;
+  return it->weight;
+}
+
+bool SparseVector::contains(KeywordId keyword) const noexcept {
+  return weight_of(keyword) > 0.0;
+}
+
+KeywordId SparseVector::max_keyword() const {
+  METEO_EXPECTS(!entries_.empty());
+  return entries_.back().keyword;
+}
+
+double dot(const SparseVector& a, const SparseVector& b) noexcept {
+  const auto ea = a.entries();
+  const auto eb = b.entries();
+  double sum = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ea.size() && j < eb.size()) {
+    if (ea[i].keyword < eb[j].keyword) {
+      ++i;
+    } else if (ea[i].keyword > eb[j].keyword) {
+      ++j;
+    } else {
+      sum += ea[i].weight * eb[j].weight;
+      ++i;
+      ++j;
+    }
+  }
+  return sum;
+}
+
+double cosine_similarity(const SparseVector& a, const SparseVector& b) noexcept {
+  if (a.empty() || b.empty()) return 0.0;
+  const double c = dot(a, b) / (a.norm() * b.norm());
+  // Clamp rounding noise so acos stays in-domain downstream.
+  return std::clamp(c, 0.0, 1.0);
+}
+
+double angle_between(const SparseVector& a, const SparseVector& b) {
+  METEO_EXPECTS(!a.empty() && !b.empty());
+  return std::acos(cosine_similarity(a, b));
+}
+
+}  // namespace meteo::vsm

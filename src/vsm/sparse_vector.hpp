@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file sparse_vector.hpp
+/// Immutable sparse non-negative vectors for the vector space model.
+///
+/// An item "is characterized by" a set of keywords with weights (paper §2):
+/// v_j = w_j if keyword k_j characterizes the item, 0 otherwise. Vectors are
+/// stored as index-sorted (KeywordId, weight) pairs; all similarity kernels
+/// (dot product, cosine, angle) are O(nnz_a + nnz_b).
+///
+/// Weights must be strictly positive: a zero weight is representationally
+/// identical to absence, so the builder drops zeros and rejects negatives
+/// (VSM weights are term weights, never negative).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vsm/types.hpp"
+
+namespace meteo::vsm {
+
+struct Entry {
+  KeywordId keyword = 0;
+  double weight = 0.0;
+
+  friend bool operator==(const Entry&, const Entry&) = default;
+};
+
+class SparseVector {
+ public:
+  /// The empty vector (norm 0). Valid but unpublishable.
+  SparseVector() = default;
+
+  /// Builds from possibly unsorted, possibly duplicated entries.
+  /// Duplicate keywords have their weights summed; zero weights dropped.
+  /// \pre all weights >= 0
+  static SparseVector from_entries(std::vector<Entry> entries);
+
+  /// Convenience: binary (weight 1) vector over a keyword set.
+  static SparseVector binary(std::span<const KeywordId> keywords);
+
+  [[nodiscard]] std::span<const Entry> entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t nnz() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Euclidean norm, cached at construction.
+  [[nodiscard]] double norm() const noexcept { return norm_; }
+
+  /// Weight of `keyword` (0 when absent). O(log nnz).
+  [[nodiscard]] double weight_of(KeywordId keyword) const noexcept;
+
+  /// True when `keyword` is in the support. O(log nnz).
+  [[nodiscard]] bool contains(KeywordId keyword) const noexcept;
+
+  /// Largest keyword id in the support. \pre !empty()
+  [[nodiscard]] KeywordId max_keyword() const;
+
+  friend bool operator==(const SparseVector&, const SparseVector&) = default;
+
+ private:
+  std::vector<Entry> entries_;  // sorted by keyword, strictly increasing
+  double norm_ = 0.0;
+};
+
+/// Dot product. O(nnz_a + nnz_b).
+[[nodiscard]] double dot(const SparseVector& a, const SparseVector& b) noexcept;
+
+/// Cosine similarity in [0, 1] for non-negative vectors; 0 if either is
+/// empty.
+[[nodiscard]] double cosine_similarity(const SparseVector& a,
+                                       const SparseVector& b) noexcept;
+
+/// Angle between the two vectors in radians, in [0, pi/2] for non-negative
+/// vectors (paper §2's similarity measure: small angle = similar).
+/// \pre neither vector is empty
+[[nodiscard]] double angle_between(const SparseVector& a,
+                                   const SparseVector& b);
+
+}  // namespace meteo::vsm

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file types.hpp
+/// Core identifier types of the vector space model layer.
+
+#include <cstdint>
+
+namespace meteo::vsm {
+
+/// Index of a keyword (dimension) in the dictionary. The paper's keywords
+/// are the World Cup trace's web objects (~89K of them).
+using KeywordId = std::uint32_t;
+
+/// Identifier of a published item (the trace's clients, ~2,760K of them).
+using ItemId = std::uint64_t;
+
+inline constexpr KeywordId kInvalidKeyword = ~KeywordId{0};
+
+}  // namespace meteo::vsm

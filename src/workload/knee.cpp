@@ -1,0 +1,88 @@
+#include "workload/knee.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+
+#include "common/assert.hpp"
+
+namespace meteo::workload {
+
+namespace {
+
+/// Vertical distance from curve[i] to the chord curve[lo] -> curve[hi].
+double deviation(std::span<const Knot> curve, std::size_t lo, std::size_t hi,
+                 std::size_t i) {
+  const Knot& a = curve[lo];
+  const Knot& b = curve[hi];
+  const double t = (curve[i].x - a.x) / (b.x - a.x);
+  const double chord_y = a.y + t * (b.y - a.y);
+  return std::abs(curve[i].y - chord_y);
+}
+
+struct Segment {
+  std::size_t lo;
+  std::size_t hi;
+  std::size_t split;      // index of the max-deviation point
+  double max_dev;
+
+  bool operator<(const Segment& other) const noexcept {
+    return max_dev < other.max_dev;  // max-heap on deviation
+  }
+};
+
+Segment make_segment(std::span<const Knot> curve, std::size_t lo,
+                     std::size_t hi) {
+  Segment s{lo, hi, lo, 0.0};
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const double d = deviation(curve, lo, hi, i);
+    if (d > s.max_dev) {
+      s.max_dev = d;
+      s.split = i;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<Knot> find_knees(std::span<const Knot> curve,
+                             const KneeConfig& config) {
+  METEO_EXPECTS(curve.size() >= 2);
+  METEO_EXPECTS(config.max_knees >= 2);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    METEO_EXPECTS(curve[i].x > curve[i - 1].x);
+  }
+
+  std::set<std::size_t> selected = {0, curve.size() - 1};
+  std::priority_queue<Segment> heap;
+  heap.push(make_segment(curve, 0, curve.size() - 1));
+
+  while (selected.size() < config.max_knees && !heap.empty()) {
+    const Segment seg = heap.top();
+    heap.pop();
+    if (seg.max_dev <= config.min_deviation) break;
+    selected.insert(seg.split);
+    if (seg.split - seg.lo >= 2) heap.push(make_segment(curve, seg.lo, seg.split));
+    if (seg.hi - seg.split >= 2) heap.push(make_segment(curve, seg.split, seg.hi));
+  }
+
+  std::vector<Knot> knees;
+  knees.reserve(selected.size());
+  for (const std::size_t i : selected) knees.push_back(curve[i]);
+  return knees;
+}
+
+double max_deviation(std::span<const Knot> curve, std::span<const Knot> knees) {
+  METEO_EXPECTS(knees.size() >= 2);
+  std::vector<Knot> copy(knees.begin(), knees.end());
+  const PiecewiseLinearMap fit(std::move(copy));
+  double worst = 0.0;
+  for (const Knot& k : curve) {
+    worst = std::max(worst, std::abs(fit(k.x) - k.y));
+  }
+  return worst;
+}
+
+}  // namespace meteo::workload

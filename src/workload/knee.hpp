@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file knee.hpp
+/// Knee-point identification on CDF curves (paper §3.4.1/§3.4.2).
+///
+/// Meteorograph's load balancing starts by "identifying several points of
+/// knees" on the sampled key CDF. The paper hard-codes knees eyeballed from
+/// its trace; we reproduce the *derivation* with a principled algorithm:
+/// greedy polyline simplification (Douglas–Peucker run to a point budget).
+/// Starting from the chord between the curve's endpoints, the point with
+/// the maximum vertical-distance deviation is promoted to a knee, the
+/// segment splits, and the process repeats until `max_knees` points are
+/// selected (or no segment deviates more than `min_deviation`).
+///
+/// The output is ordered, starts/ends at the curve's endpoints, and is
+/// monotone in both coordinates whenever the input CDF is — exactly the
+/// precondition of the Eq. 6 remap.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/cdf.hpp"
+
+namespace meteo::workload {
+
+struct KneeConfig {
+  /// Total knee points returned, endpoints included. Paper's Eq. 6 uses 5.
+  std::size_t max_knees = 5;
+  /// Stop early when no point deviates from its chord by more than this
+  /// (in y units of the curve, i.e. CDF fraction).
+  double min_deviation = 0.0;
+};
+
+/// Finds knees on `curve` (a polyline, typically EmpiricalCdf::resample()
+/// output). \pre curve.size() >= 2, strictly increasing in x
+[[nodiscard]] std::vector<Knot> find_knees(std::span<const Knot> curve,
+                                           const KneeConfig& config = {});
+
+/// Maximum vertical deviation between `curve` and the polyline through
+/// `knees` — a fit-quality measure used by the knee-count ablation.
+[[nodiscard]] double max_deviation(std::span<const Knot> curve,
+                                   std::span<const Knot> knees);
+
+}  // namespace meteo::workload

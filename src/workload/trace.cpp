@@ -1,0 +1,140 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+
+namespace meteo::workload {
+
+Trace::Trace(std::vector<std::uint64_t> offsets,
+             std::vector<vsm::KeywordId> keywords, std::size_t num_keywords)
+    : offsets_(std::move(offsets)),
+      keywords_(std::move(keywords)),
+      num_keywords_(num_keywords) {
+  METEO_EXPECTS(!offsets_.empty());
+  METEO_EXPECTS(offsets_.front() == 0);
+  METEO_EXPECTS(offsets_.back() == keywords_.size());
+}
+
+std::span<const vsm::KeywordId> Trace::keywords_of(std::size_t i) const {
+  METEO_EXPECTS(i < item_count());
+  return std::span(keywords_).subspan(
+      offsets_[i], offsets_[i + 1] - offsets_[i]);
+}
+
+const std::vector<std::uint64_t>& Trace::document_frequency() const {
+  if (df_cache_.empty()) {
+    df_cache_.assign(num_keywords_, 0);
+    for (const vsm::KeywordId k : keywords_) ++df_cache_[k];
+  }
+  return df_cache_;
+}
+
+std::vector<double> Trace::keyword_weights(WeightScheme scheme) const {
+  std::vector<double> weights(num_keywords_, 1.0);
+  if (scheme == WeightScheme::kBinary) return weights;
+  const auto& df = document_frequency();
+  const double n = static_cast<double>(item_count());
+  for (std::size_t k = 0; k < num_keywords_; ++k) {
+    // log(1 + n/df): smooth IDF, strictly positive for df >= 1; keywords
+    // never used get the maximal weight but also never appear in vectors.
+    const double denom = df[k] > 0 ? static_cast<double>(df[k]) : 1.0;
+    weights[k] = std::log(1.0 + n / denom);
+  }
+  return weights;
+}
+
+vsm::SparseVector Trace::vector_of(std::size_t i,
+                                   std::span<const double> weights) const {
+  METEO_EXPECTS(weights.size() == num_keywords_);
+  std::vector<vsm::Entry> entries;
+  const auto kws = keywords_of(i);
+  entries.reserve(kws.size());
+  for (const vsm::KeywordId k : kws) {
+    entries.push_back(vsm::Entry{k, weights[k]});
+  }
+  return vsm::SparseVector::from_entries(std::move(entries));
+}
+
+TraceStats Trace::stats() const {
+  TraceStats s;
+  s.items = item_count();
+  s.total_incidences = keywords_.size();
+  const auto& df = document_frequency();
+  s.keywords_used = static_cast<std::size_t>(
+      std::count_if(df.begin(), df.end(), [](std::uint64_t d) { return d > 0; }));
+  std::size_t min_b = ~std::size_t{0};
+  std::size_t max_b = 0;
+  for (std::size_t i = 0; i < item_count(); ++i) {
+    const std::size_t b = static_cast<std::size_t>(offsets_[i + 1] - offsets_[i]);
+    min_b = std::min(min_b, b);
+    max_b = std::max(max_b, b);
+  }
+  s.min_basket = item_count() ? min_b : 0;
+  s.max_basket = max_b;
+  s.mean_basket = item_count() == 0
+                      ? 0.0
+                      : static_cast<double>(keywords_.size()) /
+                            static_cast<double>(item_count());
+  return s;
+}
+
+Trace synthesize_trace(const TraceConfig& config, std::uint64_t seed) {
+  METEO_EXPECTS(config.num_items > 0);
+  METEO_EXPECTS(config.num_keywords > 1);
+  METEO_EXPECTS(config.min_basket >= 1);
+  METEO_EXPECTS(config.max_basket >= config.min_basket);
+  METEO_EXPECTS(config.max_basket <= config.num_keywords);
+  METEO_EXPECTS(config.mean_basket >= 1.0);
+
+  Rng rng(seed);
+  const ZipfSampler keyword_sampler(config.num_keywords,
+                                    config.keyword_zipf_exponent);
+
+  // Lognormal basket sizes with E[X] = mean_basket:
+  // mu = ln(mean) - sigma^2/2.
+  const double sigma = config.basket_sigma;
+  const double mu = std::log(config.mean_basket) - sigma * sigma / 2.0;
+
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(config.num_items + 1);
+  offsets.push_back(0);
+  std::vector<vsm::KeywordId> keywords;
+  keywords.reserve(static_cast<std::size_t>(
+      static_cast<double>(config.num_items) * config.mean_basket * 1.1));
+
+  std::unordered_set<vsm::KeywordId> basket;
+  for (std::size_t item = 0; item < config.num_items; ++item) {
+    const double raw = rng.lognormal(mu, sigma);
+    std::size_t size = static_cast<std::size_t>(std::llround(raw));
+    size = std::clamp(size, config.min_basket, config.max_basket);
+
+    basket.clear();
+    // Distinct keywords via rejection; popular keywords collide often for
+    // big baskets, so cap the attempts and then fill deterministically
+    // from the unpopular tail (which is essentially never exhausted).
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = 20 * size + 64;
+    while (basket.size() < size && attempts < max_attempts) {
+      basket.insert(static_cast<vsm::KeywordId>(keyword_sampler(rng)));
+      ++attempts;
+    }
+    for (std::uint64_t k = config.num_keywords; basket.size() < size && k > 0;
+         --k) {
+      basket.insert(static_cast<vsm::KeywordId>(k - 1));
+    }
+
+    std::vector<vsm::KeywordId> sorted(basket.begin(), basket.end());
+    std::sort(sorted.begin(), sorted.end());
+    keywords.insert(keywords.end(), sorted.begin(), sorted.end());
+    offsets.push_back(keywords.size());
+  }
+
+  return Trace(std::move(offsets), std::move(keywords), config.num_keywords);
+}
+
+}  // namespace meteo::workload

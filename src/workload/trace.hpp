@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file trace.hpp
+/// The evaluation workload: a "market-basket" keyword-item incidence
+/// structure (paper §4).
+///
+/// The paper reads the World Cup 1998 access log for July 24 and treats
+/// web objects as keywords and clients as items, producing a 89K x 2,760K
+/// incidence matrix whose statistics are Table 1. The real trace is not
+/// redistributable, so synthesize_trace() generates an equivalent:
+///  - keyword (object) popularity is Zipf-like, the classic web-access
+///    distribution (Fig. 6's rank plot);
+///  - basket sizes (objects per client) are lognormal, calibrated so the
+///    mean is 43 with min 1 and a heavy tail clamped at 11,868 (Table 1).
+///
+/// Storage is CSR (offsets + flat keyword array): the default 1/10-scale
+/// trace is ~50 MB, the --paper-scale one ~500 MB.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vsm/sparse_vector.hpp"
+#include "vsm/types.hpp"
+
+namespace meteo::workload {
+
+struct TraceConfig {
+  /// Number of items (clients). Paper: 2,760,000. Default is 1/10 scale.
+  std::size_t num_items = 276'000;
+  /// Number of keywords (web objects). Paper: 89,000.
+  std::size_t num_keywords = 89'000;
+  /// Zipf exponent of keyword popularity.
+  double keyword_zipf_exponent = 0.95;
+  /// Target mean basket size (keywords per item). Paper: 43.
+  double mean_basket = 43.0;
+  /// Lognormal shape; larger = heavier tail.
+  double basket_sigma = 1.2;
+  /// Basket bounds. Paper: min 1, max 11,868.
+  std::size_t min_basket = 1;
+  std::size_t max_basket = 11'868;
+};
+
+struct TraceStats {
+  std::size_t items = 0;
+  std::size_t keywords_used = 0;  // keywords appearing in >= 1 item
+  double mean_basket = 0.0;
+  std::size_t max_basket = 0;
+  std::size_t min_basket = 0;
+  std::uint64_t total_incidences = 0;
+};
+
+/// How keyword weights are assigned when turning a basket into a vector.
+enum class WeightScheme {
+  /// w = 1 for every present keyword (the paper's plain VSM reading).
+  kBinary,
+  /// w = log(1 + n_items / df(keyword)): inverse document frequency,
+  /// which makes the absolute angle content-dependent (DESIGN.md note 2).
+  kIdf,
+};
+
+class Trace {
+ public:
+  Trace(std::vector<std::uint64_t> offsets, std::vector<vsm::KeywordId> keywords,
+        std::size_t num_keywords);
+
+  [[nodiscard]] std::size_t item_count() const noexcept {
+    return offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t keyword_space() const noexcept {
+    return num_keywords_;
+  }
+
+  /// The (distinct, sorted) keywords of item `i`. \pre i < item_count()
+  [[nodiscard]] std::span<const vsm::KeywordId> keywords_of(
+      std::size_t i) const;
+
+  /// Document frequency of every keyword (index = KeywordId).
+  [[nodiscard]] const std::vector<std::uint64_t>& document_frequency() const;
+
+  /// Global keyword weights under `scheme` (index = KeywordId).
+  [[nodiscard]] std::vector<double> keyword_weights(WeightScheme scheme) const;
+
+  /// Materializes item `i` as a sparse vector using precomputed weights
+  /// (from keyword_weights()). \pre weights.size() == keyword_space()
+  [[nodiscard]] vsm::SparseVector vector_of(
+      std::size_t i, std::span<const double> weights) const;
+
+  [[nodiscard]] TraceStats stats() const;
+
+ private:
+  std::vector<std::uint64_t> offsets_;       // CSR row offsets, size items+1
+  std::vector<vsm::KeywordId> keywords_;     // CSR column indices
+  std::size_t num_keywords_;
+  mutable std::vector<std::uint64_t> df_cache_;
+};
+
+/// Generates a synthetic trace per `config`, deterministically from `seed`.
+[[nodiscard]] Trace synthesize_trace(const TraceConfig& config,
+                                     std::uint64_t seed);
+
+}  // namespace meteo::workload

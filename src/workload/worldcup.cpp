@@ -1,0 +1,110 @@
+#include "workload/worldcup.hpp"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace meteo::workload {
+
+namespace {
+
+std::uint32_t load_be32(const unsigned char* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+void store_be32(unsigned char* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<unsigned char>(v >> 24);
+  p[1] = static_cast<unsigned char>(v >> 16);
+  p[2] = static_cast<unsigned char>(v >> 8);
+  p[3] = static_cast<unsigned char>(v);
+}
+
+}  // namespace
+
+Result<std::vector<WorldCupRecord>, WorldCupError> read_worldcup_log(
+    std::istream& in) {
+  return read_worldcup_log(in, 0);
+}
+
+Result<std::vector<WorldCupRecord>, WorldCupError> read_worldcup_log(
+    std::istream& in, std::size_t max_records) {
+  std::vector<WorldCupRecord> records;
+  std::array<unsigned char, kWorldCupRecordBytes> buf{};
+  while (max_records == 0 || records.size() < max_records) {
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+    const auto got = in.gcount();
+    if (got == 0 && in.eof()) break;
+    if (got != static_cast<std::streamsize>(buf.size())) {
+      return Err{in.eof() ? WorldCupError::kTruncatedRecord
+                          : WorldCupError::kStreamFailure};
+    }
+    WorldCupRecord r;
+    r.timestamp = load_be32(buf.data());
+    r.client_id = load_be32(buf.data() + 4);
+    r.object_id = load_be32(buf.data() + 8);
+    r.size = load_be32(buf.data() + 12);
+    r.method = buf[16];
+    r.status = buf[17];
+    r.type = buf[18];
+    r.server = buf[19];
+    records.push_back(r);
+  }
+  return records;
+}
+
+void write_worldcup_log(std::ostream& out,
+                        std::span<const WorldCupRecord> records) {
+  std::array<unsigned char, kWorldCupRecordBytes> buf{};
+  for (const WorldCupRecord& r : records) {
+    store_be32(buf.data(), r.timestamp);
+    store_be32(buf.data() + 4, r.client_id);
+    store_be32(buf.data() + 8, r.object_id);
+    store_be32(buf.data() + 12, r.size);
+    buf[16] = r.method;
+    buf[17] = r.status;
+    buf[18] = r.type;
+    buf[19] = r.server;
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+  }
+}
+
+Trace build_trace(std::span<const WorldCupRecord> records,
+                  std::uint32_t from_timestamp, std::uint32_t to_timestamp) {
+  // Densify client and object ids in first-appearance order, collecting
+  // each client's distinct object set.
+  std::unordered_map<std::uint32_t, std::size_t> client_index;
+  std::unordered_map<std::uint32_t, vsm::KeywordId> object_index;
+  std::vector<std::vector<vsm::KeywordId>> baskets;
+
+  for (const WorldCupRecord& r : records) {
+    if (r.timestamp < from_timestamp || r.timestamp > to_timestamp) continue;
+    const auto [cit, cnew] = client_index.emplace(r.client_id, baskets.size());
+    if (cnew) baskets.emplace_back();
+    const auto [oit, onew] = object_index.emplace(
+        r.object_id, static_cast<vsm::KeywordId>(object_index.size()));
+    baskets[cit->second].push_back(oit->second);
+  }
+
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(baskets.size() + 1);
+  offsets.push_back(0);
+  std::vector<vsm::KeywordId> keywords;
+  for (auto& basket : baskets) {
+    std::sort(basket.begin(), basket.end());
+    basket.erase(std::unique(basket.begin(), basket.end()), basket.end());
+    keywords.insert(keywords.end(), basket.begin(), basket.end());
+    offsets.push_back(keywords.size());
+  }
+  const std::size_t num_keywords = object_index.size();
+  return Trace(std::move(offsets), std::move(keywords),
+               std::max<std::size_t>(num_keywords, 2));
+}
+
+}  // namespace meteo::workload

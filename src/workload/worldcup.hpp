@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file worldcup.hpp
+/// Reader/writer for the World Cup 1998 access-log binary format, so the
+/// evaluation can run on the *real* trace when the user has it (the ITA
+/// archive distributes it as gzipped binary request records).
+///
+/// Record layout (20 bytes, all multi-byte fields big-endian / network
+/// order, per the ITA tools documentation):
+///
+///   uint32 timestamp   seconds since epoch of the request
+///   uint32 clientID    anonymized client identifier
+///   uint32 objectID    identifier of the requested URL
+///   uint32 size        response bytes
+///   uint8  method      HTTP method code
+///   uint8  status      HTTP protocol version + response status code
+///   uint8  type        file type code
+///   uint8  server      responding server id
+///
+/// build_trace() performs the paper's §4 aggregation: clients become items,
+/// objects become keywords, duplicates within a client collapse.
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "common/result.hpp"
+#include "workload/trace.hpp"
+
+namespace meteo::workload {
+
+struct WorldCupRecord {
+  std::uint32_t timestamp = 0;
+  std::uint32_t client_id = 0;
+  std::uint32_t object_id = 0;
+  std::uint32_t size = 0;
+  std::uint8_t method = 0;
+  std::uint8_t status = 0;
+  std::uint8_t type = 0;
+  std::uint8_t server = 0;
+
+  friend bool operator==(const WorldCupRecord&, const WorldCupRecord&) = default;
+};
+
+inline constexpr std::size_t kWorldCupRecordBytes = 20;
+
+enum class WorldCupError {
+  kTruncatedRecord,
+  kStreamFailure,
+};
+
+/// Reads records until EOF. Fails on a partial trailing record.
+[[nodiscard]] Result<std::vector<WorldCupRecord>, WorldCupError>
+read_worldcup_log(std::istream& in);
+
+/// Reads at most `max_records` records (0 = unlimited).
+[[nodiscard]] Result<std::vector<WorldCupRecord>, WorldCupError>
+read_worldcup_log(std::istream& in, std::size_t max_records);
+
+/// Serializes records in the on-disk format (for tests and for exporting
+/// synthetic traces in the canonical layout).
+void write_worldcup_log(std::ostream& out,
+                        std::span<const WorldCupRecord> records);
+
+/// Aggregates raw requests into the paper's keyword-item incidence:
+/// one item per distinct client, one keyword per distinct object, requests
+/// outside [from_timestamp, to_timestamp] dropped (0/UINT32_MAX = no bound).
+/// Client and object ids are densified in first-appearance order.
+[[nodiscard]] Trace build_trace(std::span<const WorldCupRecord> records,
+                                std::uint32_t from_timestamp = 0,
+                                std::uint32_t to_timestamp = ~std::uint32_t{0});
+
+}  // namespace meteo::workload

@@ -1,0 +1,135 @@
+#include "baseline/can.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace meteo::baseline {
+namespace {
+
+TEST(CanZone, ContainsAndBoundaries) {
+  const CanZone z{{0.25, 0.5}, {0.5, 1.0}};
+  EXPECT_TRUE(z.contains({0.25, 0.5}));    // lo inclusive
+  EXPECT_TRUE(z.contains({0.4, 0.9}));
+  EXPECT_FALSE(z.contains({0.5, 0.75}));   // hi exclusive
+  EXPECT_FALSE(z.contains({0.1, 0.75}));
+}
+
+TEST(CanZone, DistanceZeroInside) {
+  const CanZone z{{0.0, 0.0}, {0.5, 0.5}};
+  EXPECT_DOUBLE_EQ(z.distance_to({0.25, 0.25}), 0.0);
+}
+
+TEST(CanZone, DistanceWrapsTorus) {
+  const CanZone z{{0.9, 0.0}, {1.0, 1.0}};
+  // Point at x = 0.05: direct distance 0.85, torus distance 0.05.
+  EXPECT_NEAR(z.distance_to({0.05, 0.5}), 0.05, 1e-12);
+}
+
+TEST(CanZone, Volume) {
+  const CanZone z{{0.0, 0.25}, {0.5, 0.75}};
+  EXPECT_DOUBLE_EQ(z.volume(), 0.25);
+}
+
+class CanNetworkTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CanNetworkTest, ZonesPartitionTheTorus) {
+  Rng rng(1);
+  const CanNetwork can(200, GetParam(), rng);
+  double total = 0.0;
+  for (std::size_t i = 0; i < can.node_count(); ++i) {
+    total += can.zone_of(i).volume();
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Random points are owned by exactly one zone.
+  Rng probe(2);
+  for (int i = 0; i < 500; ++i) {
+    const CanPoint p = CanNetwork::random_point(GetParam(), probe);
+    std::size_t owners = 0;
+    for (std::size_t n = 0; n < can.node_count(); ++n) {
+      if (can.zone_of(n).contains(p)) ++owners;
+    }
+    EXPECT_EQ(owners, 1u);
+  }
+}
+
+TEST_P(CanNetworkTest, NeighborsAreSymmetric) {
+  Rng rng(3);
+  const CanNetwork can(150, GetParam(), rng);
+  for (std::size_t u = 0; u < can.node_count(); ++u) {
+    for (const std::size_t v : can.neighbors(u)) {
+      const auto back = can.neighbors(v);
+      EXPECT_TRUE(std::find(back.begin(), back.end(), u) != back.end())
+          << u << " <-> " << v;
+    }
+  }
+}
+
+TEST_P(CanNetworkTest, RoutingReachesOwner) {
+  Rng rng(4);
+  const CanNetwork can(300, GetParam(), rng);
+  Rng probe(5);
+  for (int q = 0; q < 300; ++q) {
+    const CanPoint p = CanNetwork::random_point(GetParam(), probe);
+    const CanRouteResult r = can.route(probe.below(can.node_count()), p);
+    EXPECT_EQ(r.owner, can.owner_of(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, CanNetworkTest, ::testing::Values(2u, 3u, 4u));
+
+TEST(CanNetwork, HopsScaleAsDTimesRootN) {
+  Rng rng(6);
+  const std::size_t d = 2;
+  const CanNetwork can(400, d, rng);
+  Rng probe(7);
+  OnlineStats hops;
+  for (int q = 0; q < 500; ++q) {
+    const CanPoint p = CanNetwork::random_point(d, probe);
+    hops.add(static_cast<double>(can.route(probe.below(can.node_count()), p).hops));
+  }
+  // Theory: (d/4) * N^(1/d) = 10 expected for uniform zones; random splits
+  // skew zone sizes, so bound loosely.
+  EXPECT_GT(hops.mean(), 3.0);
+  EXPECT_LT(hops.mean(), 25.0);
+}
+
+TEST(CanNetwork, SingleNodeOwnsEverything) {
+  Rng rng(8);
+  const CanNetwork can(1, 3, rng);
+  const CanPoint p = CanNetwork::random_point(3, rng);
+  EXPECT_EQ(can.owner_of(p), 0u);
+  EXPECT_EQ(can.route(0, p).hops, 0u);
+}
+
+TEST(CanNetwork, ExpandingRingGrowsWithRadius) {
+  Rng rng(9);
+  const CanNetwork can(500, 2, rng);
+  std::size_t prev = 0;
+  std::size_t prev_messages = 0;
+  for (std::size_t radius = 0; radius <= 4; ++radius) {
+    std::size_t messages = 0;
+    const auto ring = can.expanding_ring(0, radius, &messages);
+    EXPECT_GE(ring.size(), prev);
+    EXPECT_GE(messages, prev_messages);
+    prev = ring.size();
+    prev_messages = messages;
+  }
+  EXPECT_GT(prev, 10u);
+}
+
+TEST(CanNetwork, ExpandingRingRadiusZeroIsJustCenter) {
+  Rng rng(10);
+  const CanNetwork can(100, 2, rng);
+  std::size_t messages = 0;
+  const auto ring = can.expanding_ring(42, 0, &messages);
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring[0], 42u);
+  EXPECT_EQ(messages, 0u);
+}
+
+}  // namespace
+}  // namespace meteo::baseline

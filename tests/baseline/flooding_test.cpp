@@ -1,0 +1,118 @@
+#include "baseline/flooding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace meteo::baseline {
+namespace {
+
+TEST(Flooding, GraphIsSymmetricAndSelfLoopFree) {
+  Rng rng(1);
+  const FloodingNetwork net({200, 4}, rng);
+  for (std::size_t u = 0; u < net.node_count(); ++u) {
+    for (const std::size_t v : net.neighbors(u)) {
+      EXPECT_NE(v, u);
+      const auto back = net.neighbors(v);
+      EXPECT_TRUE(std::find(back.begin(), back.end(), u) != back.end());
+    }
+  }
+}
+
+TEST(Flooding, SearchFindsLocalItem) {
+  Rng rng(2);
+  FloodingNetwork net({50, 3}, rng);
+  net.place_item(7, {1, 2, 3}, 10);
+  const std::vector<vsm::KeywordId> q = {1, 2};
+  const FloodResult r = net.search(q, 0, 10);  // TTL 0: only the source
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], 7u);
+  EXPECT_EQ(r.nodes_reached, 1u);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(Flooding, TtlLimitsScope) {
+  Rng rng(3);
+  FloodingNetwork net({500, 3}, rng);
+  // Spread one matching item on every node.
+  for (std::size_t n = 0; n < net.node_count(); ++n) {
+    net.place_item(n, {42}, n);
+  }
+  const std::vector<vsm::KeywordId> q = {42};
+  const FloodResult shallow = net.search(q, 1, 0);
+  const FloodResult deep = net.search(q, 6, 0);
+  EXPECT_LT(shallow.nodes_reached, deep.nodes_reached);
+  EXPECT_LT(shallow.items.size(), deep.items.size());
+  // The paper's scope problem: shallow floods miss existing items.
+  EXPECT_LT(shallow.items.size(), net.total_matches(q));
+}
+
+TEST(Flooding, MessagesGrowExponentiallyWithTtl) {
+  Rng rng(4);
+  const FloodingNetwork net({2000, 4}, rng);
+  const std::vector<vsm::KeywordId> q = {1};
+  std::size_t prev = 0;
+  for (std::size_t ttl = 1; ttl <= 4; ++ttl) {
+    const FloodResult r = net.search(q, ttl, 0);
+    EXPECT_GT(r.messages, prev);
+    prev = r.messages;
+  }
+  // By TTL 4 with degree ~8 the flood covers a large share of the graph.
+  EXPECT_GT(prev, 1000u);
+}
+
+TEST(Flooding, ResultsDependOnIssuingNode) {
+  // Nondeterministic results (paper §5 problem 3): different sources with
+  // a bounded TTL see different item sets.
+  Rng rng(5);
+  FloodingNetwork net({1000, 3}, rng);
+  for (std::size_t n = 0; n < net.node_count(); n += 7) {
+    net.place_item(n, {9}, n);
+  }
+  const std::vector<vsm::KeywordId> q = {9};
+  const FloodResult a = net.search(q, 2, 0);
+  const FloodResult b = net.search(q, 2, 500);
+  const std::set<vsm::ItemId> sa(a.items.begin(), a.items.end());
+  const std::set<vsm::ItemId> sb(b.items.begin(), b.items.end());
+  EXPECT_NE(sa, sb);
+}
+
+TEST(Flooding, ExhaustiveFloodFindsEverything) {
+  Rng rng(6);
+  FloodingNetwork net({300, 4}, rng);
+  for (std::size_t n = 0; n < 300; n += 5) {
+    net.place_item(n, {7, 8}, n);
+  }
+  const std::vector<vsm::KeywordId> q = {7};
+  const FloodResult r = net.search(q, 300, 0);  // TTL >= diameter
+  EXPECT_EQ(r.items.size(), net.total_matches(q));
+  EXPECT_EQ(r.nodes_reached, net.node_count());
+  // Cost of completeness: ~sum of degrees messages (N-1 lower bound).
+  EXPECT_GT(r.messages, net.node_count() - 1);
+}
+
+TEST(Flooding, ConjunctiveMatching) {
+  Rng rng(7);
+  FloodingNetwork net({20, 3}, rng);
+  net.place_item(1, {1, 2}, 0);
+  net.place_item(2, {1}, 0);
+  const std::vector<vsm::KeywordId> q = {1, 2};
+  const FloodResult r = net.search(q, 20, 0);
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], 1u);
+}
+
+TEST(Flooding, PublishRandomPlacesSomewhere) {
+  Rng rng(8);
+  FloodingNetwork net({100, 3}, rng);
+  Rng prng(9);
+  for (vsm::ItemId id = 0; id < 50; ++id) {
+    net.publish_random(id, {static_cast<vsm::KeywordId>(id % 5)}, prng);
+  }
+  const std::vector<vsm::KeywordId> q = {0};
+  EXPECT_EQ(net.total_matches(q), 10u);
+}
+
+}  // namespace
+}  // namespace meteo::baseline

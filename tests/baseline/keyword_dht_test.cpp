@@ -1,0 +1,106 @@
+#include "baseline/keyword_dht.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace meteo::baseline {
+namespace {
+
+KeywordDhtConfig small_config(std::size_t nodes = 100) {
+  KeywordDhtConfig cfg;
+  cfg.node_count = nodes;
+  return cfg;
+}
+
+TEST(KeywordDht, PublishAndSingleKeywordSearch) {
+  KeywordDht dht(small_config(), 1);
+  const std::vector<vsm::KeywordId> kws = {5, 9};
+  (void)dht.publish(1, kws);
+  const std::vector<vsm::KeywordId> q = {5};
+  const DhtQueryResult r = dht.search(q);
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], 1u);
+}
+
+TEST(KeywordDht, ConjunctiveIntersection) {
+  KeywordDht dht(small_config(), 2);
+  (void)dht.publish(1, std::vector<vsm::KeywordId>{1, 2});
+  (void)dht.publish(2, std::vector<vsm::KeywordId>{1});
+  (void)dht.publish(3, std::vector<vsm::KeywordId>{2});
+  const std::vector<vsm::KeywordId> q = {1, 2};
+  const DhtQueryResult r = dht.search(q);
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0], 1u);
+  // Both full posting lists crossed the network: 2 + 2 postings.
+  EXPECT_EQ(r.postings_examined, 4u);
+  EXPECT_EQ(r.transfer_messages, 4u);
+}
+
+TEST(KeywordDht, DuplicatePublishIsIdempotent) {
+  KeywordDht dht(small_config(), 3);
+  (void)dht.publish(1, std::vector<vsm::KeywordId>{7});
+  (void)dht.publish(1, std::vector<vsm::KeywordId>{7});
+  const std::vector<vsm::KeywordId> q = {7};
+  EXPECT_EQ(dht.search(q).items.size(), 1u);
+}
+
+TEST(KeywordDht, EmptyQueryEmptyResult) {
+  KeywordDht dht(small_config(), 4);
+  const DhtQueryResult r = dht.search({});
+  EXPECT_TRUE(r.items.empty());
+  EXPECT_EQ(r.total_messages(), 0u);
+}
+
+TEST(KeywordDht, MissingKeywordYieldsEmpty) {
+  KeywordDht dht(small_config(), 5);
+  (void)dht.publish(1, std::vector<vsm::KeywordId>{3});
+  const std::vector<vsm::KeywordId> q = {3, 99};
+  EXPECT_TRUE(dht.search(q).items.empty());
+}
+
+TEST(KeywordDht, PopularKeywordCreatesHotspot) {
+  // The §1 pathology: every item shares keyword 0, so one node stores a
+  // posting per item.
+  KeywordDht dht(small_config(200), 6);
+  for (vsm::ItemId id = 0; id < 1000; ++id) {
+    (void)dht.publish(
+        id, std::vector<vsm::KeywordId>{0, static_cast<vsm::KeywordId>(1 + id % 50)});
+  }
+  const auto loads = dht.node_loads();
+  const std::size_t max_load = *std::max_element(loads.begin(), loads.end());
+  EXPECT_GE(max_load, 1000u);  // the keyword-0 node holds every item
+}
+
+TEST(KeywordDht, QueryCostScalesWithPostingLength) {
+  KeywordDht dht(small_config(), 7);
+  for (vsm::ItemId id = 0; id < 500; ++id) {
+    (void)dht.publish(id, std::vector<vsm::KeywordId>{1});
+  }
+  const std::vector<vsm::KeywordId> q = {1};
+  const DhtQueryResult r = dht.search(q);
+  EXPECT_EQ(r.items.size(), 500u);
+  // Transfer cost is the full list, even though the requester may only
+  // want a handful of results.
+  EXPECT_EQ(r.transfer_messages, 500u);
+}
+
+TEST(KeywordDht, PublishCostScalesWithKeywordCount) {
+  KeywordDht dht(small_config(), 8);
+  std::vector<vsm::KeywordId> many;
+  for (vsm::KeywordId k = 0; k < 40; ++k) many.push_back(k);
+  const DhtPublishResult r = dht.publish(1, many);
+  // ~40 routes of ~log(100)/log(4) hops each.
+  EXPECT_GT(r.messages, 40u);
+}
+
+TEST(KeywordDht, KeywordKeyIsDeterministic) {
+  KeywordDht a(small_config(), 9);
+  KeywordDht b(small_config(), 10);
+  EXPECT_EQ(a.keyword_key(42), b.keyword_key(42));
+  EXPECT_NE(a.keyword_key(1), a.keyword_key(2));
+}
+
+}  // namespace
+}  // namespace meteo::baseline

@@ -1,0 +1,161 @@
+#include "baseline/psearch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace meteo::baseline {
+namespace {
+
+vsm::SparseVector vec(std::initializer_list<vsm::KeywordId> kws) {
+  return vsm::SparseVector::binary(std::vector<vsm::KeywordId>(kws));
+}
+
+PSearchConfig small_config() {
+  PSearchConfig cfg;
+  cfg.nodes = 200;
+  cfg.dimensions = 3;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(PSearch, ProjectionIsDeterministic) {
+  PSearch a(small_config());
+  PSearch b(small_config());
+  const auto v = vec({1, 5, 9});
+  EXPECT_EQ(a.project(v), b.project(v));
+}
+
+TEST(PSearch, ProjectionInUnitTorus) {
+  PSearch p(small_config());
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<vsm::Entry> entries;
+    for (int j = 0; j < 8; ++j) {
+      entries.push_back({static_cast<vsm::KeywordId>(rng.below(1000)),
+                         rng.uniform() + 0.1});
+    }
+    const auto point = p.project(vsm::SparseVector::from_entries(entries));
+    for (const double x : point) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LT(x, 1.0);
+    }
+  }
+}
+
+TEST(PSearch, ScaleInvariantProjection) {
+  PSearch p(small_config());
+  const auto a = vsm::SparseVector::from_entries({{1, 1.0}, {2, 2.0}});
+  const auto b = vsm::SparseVector::from_entries({{1, 10.0}, {2, 20.0}});
+  const auto pa = p.project(a);
+  const auto pb = p.project(b);
+  for (std::size_t d = 0; d < pa.size(); ++d) {
+    EXPECT_NEAR(pa[d], pb[d], 1e-12);
+  }
+}
+
+TEST(PSearch, SimilarVectorsProjectNearby) {
+  PSearch p(small_config());
+  Rng rng(2);
+  double similar_dist = 0.0;
+  double random_dist = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<vsm::Entry> base;
+    for (int j = 0; j < 20; ++j) {
+      base.push_back({static_cast<vsm::KeywordId>(rng.below(2000)), 1.0});
+    }
+    auto a = vsm::SparseVector::from_entries(base);
+    auto perturbed = base;
+    perturbed[0].keyword = static_cast<vsm::KeywordId>(rng.below(2000));
+    auto b = vsm::SparseVector::from_entries(perturbed);
+    std::vector<vsm::Entry> other;
+    for (int j = 0; j < 20; ++j) {
+      other.push_back({static_cast<vsm::KeywordId>(rng.below(2000)), 1.0});
+    }
+    auto c = vsm::SparseVector::from_entries(other);
+    auto dist = [&](const CanPoint& x, const CanPoint& y) {
+      double s = 0.0;
+      for (std::size_t d = 0; d < x.size(); ++d) {
+        const double diff = std::abs(x[d] - y[d]);
+        const double wrapped = std::min(diff, 1.0 - diff);
+        s += wrapped * wrapped;
+      }
+      return std::sqrt(s);
+    };
+    similar_dist += dist(p.project(a), p.project(b));
+    random_dist += dist(p.project(a), p.project(c));
+  }
+  EXPECT_LT(similar_dist, random_dist * 0.5);
+}
+
+TEST(PSearch, PublishAndExactQuery) {
+  PSearch p(small_config());
+  for (vsm::ItemId id = 0; id < 100; ++id) {
+    (void)p.publish(id, vec({static_cast<vsm::KeywordId>(id),
+                             static_cast<vsm::KeywordId>(id + 1),
+                             static_cast<vsm::KeywordId>(id + 2)}));
+  }
+  // Querying an item's own vector with a ring wide enough finds it first.
+  const auto q = vec({50, 51, 52});
+  const PSearchQueryResult r = p.query(q, 1, 6);
+  ASSERT_FALSE(r.items.empty());
+  EXPECT_EQ(r.items[0].id, 50u);
+  EXPECT_NEAR(r.items[0].score, 1.0, 1e-9);
+}
+
+TEST(PSearch, RecallGrowsWithRingRadius) {
+  PSearch p(small_config());
+  // 60 items all containing keyword 7 (plus noise), so ground truth = 60.
+  Rng rng(3);
+  for (vsm::ItemId id = 0; id < 60; ++id) {
+    (void)p.publish(id, vec({7, static_cast<vsm::KeywordId>(100 + rng.below(500)),
+                             static_cast<vsm::KeywordId>(700 + rng.below(500))}));
+  }
+  const auto q = vec({7});
+  std::size_t prev_found = 0;
+  std::size_t prev_messages = 0;
+  for (const std::size_t radius : {0u, 2u, 4u, 8u, 32u}) {
+    const PSearchQueryResult r = p.query(q, 60, radius);
+    std::size_t relevant = 0;
+    for (const auto& hit : r.items) {
+      if (hit.score > 0.0) ++relevant;
+    }
+    EXPECT_GE(relevant, prev_found);
+    EXPECT_GE(r.flood_messages, prev_messages);
+    prev_found = relevant;
+    prev_messages = r.flood_messages;
+  }
+  // A full-coverage ring reaches everything...
+  EXPECT_EQ(prev_found, 60u);
+  // ...at flooding cost (the §5 criticism): messages ~ edges of the graph.
+  EXPECT_GT(prev_messages, p.network().node_count());
+}
+
+TEST(PSearch, BasisRebuildRepublishesEverything) {
+  PSearch p(small_config());
+  for (vsm::ItemId id = 0; id < 200; ++id) {
+    (void)p.publish(id, vec({static_cast<vsm::KeywordId>(id % 50),
+                             static_cast<vsm::KeywordId>(id % 31)}));
+  }
+  const std::size_t messages = p.rebuild_basis(999);
+  // Every one of the 200 items re-routed: a bulk republish, unlike
+  // Meteorograph's fixed universal dictionary (§3.7).
+  EXPECT_GT(messages, 200u);
+  // Items remain findable under the new basis.
+  const auto q = vec({5, 5 % 31});
+  const PSearchQueryResult r = p.query(q, 5, 8);
+  EXPECT_FALSE(r.items.empty());
+}
+
+TEST(PSearch, QueryOnEmptySystem) {
+  PSearch p(small_config());
+  const PSearchQueryResult r = p.query(vec({1}), 5, 3);
+  EXPECT_TRUE(r.items.empty());
+  EXPECT_GT(r.nodes_searched, 0u);
+}
+
+}  // namespace
+}  // namespace meteo::baseline

@@ -1,0 +1,125 @@
+#include "common/cdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace meteo {
+namespace {
+
+TEST(PiecewiseLinearMap, IdentityThroughTwoKnots) {
+  const PiecewiseLinearMap f({{0.0, 0.0}, {1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(f(1.0), 1.0);
+}
+
+TEST(PiecewiseLinearMap, ClampsOutsideDomain) {
+  const PiecewiseLinearMap f({{0.0, 10.0}, {1.0, 20.0}});
+  EXPECT_DOUBLE_EQ(f(-5.0), 10.0);
+  EXPECT_DOUBLE_EQ(f(5.0), 20.0);
+}
+
+TEST(PiecewiseLinearMap, MultiSegmentInterpolation) {
+  const PiecewiseLinearMap f({{0.0, 0.0}, {1.0, 10.0}, {3.0, 10.0}, {4.0, 30.0}});
+  EXPECT_DOUBLE_EQ(f(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 10.0);   // flat segment
+  EXPECT_DOUBLE_EQ(f(3.5), 20.0);
+}
+
+TEST(PiecewiseLinearMap, MonotoneProperty) {
+  const PiecewiseLinearMap f(
+      {{0.0, 0.0}, {10.0, 3.0}, {20.0, 3.0}, {50.0, 100.0}});
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double a = rng.uniform(-10.0, 60.0);
+    const double b = rng.uniform(-10.0, 60.0);
+    if (a <= b) {
+      EXPECT_LE(f(a), f(b));
+    } else {
+      EXPECT_GE(f(a), f(b));
+    }
+  }
+}
+
+TEST(PiecewiseLinearMap, InverseRoundTrip) {
+  const PiecewiseLinearMap f({{0.0, 5.0}, {2.0, 9.0}, {4.0, 17.0}});
+  const PiecewiseLinearMap g = f.inverse();
+  for (const double x : {0.0, 0.5, 1.0, 2.0, 3.0, 4.0}) {
+    EXPECT_NEAR(g(f(x)), x, 1e-12);
+  }
+}
+
+TEST(PiecewiseLinearMap, InverseSkipsFlatSegments) {
+  const PiecewiseLinearMap f({{0.0, 0.0}, {1.0, 5.0}, {2.0, 5.0}, {3.0, 10.0}});
+  const PiecewiseLinearMap g = f.inverse();
+  // y = 5 maps back to the left edge of the flat region.
+  EXPECT_DOUBLE_EQ(g(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(g(10.0), 3.0);
+}
+
+TEST(EmpiricalCdf, FractionAtBounds) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const EmpiricalCdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileIsLeftInverse) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+  const EmpiricalCdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.21), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 50.0);
+}
+
+TEST(EmpiricalCdf, MinMax) {
+  const std::vector<double> xs = {5.0, -1.0, 3.0};
+  const EmpiricalCdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.min(), -1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+  EXPECT_EQ(cdf.sample_count(), 3u);
+}
+
+TEST(EmpiricalCdf, ResampleSpansDomain) {
+  std::vector<double> xs;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.uniform(0.0, 100.0));
+  const EmpiricalCdf cdf(xs);
+  const auto knots = cdf.resample(11);
+  ASSERT_EQ(knots.size(), 11u);
+  EXPECT_DOUBLE_EQ(knots.front().x, cdf.min());
+  EXPECT_DOUBLE_EQ(knots.back().x, cdf.max());
+  EXPECT_DOUBLE_EQ(knots.back().y, 1.0);
+  for (std::size_t i = 1; i < knots.size(); ++i) {
+    EXPECT_GT(knots[i].x, knots[i - 1].x);
+    EXPECT_GE(knots[i].y, knots[i - 1].y);
+  }
+}
+
+TEST(EmpiricalCdf, ResampleOfUniformIsNearlyLinear) {
+  std::vector<double> xs;
+  Rng rng(4);
+  for (int i = 0; i < 100000; ++i) xs.push_back(rng.uniform());
+  const EmpiricalCdf cdf(xs);
+  for (const auto& k : cdf.resample(21)) {
+    EXPECT_NEAR(k.y, k.x, 0.02);
+  }
+}
+
+TEST(EmpiricalCdf, DegenerateSingleValue) {
+  const std::vector<double> xs(10, 7.0);
+  const EmpiricalCdf cdf(xs);
+  const auto knots = cdf.resample(5);
+  ASSERT_GE(knots.size(), 2u);
+  EXPECT_DOUBLE_EQ(knots.back().y, 1.0);
+}
+
+}  // namespace
+}  // namespace meteo

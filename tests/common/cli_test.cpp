@@ -1,0 +1,78 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace meteo {
+namespace {
+
+CliParser make_parser() {
+  CliParser p;
+  p.add_flag("nodes", "1000", "node count");
+  p.add_flag("rate", "0.5", "rate");
+  p.add_bool("csv", false, "emit csv");
+  p.add_bool("verbose", true, "verbose output");
+  return p;
+}
+
+TEST(CliParser, DefaultsApply) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(p.get_int("nodes"), 1000);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 0.5);
+  EXPECT_FALSE(p.get_bool("csv"));
+  EXPECT_TRUE(p.get_bool("verbose"));
+}
+
+TEST(CliParser, EqualsSyntax) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--nodes=5000", "--rate=1.25"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_EQ(p.get_int("nodes"), 5000);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 1.25);
+}
+
+TEST(CliParser, SpaceSyntax) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--nodes", "42"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_EQ(p.get_int("nodes"), 42);
+}
+
+TEST(CliParser, BoolFlagAndNegation) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--csv", "--no-verbose"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_TRUE(p.get_bool("csv"));
+  EXPECT_FALSE(p.get_bool("verbose"));
+}
+
+TEST(CliParser, UnknownFlagFails) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(CliParser, MissingValueFails) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--nodes"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(CliParser, HelpReturnsFalse) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(CliParser, PositionalArgumentsCollected) {
+  CliParser p = make_parser();
+  const char* argv[] = {"prog", "input.log", "--csv", "other"};
+  ASSERT_TRUE(p.parse(4, argv));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.log");
+  EXPECT_EQ(p.positional()[1], "other");
+}
+
+}  // namespace
+}  // namespace meteo

@@ -1,0 +1,59 @@
+#include "common/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace meteo {
+namespace {
+
+enum class ErrorCode { kNotFound, kFull };
+
+TEST(Result, HoldsValue) {
+  const Result<int, ErrorCode> r(42);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  const Result<int, ErrorCode> r(Err{ErrorCode::kFull});
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), ErrorCode::kFull);
+}
+
+TEST(Result, ValueOr) {
+  const Result<int, ErrorCode> ok(7);
+  const Result<int, ErrorCode> bad(Err{ErrorCode::kNotFound});
+  EXPECT_EQ(ok.value_or(0), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Result, MapTransformsValue) {
+  const Result<int, ErrorCode> r(10);
+  const auto doubled = r.map([](int x) { return x * 2; });
+  ASSERT_TRUE(doubled.has_value());
+  EXPECT_EQ(doubled.value(), 20);
+}
+
+TEST(Result, MapPropagatesError) {
+  const Result<int, ErrorCode> r(Err{ErrorCode::kNotFound});
+  const auto mapped = r.map([](int x) { return std::to_string(x); });
+  ASSERT_FALSE(mapped.has_value());
+  EXPECT_EQ(mapped.error(), ErrorCode::kNotFound);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string, ErrorCode> r(std::string("hello"));
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Result, MutableValueAccess) {
+  Result<int, ErrorCode> r(1);
+  r.value() = 99;
+  EXPECT_EQ(r.value(), 99);
+}
+
+}  // namespace
+}  // namespace meteo

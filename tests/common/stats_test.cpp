@@ -1,0 +1,158 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace meteo {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  const OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleSample) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  OnlineStats all;
+  OnlineStats a;
+  OnlineStats b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = static_cast<double>(i * i % 37);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, BinEdges) {
+  const Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, AddAndCount) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(9.99);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClamps) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1, 10);
+  h.add(0.9, 30);
+  EXPECT_EQ(h.count(0), 10u);
+  EXPECT_EQ(h.count(1), 30u);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(1), 1.0);
+}
+
+TEST(Histogram, CumulativeOfEmptyIsZero) {
+  const Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(3), 0.0);
+}
+
+TEST(Percentile, MedianOfOdd) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.0);
+}
+
+TEST(Percentile, Interpolated) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 10.0);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 99.0), 7.0);
+}
+
+TEST(Gini, PerfectlyEvenIsZero) {
+  const std::vector<double> xs(10, 4.0);
+  EXPECT_NEAR(gini(xs), 0.0, 1e-12);
+}
+
+TEST(Gini, MaximallyUneven) {
+  std::vector<double> xs(100, 0.0);
+  xs.back() = 1.0;
+  EXPECT_NEAR(gini(xs), 0.99, 1e-12);
+}
+
+TEST(Gini, EmptyAndZeroInputs) {
+  EXPECT_DOUBLE_EQ(gini({}), 0.0);
+  const std::vector<double> zeros(5, 0.0);
+  EXPECT_DOUBLE_EQ(gini(zeros), 0.0);
+}
+
+TEST(Gini, KnownValue) {
+  // {1, 3}: Gini = (2*(1*1+2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25.
+  const std::vector<double> xs = {1.0, 3.0};
+  EXPECT_NEAR(gini(xs), 0.25, 1e-12);
+}
+
+TEST(Gini, ScaleInvariant) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 10.0};
+  std::vector<double> b;
+  for (const double x : a) b.push_back(x * 1000.0);
+  EXPECT_NEAR(gini(a), gini(b), 1e-12);
+}
+
+}  // namespace
+}  // namespace meteo

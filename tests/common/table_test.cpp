@@ -1,0 +1,57 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace meteo {
+namespace {
+
+TEST(TextTable, AlignedOutputContainsCells) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TextTable, CsvBasic) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, CsvQuotesSpecialCharacters) {
+  TextTable t({"a"});
+  t.add_row({"hello, world"});
+  t.add_row({"say \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(1.5), "1.5");
+  EXPECT_EQ(TextTable::num(0.125, 3), "0.125");
+  EXPECT_EQ(TextTable::integer(-42), "-42");
+  EXPECT_EQ(TextTable::integer(1234567890123LL), "1234567890123");
+}
+
+}  // namespace
+}  // namespace meteo

@@ -1,0 +1,137 @@
+#include "common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace meteo {
+namespace {
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  const ZipfSampler z(100, 1.0);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < 100; ++k) sum += z.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZipfSampler, PmfIsDecreasing) {
+  const ZipfSampler z(50, 0.8);
+  for (std::size_t k = 1; k < 50; ++k) {
+    EXPECT_LT(z.pmf(k), z.pmf(k - 1));
+  }
+}
+
+TEST(ZipfSampler, SamplesInRange) {
+  const ZipfSampler z(37, 1.2);
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LT(z(rng), 37u);
+  }
+}
+
+TEST(ZipfSampler, SingleElement) {
+  const ZipfSampler z(1, 1.0);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z(rng), 0u);
+}
+
+TEST(ZipfSampler, EmpiricalMatchesPmf) {
+  const std::size_t n = 200;
+  const ZipfSampler z(n, 1.0);
+  Rng rng(3);
+  std::vector<int> counts(n, 0);
+  const int draws = 400000;
+  for (int i = 0; i < draws; ++i) ++counts[z(rng)];
+  // Check the head ranks where mass is concentrated.
+  for (std::size_t k = 0; k < 10; ++k) {
+    const double expected = z.pmf(k);
+    const double observed = static_cast<double>(counts[k]) / draws;
+    EXPECT_NEAR(observed, expected, 0.15 * expected + 0.001)
+        << "rank " << k;
+  }
+}
+
+class ZipfExponentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentSweep, RankOneIsMostPopular) {
+  const double s = GetParam();
+  const ZipfSampler z(1000, s);
+  Rng rng(4);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z(rng)];
+  const auto max_it = std::max_element(counts.begin(), counts.end());
+  EXPECT_EQ(max_it - counts.begin(), 0);
+}
+
+TEST_P(ZipfExponentSweep, PmfNormalized) {
+  const ZipfSampler z(500, GetParam());
+  double sum = 0.0;
+  for (std::size_t k = 0; k < 500; ++k) sum += z.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentSweep,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2, 2.0));
+
+TEST(AliasTable, UniformWeights) {
+  const std::vector<double> w(8, 1.0);
+  const AliasTable t(w);
+  Rng rng(5);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[t(rng)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.125, 0.01);
+  }
+}
+
+TEST(AliasTable, SkewedWeights) {
+  const std::vector<double> w = {8.0, 1.0, 1.0};
+  const AliasTable t(w);
+  Rng rng(6);
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[t(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.8, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.1, 0.01);
+}
+
+TEST(AliasTable, ZeroWeightNeverDrawn) {
+  const std::vector<double> w = {1.0, 0.0, 1.0};
+  const AliasTable t(w);
+  Rng rng(7);
+  for (int i = 0; i < 50000; ++i) {
+    EXPECT_NE(t(rng), 1u);
+  }
+}
+
+TEST(AliasTable, SingleEntry) {
+  const std::vector<double> w = {3.5};
+  const AliasTable t(w);
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t(rng), 0u);
+}
+
+TEST(AliasTable, ProbabilityAccessor) {
+  const std::vector<double> w = {1.0, 3.0};
+  const AliasTable t(w);
+  EXPECT_DOUBLE_EQ(t.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(t.probability(1), 0.75);
+}
+
+TEST(AliasTable, LargeTableAllReachable) {
+  std::vector<double> w(4096);
+  Rng seed_rng(9);
+  for (auto& x : w) x = seed_rng.uniform() + 0.01;
+  const AliasTable t(w);
+  Rng rng(10);
+  std::vector<bool> seen(w.size(), false);
+  for (int i = 0; i < 2000000; ++i) seen[t(rng)] = true;
+  const auto reached = std::count(seen.begin(), seen.end(), true);
+  EXPECT_GT(reached, static_cast<long>(w.size() * 99 / 100));
+}
+
+}  // namespace
+}  // namespace meteo

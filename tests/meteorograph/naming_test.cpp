@@ -1,0 +1,137 @@
+#include "meteorograph/naming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "vsm/absolute_angle.hpp"
+
+namespace meteo::core {
+namespace {
+
+SystemConfig test_config(LoadBalanceMode mode) {
+  SystemConfig cfg;
+  cfg.load_balance = mode;
+  cfg.dimension = 1000;
+  return cfg;
+}
+
+/// A skewed raw-key sample: 85% of keys in a narrow band, like Fig. 3.
+std::vector<overlay::Key> skewed_sample(Rng& rng, std::size_t n,
+                                        overlay::Key space) {
+  std::vector<overlay::Key> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(0.85)) {
+      keys.push_back(space / 2 - 50'000 + rng.below(100'000));
+    } else {
+      keys.push_back(rng.below(space / 2));
+    }
+  }
+  return keys;
+}
+
+TEST(NamingScheme, NoneModeIsIdentity) {
+  const SystemConfig cfg = test_config(LoadBalanceMode::kNone);
+  const NamingScheme scheme = NamingScheme::fit({}, cfg);
+  EXPECT_EQ(scheme.remap(0), 0u);
+  EXPECT_EQ(scheme.remap(12345), 12345u);
+  EXPECT_TRUE(scheme.knees().empty());
+}
+
+TEST(NamingScheme, RawKeyMatchesAbsoluteAngle) {
+  const SystemConfig cfg = test_config(LoadBalanceMode::kNone);
+  const NamingScheme scheme = NamingScheme::fit({}, cfg);
+  const auto v = vsm::SparseVector::binary(std::vector<vsm::KeywordId>{1, 2, 3});
+  EXPECT_EQ(scheme.raw_key(v),
+            vsm::absolute_angle_key(v, cfg.dimension, cfg.overlay.key_space));
+}
+
+TEST(NamingScheme, RemapIsMonotone) {
+  Rng rng(1);
+  const SystemConfig cfg = test_config(LoadBalanceMode::kUnusedHashSpace);
+  const auto sample = skewed_sample(rng, 5000, cfg.overlay.key_space);
+  const NamingScheme scheme = NamingScheme::fit(sample, cfg);
+  overlay::Key prev = 0;
+  for (overlay::Key raw = 0; raw < cfg.overlay.key_space;
+       raw += cfg.overlay.key_space / 1000) {
+    const overlay::Key mapped = scheme.remap(raw);
+    EXPECT_GE(mapped, prev);
+    EXPECT_LT(mapped, cfg.overlay.key_space);
+    prev = mapped;
+  }
+}
+
+TEST(NamingScheme, RemapFlattensSkewedDistribution) {
+  Rng rng(2);
+  const SystemConfig cfg = test_config(LoadBalanceMode::kUnusedHashSpace);
+  const auto sample = skewed_sample(rng, 20000, cfg.overlay.key_space);
+  const NamingScheme scheme = NamingScheme::fit(sample, cfg);
+
+  // Remap a fresh draw from the same distribution and measure uniformity
+  // over 10 equal bins of the space.
+  const auto fresh = skewed_sample(rng, 20000, cfg.overlay.key_space);
+  Histogram hist(0.0, static_cast<double>(cfg.overlay.key_space), 10);
+  for (const overlay::Key k : fresh) {
+    hist.add(static_cast<double>(scheme.remap(k)));
+  }
+  Histogram raw_hist(0.0, static_cast<double>(cfg.overlay.key_space), 10);
+  for (const overlay::Key k : fresh) raw_hist.add(static_cast<double>(k));
+
+  // Raw: the hot band (straddling two bins at space/2) holds > 80% of
+  // mass. Remapped: no single bin above 35%.
+  std::vector<std::uint64_t> raw_counts;
+  std::uint64_t remap_max = 0;
+  for (std::size_t b = 0; b < 10; ++b) {
+    raw_counts.push_back(raw_hist.count(b));
+    remap_max = std::max(remap_max, hist.count(b));
+  }
+  std::sort(raw_counts.begin(), raw_counts.end(), std::greater<>());
+  EXPECT_GT(raw_counts[0] + raw_counts[1], 20000u * 80 / 100);
+  EXPECT_LT(remap_max, 20000u * 35 / 100);
+}
+
+TEST(NamingScheme, KneeBudgetRespected) {
+  Rng rng(3);
+  SystemConfig cfg = test_config(LoadBalanceMode::kUnusedHashSpace);
+  cfg.eq6_knees = 5;
+  const auto sample = skewed_sample(rng, 5000, cfg.overlay.key_space);
+  const NamingScheme scheme = NamingScheme::fit(sample, cfg);
+  // Budget + possibly 2 pinned boundary knots.
+  EXPECT_LE(scheme.knees().size(), 7u);
+  EXPECT_GE(scheme.knees().size(), 2u);
+}
+
+TEST(NamingScheme, BoundaryKeysStayInSpace) {
+  Rng rng(4);
+  const SystemConfig cfg = test_config(LoadBalanceMode::kUnusedHashSpace);
+  const auto sample = skewed_sample(rng, 1000, cfg.overlay.key_space);
+  const NamingScheme scheme = NamingScheme::fit(sample, cfg);
+  EXPECT_LT(scheme.remap(0), cfg.overlay.key_space);
+  EXPECT_LT(scheme.remap(cfg.overlay.key_space - 1), cfg.overlay.key_space);
+}
+
+class OrderPreservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OrderPreservation, SimilarItemsStayAdjacent) {
+  // The property Eq. 6 must preserve: if raw(a) <= raw(b) <= raw(c) then
+  // the remapped keys keep that order, so b remains between a and c.
+  Rng rng(GetParam());
+  const SystemConfig cfg = test_config(LoadBalanceMode::kUnusedHashSpace);
+  const auto sample = skewed_sample(rng, 3000, cfg.overlay.key_space);
+  const NamingScheme scheme = NamingScheme::fit(sample, cfg);
+  for (int trial = 0; trial < 1000; ++trial) {
+    overlay::Key a = rng.below(cfg.overlay.key_space);
+    overlay::Key b = rng.below(cfg.overlay.key_space);
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(scheme.remap(a), scheme.remap(b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderPreservation,
+                         ::testing::Values(10u, 20u, 30u));
+
+}  // namespace
+}  // namespace meteo::core

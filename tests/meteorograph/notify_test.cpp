@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "meteorograph/meteorograph.hpp"
+#include "workload/trace.hpp"
+
+namespace meteo::core {
+namespace {
+
+struct NotifyFixture : ::testing::Test {
+  NotifyFixture() {
+    workload::TraceConfig tc;
+    tc.num_items = 600;
+    tc.num_keywords = 800;
+    tc.mean_basket = 8.0;
+    tc.max_basket = 40;
+    trace_.emplace(workload::synthesize_trace(tc, 5));
+    weights_ = trace_->keyword_weights(workload::WeightScheme::kIdf);
+    for (std::size_t i = 0; i < trace_->item_count(); ++i) {
+      vectors_.push_back(trace_->vector_of(i, weights_));
+    }
+    std::vector<vsm::SparseVector> sample;
+    for (std::size_t i = 0; i < vectors_.size(); i += 11) {
+      sample.push_back(vectors_[i]);
+    }
+    SystemConfig cfg;
+    cfg.node_count = 80;
+    cfg.dimension = 800;
+    sys_.emplace(cfg, sample, 9);
+  }
+
+  std::optional<workload::Trace> trace_;
+  std::vector<double> weights_;
+  std::vector<vsm::SparseVector> vectors_;
+  std::optional<Meteorograph> sys_;
+};
+
+TEST_F(NotifyFixture, SubscriberReceivesMatchingPublishes) {
+  const overlay::NodeId me = sys_->network().alive_nodes().front();
+  const std::vector<vsm::KeywordId> interest = {0};  // most popular keyword
+  const SubscribeResult sub =
+      sys_->subscribe(interest, me, /*horizon=*/1000);  // cover everything
+  EXPECT_GT(sub.planted_nodes, 0u);
+
+  std::size_t expected = 0;
+  for (vsm::ItemId id = 0; id < vectors_.size(); ++id) {
+    ASSERT_TRUE(sys_->publish(id, vectors_[id]).success);
+    if (vectors_[id].contains(0)) ++expected;
+  }
+  ASSERT_GT(expected, 0u);
+
+  const auto inbox = sys_->take_notifications(me);
+  EXPECT_EQ(inbox.size(), expected);
+  for (const Notification& n : inbox) {
+    EXPECT_EQ(n.subscription, sub.id);
+    EXPECT_TRUE(vectors_[n.item].contains(0));
+  }
+}
+
+TEST_F(NotifyFixture, NonMatchingPublishesDoNotNotify) {
+  const overlay::NodeId me = sys_->network().alive_nodes().front();
+  // Subscribe to a keyword id that no item uses.
+  const std::vector<vsm::KeywordId> interest = {799};
+  bool unused = true;
+  for (const auto& v : vectors_) {
+    if (v.contains(799)) unused = false;
+  }
+  if (!unused) GTEST_SKIP() << "keyword 799 happens to be used";
+  (void)sys_->subscribe(interest, me, 1000);
+  for (vsm::ItemId id = 0; id < 100; ++id) {
+    (void)sys_->publish(id, vectors_[id]);
+  }
+  EXPECT_TRUE(sys_->take_notifications(me).empty());
+}
+
+TEST_F(NotifyFixture, TakeNotificationsDrains) {
+  const overlay::NodeId me = sys_->network().alive_nodes().front();
+  (void)sys_->subscribe(std::vector<vsm::KeywordId>{0}, me, 1000);
+  for (vsm::ItemId id = 0; id < 200; ++id) {
+    (void)sys_->publish(id, vectors_[id]);
+  }
+  const auto first = sys_->take_notifications(me);
+  EXPECT_FALSE(first.empty());
+  EXPECT_TRUE(sys_->take_notifications(me).empty());
+}
+
+TEST_F(NotifyFixture, UnsubscribeStopsDeliveries) {
+  const overlay::NodeId me = sys_->network().alive_nodes().front();
+  const SubscribeResult sub =
+      sys_->subscribe(std::vector<vsm::KeywordId>{0}, me, 1000);
+  EXPECT_TRUE(sys_->unsubscribe(sub.id));
+  EXPECT_FALSE(sys_->unsubscribe(sub.id));  // idempotence check
+  for (vsm::ItemId id = 0; id < 200; ++id) {
+    (void)sys_->publish(id, vectors_[id]);
+  }
+  EXPECT_TRUE(sys_->take_notifications(me).empty());
+}
+
+TEST_F(NotifyFixture, MultipleSubscribersAreIndependent) {
+  const auto nodes = sys_->network().alive_nodes();
+  const overlay::NodeId a = nodes[0];
+  const overlay::NodeId b = nodes[1];
+  const SubscribeResult sa =
+      sys_->subscribe(std::vector<vsm::KeywordId>{0}, a, 1000);
+  const SubscribeResult sb =
+      sys_->subscribe(std::vector<vsm::KeywordId>{1}, b, 1000);
+  EXPECT_NE(sa.id, sb.id);
+  for (vsm::ItemId id = 0; id < vectors_.size(); ++id) {
+    (void)sys_->publish(id, vectors_[id]);
+  }
+  for (const Notification& n : sys_->take_notifications(a)) {
+    EXPECT_EQ(n.subscription, sa.id);
+    EXPECT_TRUE(vectors_[n.item].contains(0));
+  }
+  for (const Notification& n : sys_->take_notifications(b)) {
+    EXPECT_EQ(n.subscription, sb.id);
+    EXPECT_TRUE(vectors_[n.item].contains(1));
+  }
+}
+
+TEST_F(NotifyFixture, ConjunctiveSubscriptionMatchesAllKeywords) {
+  const overlay::NodeId me = sys_->network().alive_nodes().front();
+  // Find a 2-keyword combination present in the data.
+  std::vector<vsm::KeywordId> interest;
+  for (const auto& v : vectors_) {
+    if (v.nnz() >= 2) {
+      interest = {v.entries()[0].keyword, v.entries()[1].keyword};
+      break;
+    }
+  }
+  ASSERT_EQ(interest.size(), 2u);
+  (void)sys_->subscribe(interest, me, 1000);
+  std::size_t expected = 0;
+  for (vsm::ItemId id = 0; id < vectors_.size(); ++id) {
+    (void)sys_->publish(id, vectors_[id]);
+    if (vectors_[id].contains(interest[0]) &&
+        vectors_[id].contains(interest[1])) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(sys_->take_notifications(me).size(), expected);
+}
+
+TEST_F(NotifyFixture, LimitedHorizonIsBestEffort) {
+  const overlay::NodeId me = sys_->network().alive_nodes().front();
+  const SubscribeResult sub =
+      sys_->subscribe(std::vector<vsm::KeywordId>{0}, me, /*horizon=*/2);
+  EXPECT_LE(sub.planted_nodes, 2u);
+  std::size_t matching = 0;
+  for (vsm::ItemId id = 0; id < vectors_.size(); ++id) {
+    (void)sys_->publish(id, vectors_[id]);
+    if (vectors_[id].contains(0)) ++matching;
+  }
+  // Best-effort: no more than the matching count, possibly fewer.
+  EXPECT_LE(sys_->take_notifications(me).size(), matching);
+}
+
+TEST_F(NotifyFixture, NotificationCostIsAccounted) {
+  const overlay::NodeId me = sys_->network().alive_nodes().front();
+  (void)sys_->subscribe(std::vector<vsm::KeywordId>{0}, me, 1000);
+  std::size_t notify_msgs = 0;
+  for (vsm::ItemId id = 0; id < 100; ++id) {
+    notify_msgs += sys_->publish(id, vectors_[id]).notify_messages;
+  }
+  const auto inbox = sys_->take_notifications(me);
+  EXPECT_GE(notify_msgs, inbox.size());  // >= 1 message per delivery
+}
+
+}  // namespace
+}  // namespace meteo::core

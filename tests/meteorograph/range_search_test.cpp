@@ -1,0 +1,163 @@
+#include "meteorograph/range_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "meteorograph/meteorograph.hpp"
+
+namespace meteo::core {
+namespace {
+
+TEST(AttributeSpace, LinearMappingEndpoints) {
+  const AttributeSpace space(0, 0.0, 100.0, 1000, 2000,
+                             AttributeScale::kLinear);
+  EXPECT_EQ(space.key_of(0.0), 1000u);
+  EXPECT_EQ(space.key_of(100.0), 2000u);
+  EXPECT_EQ(space.key_of(50.0), 1500u);
+}
+
+TEST(AttributeSpace, ClampsOutOfRange) {
+  const AttributeSpace space(0, 10.0, 20.0, 0, 100, AttributeScale::kLinear);
+  EXPECT_EQ(space.key_of(-5.0), space.key_of(10.0));
+  EXPECT_EQ(space.key_of(500.0), space.key_of(20.0));
+}
+
+TEST(AttributeSpace, LinearIsMonotone) {
+  const AttributeSpace space(0, -50.0, 50.0, 0, 1'000'000,
+                             AttributeScale::kLinear);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const double a = rng.uniform(-60.0, 60.0);
+    const double b = rng.uniform(-60.0, 60.0);
+    if (a <= b) {
+      EXPECT_LE(space.key_of(a), space.key_of(b));
+    }
+  }
+}
+
+TEST(AttributeSpace, LogScaleSpreadsOrdersOfMagnitude) {
+  // 1 GiB .. 1 TiB memory sizes; log scale gives each decade equal keys.
+  const AttributeSpace space(0, 1.0, 1024.0, 0, 1'000'000,
+                             AttributeScale::kLog);
+  const overlay::Key k1 = space.key_of(1.0);
+  const overlay::Key k32 = space.key_of(32.0);
+  const overlay::Key k1024 = space.key_of(1024.0);
+  // 32 is the geometric midpoint of [1, 1024].
+  EXPECT_NEAR(static_cast<double>(k32 - k1),
+              static_cast<double>(k1024 - k32), 2.0);
+}
+
+TEST(AttributeSpace, LogIsMonotone) {
+  const AttributeSpace space(0, 0.5, 4096.0, 0, 1'000'000, AttributeScale::kLog);
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const double a = rng.uniform(0.5, 4096.0);
+    const double b = rng.uniform(0.5, 4096.0);
+    if (a <= b) {
+      EXPECT_LE(space.key_of(a), space.key_of(b));
+    }
+  }
+}
+
+TEST(AttributeRegistry, SlicesAreDisjoint) {
+  AttributeRegistry reg(overlay::kDefaultKeySpace);
+  const AttributeId a = reg.register_attribute(0.0, 1.0);
+  const AttributeId b = reg.register_attribute(0.0, 1.0);
+  EXPECT_NE(a, b);
+  EXPECT_LT(reg.space(a).key_hi(), reg.space(b).key_lo());
+}
+
+TEST(AttributeRegistry, SizeTracksRegistrations) {
+  AttributeRegistry reg;
+  EXPECT_EQ(reg.size(), 0u);
+  (void)reg.register_attribute(0.0, 10.0);
+  (void)reg.register_attribute(1.0, 100.0, AttributeScale::kLog);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+// --- end-to-end through the facade -----------------------------------------
+
+class RangeSearchEndToEnd : public ::testing::Test {
+ protected:
+  RangeSearchEndToEnd() : sys_(make_config(), sample(), 7) {
+    memory_ = sys_.register_attribute(1.0, 1024.0, AttributeScale::kLog);
+    cores_ = sys_.register_attribute(1.0, 256.0, AttributeScale::kLinear);
+    // 200 machines: memory = id MiB-ish values spread over the range.
+    for (vsm::ItemId id = 0; id < 200; ++id) {
+      const double mem = 1.0 + static_cast<double>(id) * 5.0;
+      (void)sys_.publish_attribute(id, memory_, mem);
+      (void)sys_.publish_attribute(id, cores_,
+                                   static_cast<double>(1 + id % 64));
+    }
+  }
+
+  static SystemConfig make_config() {
+    SystemConfig cfg;
+    cfg.node_count = 64;
+    cfg.dimension = 100;
+    cfg.load_balance = LoadBalanceMode::kNone;
+    return cfg;
+  }
+  static std::vector<vsm::SparseVector> sample() { return {}; }
+
+  Meteorograph sys_ = Meteorograph(make_config(), {}, 7);
+  AttributeId memory_ = 0;
+  AttributeId cores_ = 0;
+};
+
+TEST_F(RangeSearchEndToEnd, FindsExactRange) {
+  // Items with memory in [101, 201]: ids 20..40.
+  const RangeSearchResult r = sys_.range_search(memory_, 101.0, 201.0);
+  ASSERT_EQ(r.matches.size(), 21u);
+  for (const RangeMatch& m : r.matches) {
+    EXPECT_GE(m.value, 101.0);
+    EXPECT_LE(m.value, 201.0);
+  }
+}
+
+TEST_F(RangeSearchEndToEnd, ResultsSortedByValue) {
+  const RangeSearchResult r = sys_.range_search(memory_, 1.0, 1024.0);
+  ASSERT_EQ(r.matches.size(), 200u);  // the whole population
+  for (std::size_t i = 1; i < r.matches.size(); ++i) {
+    EXPECT_LE(r.matches[i - 1].value, r.matches[i].value);
+  }
+}
+
+TEST_F(RangeSearchEndToEnd, EmptyRangeYieldsNothing) {
+  const RangeSearchResult r = sys_.range_search(memory_, 2.5, 3.5);
+  EXPECT_TRUE(r.matches.empty());
+}
+
+TEST_F(RangeSearchEndToEnd, PointQueryFindsExactValue) {
+  const RangeSearchResult r = sys_.range_search(memory_, 6.0, 6.0);
+  ASSERT_EQ(r.matches.size(), 1u);
+  EXPECT_EQ(r.matches[0].item, 1u);  // id 1 has memory 6.0
+}
+
+TEST_F(RangeSearchEndToEnd, AttributesAreIsolated) {
+  // A cores query must never return memory records.
+  const RangeSearchResult r = sys_.range_search(cores_, 1.0, 256.0);
+  EXPECT_EQ(r.matches.size(), 200u);
+  for (const RangeMatch& m : r.matches) {
+    EXPECT_LE(m.value, 64.0);  // cores were published as 1..64
+  }
+}
+
+TEST_F(RangeSearchEndToEnd, CostIsRoutePlusSpan) {
+  // A narrow range should cost O(log N) route + a short walk; a full-space
+  // range walks more nodes.
+  const RangeSearchResult narrow = sys_.range_search(memory_, 500.0, 510.0);
+  const RangeSearchResult wide = sys_.range_search(memory_, 1.0, 1024.0);
+  EXPECT_LT(narrow.total_messages(), wide.total_messages());
+  EXPECT_LE(narrow.route_hops, 10u);
+}
+
+TEST_F(RangeSearchEndToEnd, MessagesAreCounted) {
+  (void)sys_.range_search(memory_, 1.0, 100.0);
+  EXPECT_GT(sys_.metrics().counter_value("range.search.count"), 0u);
+}
+
+}  // namespace
+}  // namespace meteo::core

@@ -1,0 +1,162 @@
+#include "meteorograph/storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace meteo::core {
+namespace {
+
+StoredEntry entry(vsm::ItemId id, overlay::Key raw,
+                  std::initializer_list<vsm::KeywordId> kws) {
+  return StoredEntry{id, raw,
+                     vsm::SparseVector::binary(std::vector<vsm::KeywordId>(kws))};
+}
+
+TEST(AngleStore, InsertContainsErase) {
+  AngleStore s;
+  s.insert(entry(1, 100, {0}));
+  s.insert(entry(2, 200, {1}));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_TRUE(s.erase(1));
+  EXPECT_FALSE(s.erase(1));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(AngleStore, InsertReplacesSameId) {
+  AngleStore s;
+  s.insert(entry(1, 100, {0}));
+  s.insert(entry(1, 500, {5}));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.min_raw_key(), 500u);
+  ASSERT_NE(s.vector_of(1), nullptr);
+  EXPECT_TRUE(s.vector_of(1)->contains(5));
+}
+
+TEST(AngleStore, DuplicateRawKeysCoexist) {
+  AngleStore s;
+  s.insert(entry(1, 100, {0}));
+  s.insert(entry(2, 100, {1}));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.min_raw_key(), 100u);
+  EXPECT_EQ(s.max_raw_key(), 100u);
+}
+
+TEST(AngleStore, MinMaxRawKey) {
+  AngleStore s;
+  s.insert(entry(1, 300, {0}));
+  s.insert(entry(2, 100, {1}));
+  s.insert(entry(3, 200, {2}));
+  EXPECT_EQ(s.min_raw_key(), 100u);
+  EXPECT_EQ(s.max_raw_key(), 300u);
+}
+
+TEST(AngleStore, FarthestAngleEvictsCorrectEnd) {
+  AngleStore s;
+  s.insert(entry(1, 100, {0}));
+  s.insert(entry(2, 500, {1}));
+  s.insert(entry(3, 900, {2}));
+  // Incoming at 850: the farthest end is key 100 (distance 750 vs 50).
+  const Eviction ev = s.evict(entry(9, 850, {9}), EvictionPolicy::kFarthestAngle);
+  EXPECT_EQ(ev.entry.id, 1u);
+  EXPECT_EQ(ev.side, EvictSide::kLow);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(AngleStore, FarthestAngleEvictsHighSide) {
+  AngleStore s;
+  s.insert(entry(1, 100, {0}));
+  s.insert(entry(2, 900, {1}));
+  const Eviction ev = s.evict(entry(9, 150, {9}), EvictionPolicy::kFarthestAngle);
+  EXPECT_EQ(ev.entry.id, 2u);
+  EXPECT_EQ(ev.side, EvictSide::kHigh);
+}
+
+TEST(AngleStore, LeastSimilarCosineEvictsOrthogonal) {
+  AngleStore s;
+  s.insert(entry(1, 100, {0, 1}));
+  s.insert(entry(2, 200, {0, 9}));
+  s.insert(entry(3, 300, {7, 8}));  // disjoint from the incoming item
+  const Eviction ev =
+      s.evict(entry(9, 150, {0, 1}), EvictionPolicy::kLeastSimilarCosine);
+  EXPECT_EQ(ev.entry.id, 3u);
+  EXPECT_EQ(ev.side, EvictSide::kHigh);  // 300 > 150
+}
+
+TEST(AngleStore, FifoEvictsOldest) {
+  AngleStore s;
+  s.insert(entry(5, 500, {0}));
+  s.insert(entry(1, 100, {1}));
+  s.insert(entry(9, 900, {2}));
+  const Eviction ev = s.evict(entry(7, 700, {3}), EvictionPolicy::kFifo);
+  EXPECT_EQ(ev.entry.id, 5u);
+}
+
+TEST(AngleStore, EvictionSideRelativeToIncoming) {
+  AngleStore s;
+  s.insert(entry(1, 100, {0}));
+  const Eviction low =
+      s.evict(entry(9, 500, {9}), EvictionPolicy::kLeastSimilarCosine);
+  EXPECT_EQ(low.side, EvictSide::kLow);  // 100 <= 500
+  s.insert(entry(2, 800, {0}));
+  const Eviction high =
+      s.evict(entry(9, 500, {9}), EvictionPolicy::kLeastSimilarCosine);
+  EXPECT_EQ(high.side, EvictSide::kHigh);  // 800 > 500
+}
+
+TEST(AngleStore, TopKRanksByCosine) {
+  AngleStore s;
+  s.insert(entry(1, 100, {0, 1}));
+  s.insert(entry(2, 200, {0, 9}));
+  s.insert(entry(3, 300, {7, 8}));
+  const auto q = vsm::SparseVector::binary(std::vector<vsm::KeywordId>{0, 1});
+  const auto top = s.top_k(q, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 1u);
+  EXPECT_NEAR(top[0].score, 1.0, 1e-12);
+  EXPECT_EQ(top[1].id, 2u);
+}
+
+TEST(AngleStore, MatchAllConjunctive) {
+  AngleStore s;
+  s.insert(entry(1, 100, {0, 1, 2}));
+  s.insert(entry(2, 200, {0, 2}));
+  s.insert(entry(3, 300, {1}));
+  const std::vector<vsm::KeywordId> q = {0, 2};
+  const auto hits = s.match_all(q);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 1u);
+  EXPECT_EQ(hits[1], 2u);
+}
+
+TEST(AngleStore, ForEachVisitsInAngleOrder) {
+  AngleStore s;
+  s.insert(entry(3, 300, {0}));
+  s.insert(entry(1, 100, {1}));
+  s.insert(entry(2, 200, {2}));
+  std::vector<overlay::Key> keys;
+  s.for_each([&](const StoredEntry& e) { keys.push_back(e.raw_key); });
+  EXPECT_EQ(keys, (std::vector<overlay::Key>{100, 200, 300}));
+}
+
+TEST(AngleStore, RepeatedFarthestEvictionsLeaveCentralBand) {
+  // Evicting against a fixed pivot must drain the outermost keys first so
+  // the surviving band tightens around the pivot — the clustering
+  // invariant of the publish overflow path.
+  AngleStore s;
+  for (vsm::ItemId id = 0; id < 100; ++id) {
+    s.insert(entry(id, id * 10, {static_cast<vsm::KeywordId>(id)}));
+  }
+  const StoredEntry pivot = entry(999, 500, {999});
+  overlay::Key last_distance = ~overlay::Key{0};
+  while (s.size() > 1) {
+    const Eviction ev = s.evict(pivot, EvictionPolicy::kFarthestAngle);
+    const overlay::Key d = overlay::key_distance(ev.entry.raw_key, 500);
+    EXPECT_LE(d, last_distance);
+    last_distance = d;
+  }
+}
+
+}  // namespace
+}  // namespace meteo::core

@@ -1,0 +1,106 @@
+#include "meteorograph/walk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace meteo::core {
+namespace {
+
+/// Overlay with nodes at keys 100, 200, ..., 100*n.
+overlay::Overlay ladder(std::size_t n) {
+  overlay::Overlay o;
+  for (std::size_t i = 1; i <= n; ++i) {
+    (void)o.join(static_cast<overlay::Key>(100 * i));
+  }
+  o.repair();
+  return o;
+}
+
+TEST(NeighborWalk, StartsAtStartWithZeroHops) {
+  overlay::Overlay o = ladder(5);
+  const overlay::NodeId start = o.closest_alive(300);
+  NeighborWalk walk(o, start, 300);
+  EXPECT_EQ(walk.current(), start);
+  EXPECT_EQ(walk.hops(), 0u);
+}
+
+TEST(NeighborWalk, ExpandsTowardCloserSideFirst)
+{
+  overlay::Overlay o = ladder(5);  // keys 100..500
+  // Start at 300, target 310: successor 400 (dist 90) beats
+  // predecessor 200 (dist 110).
+  NeighborWalk walk(o, o.closest_alive(300), 310);
+  ASSERT_TRUE(walk.advance());
+  EXPECT_EQ(o.key_of(walk.current()), 400u);
+  ASSERT_TRUE(walk.advance());
+  EXPECT_EQ(o.key_of(walk.current()), 200u);
+  EXPECT_EQ(walk.hops(), 2u);
+}
+
+TEST(NeighborWalk, VisitsEveryNodeExactlyOnce) {
+  overlay::Overlay o = ladder(9);
+  NeighborWalk walk(o, o.closest_alive(500), 500);
+  std::set<overlay::NodeId> visited = {walk.current()};
+  while (walk.advance()) {
+    EXPECT_TRUE(visited.insert(walk.current()).second)
+        << "node revisited";
+  }
+  EXPECT_EQ(visited.size(), 9u);
+  EXPECT_EQ(walk.hops(), 8u);
+}
+
+TEST(NeighborWalk, StopsAtSpaceEdges) {
+  overlay::Overlay o = ladder(3);
+  NeighborWalk walk(o, o.closest_alive(100), 100);  // start at the low edge
+  EXPECT_TRUE(walk.advance());
+  EXPECT_TRUE(walk.advance());
+  EXPECT_FALSE(walk.advance());  // both frontiers exhausted
+}
+
+TEST(NeighborWalk, SingleNodeCannotAdvance) {
+  overlay::Overlay o = ladder(1);
+  NeighborWalk walk(o, o.closest_alive(100), 100);
+  EXPECT_FALSE(walk.advance());
+  EXPECT_EQ(walk.hops(), 0u);
+}
+
+TEST(NeighborWalk, DeadNeighborBlocksThatSide) {
+  overlay::Overlay o = ladder(5);
+  // Kill node 400; from 300 walking toward high keys is blocked after the
+  // stale pointer (no repair).
+  o.fail(o.closest_alive(400));
+  NeighborWalk walk(o, o.closest_alive(300), 300);
+  std::set<overlay::Key> keys;
+  while (walk.advance()) keys.insert(o.key_of(walk.current()));
+  EXPECT_TRUE(keys.contains(200));
+  EXPECT_TRUE(keys.contains(100));
+  EXPECT_FALSE(keys.contains(400));
+  EXPECT_FALSE(keys.contains(500));  // unreachable behind the dead node
+}
+
+TEST(NeighborWalk, RepairRestoresFullCoverage) {
+  overlay::Overlay o = ladder(5);
+  o.fail(o.closest_alive(400));
+  o.repair();
+  NeighborWalk walk(o, o.closest_alive(300), 300);
+  std::set<overlay::Key> keys = {o.key_of(walk.current())};
+  while (walk.advance()) keys.insert(o.key_of(walk.current()));
+  EXPECT_EQ(keys.size(), 4u);  // all survivors
+  EXPECT_TRUE(keys.contains(500));
+}
+
+TEST(NeighborWalk, OrderIsByDistanceToTarget) {
+  overlay::Overlay o = ladder(7);  // 100..700
+  NeighborWalk walk(o, o.closest_alive(400), 400);
+  overlay::Key prev_dist = 0;
+  while (walk.advance()) {
+    const overlay::Key dist = overlay::key_distance(o.key_of(walk.current()), 400);
+    EXPECT_GE(dist, prev_dist);
+    prev_dist = dist;
+  }
+}
+
+}  // namespace
+}  // namespace meteo::core

@@ -1,0 +1,54 @@
+#include "overlay/key_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace meteo::overlay {
+namespace {
+
+TEST(KeyDistance, Symmetric) {
+  EXPECT_EQ(key_distance(3, 10), 7u);
+  EXPECT_EQ(key_distance(10, 3), 7u);
+  EXPECT_EQ(key_distance(5, 5), 0u);
+}
+
+TEST(KeyDistance, LargeValuesNoOverflow) {
+  const Key big = kDefaultKeySpace - 1;
+  EXPECT_EQ(key_distance(0, big), big);
+  EXPECT_EQ(key_distance(big, 0), big);
+}
+
+TEST(StrictlyCloser, BasicOrdering) {
+  EXPECT_TRUE(strictly_closer(5, 9, 4));    // |5-4| < |9-4|
+  EXPECT_FALSE(strictly_closer(9, 5, 4));
+}
+
+TEST(StrictlyCloser, TieBreaksTowardSmallerKey) {
+  // 3 and 7 are equidistant from 5; the smaller key wins.
+  EXPECT_TRUE(strictly_closer(3, 7, 5));
+  EXPECT_FALSE(strictly_closer(7, 3, 5));
+}
+
+TEST(StrictlyCloser, EqualKeysNotStrictlyCloser) {
+  EXPECT_FALSE(strictly_closer(4, 4, 10));
+}
+
+TEST(StrictlyCloser, TotalOrderProperty) {
+  // For any pair exactly one of closer(a,b), closer(b,a), a==b holds.
+  for (Key a = 0; a < 20; ++a) {
+    for (Key b = 0; b < 20; ++b) {
+      for (Key t = 0; t < 20; ++t) {
+        const bool ab = strictly_closer(a, b, t);
+        const bool ba = strictly_closer(b, a, t);
+        if (a == b) {
+          EXPECT_FALSE(ab);
+          EXPECT_FALSE(ba);
+        } else {
+          EXPECT_NE(ab, ba);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace meteo::overlay

@@ -1,0 +1,147 @@
+/// Property tests cross-checking the overlay against brute-force oracles.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "overlay/overlay.hpp"
+
+namespace meteo::overlay {
+namespace {
+
+Overlay build(std::size_t n, Rng& rng, OverlayConfig cfg = {}) {
+  Overlay o(cfg);
+  while (o.alive_count() < n) {
+    (void)o.join(rng.below(cfg.key_space));
+  }
+  o.repair();
+  return o;
+}
+
+TEST(OverlayProperty, ClosestAliveMatchesBruteForce) {
+  Rng rng(1);
+  const Overlay o = build(300, rng);
+  const auto nodes = o.alive_nodes();
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Key target = rng.below(o.config().key_space);
+    NodeId best = nodes.front();
+    for (const NodeId n : nodes) {
+      if (strictly_closer(o.key_of(n), o.key_of(best), target)) best = n;
+    }
+    EXPECT_EQ(o.closest_alive(target), best) << "target " << target;
+  }
+}
+
+TEST(OverlayProperty, ClosestNodesMatchesBruteForce) {
+  Rng rng(2);
+  const Overlay o = build(120, rng);
+  auto nodes = o.alive_nodes();
+  for (int trial = 0; trial < 300; ++trial) {
+    const Key target = rng.below(o.config().key_space);
+    const std::size_t k = 1 + rng.below(8);
+    // Brute force: sort all nodes by the strictly_closer total order.
+    std::vector<NodeId> sorted = nodes;
+    std::sort(sorted.begin(), sorted.end(), [&](NodeId a, NodeId b) {
+      return strictly_closer(o.key_of(a), o.key_of(b), target);
+    });
+    sorted.resize(k);
+    const auto got = o.closest_nodes(target, k);
+    EXPECT_EQ(got, sorted) << "target " << target << " k " << k;
+  }
+}
+
+TEST(OverlayProperty, LeafSetsHoldNearestNeighbors) {
+  Rng rng(3);
+  OverlayConfig cfg;
+  cfg.leaf_set_size = 3;
+  const Overlay o = build(100, rng, cfg);
+  const auto nodes = o.alive_nodes();  // ascending key order
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto& leaf_set = o.table_of(nodes[i]).leaf_set;
+    // Expected: up to 3 on each side in the sorted order.
+    std::vector<NodeId> expected;
+    for (std::size_t d = 1; d <= 3; ++d) {
+      if (i >= d) expected.push_back(nodes[i - d]);
+      if (i + d < nodes.size()) expected.push_back(nodes[i + d]);
+    }
+    std::vector<NodeId> got(leaf_set.begin(), leaf_set.end());
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected) << "node " << nodes[i];
+  }
+}
+
+TEST(OverlayProperty, RouteHopsNeverExceedGuard) {
+  Rng rng(4);
+  OverlayConfig cfg;
+  cfg.max_route_hops = 5;  // artificially tight guard
+  Overlay o = build(2000, rng, cfg);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto r = o.route(o.random_alive(rng), rng.below(cfg.key_space));
+    EXPECT_LE(r.hops, cfg.max_route_hops + 1);
+  }
+}
+
+TEST(OverlayProperty, RouteDistanceMonotonicallyShrinks) {
+  // Greedy routing's termination argument: re-running a route step by
+  // step, each hop's key is strictly closer to the target.
+  Rng rng(5);
+  const Overlay o = build(500, rng);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Key target = rng.below(o.config().key_space);
+    NodeId cur = o.random_alive(rng);
+    Key dist = key_distance(o.key_of(cur), target);
+    for (int step = 0; step < 64; ++step) {
+      // Re-implement one greedy step via the public table.
+      const auto& table = o.table_of(cur);
+      NodeId best = cur;
+      Key best_dist = dist;
+      auto consider = [&](NodeId n) {
+        if (n == kInvalidNode || !o.is_alive(n)) return;
+        const Key d = key_distance(o.key_of(n), target);
+        if (d < best_dist) {
+          best = n;
+          best_dist = d;
+        }
+      };
+      for (const NodeId f : table.fingers) consider(f);
+      for (const NodeId l : table.leaf_set) consider(l);
+      consider(table.predecessor);
+      consider(table.successor);
+      if (best == cur) break;
+      EXPECT_LT(best_dist, dist);
+      cur = best;
+      dist = best_dist;
+    }
+  }
+}
+
+TEST(OverlayProperty, JoinLeaveChurnKeepsRegistryConsistent) {
+  Rng rng(6);
+  Overlay o = build(100, rng);
+  for (int round = 0; round < 300; ++round) {
+    if (rng.chance(0.5) && o.alive_count() > 2) {
+      if (rng.chance(0.5)) {
+        o.leave(o.random_alive(rng));
+      } else {
+        o.fail(o.random_alive(rng));
+      }
+    } else {
+      (void)o.join(rng.below(o.config().key_space));
+    }
+    // alive_nodes stays sorted and consistent with is_alive.
+    const auto nodes = o.alive_nodes();
+    EXPECT_EQ(nodes.size(), o.alive_count());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      EXPECT_TRUE(o.is_alive(nodes[i]));
+      if (i > 0) {
+        EXPECT_LT(o.key_of(nodes[i - 1]), o.key_of(nodes[i]));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace meteo::overlay

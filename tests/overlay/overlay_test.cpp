@@ -1,0 +1,285 @@
+#include "overlay/overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace meteo::overlay {
+namespace {
+
+/// Builds a *stabilized* overlay of `n` nodes at distinct uniform-random
+/// keys: after the bulk joins, repair() models the periodic stabilization
+/// every real DHT runs (early joiners' tables are otherwise stale).
+Overlay random_overlay(std::size_t n, Rng& rng, OverlayConfig cfg = {}) {
+  Overlay o(cfg);
+  while (o.alive_count() < n) {
+    (void)o.join(rng.below(cfg.key_space));
+  }
+  o.repair();
+  return o;
+}
+
+TEST(Overlay, JoinAssignsSequentialIds) {
+  Overlay o;
+  const auto a = o.join(100);
+  const auto b = o.join(200);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(o.alive_count(), 2u);
+}
+
+TEST(Overlay, DuplicateKeyRejected) {
+  Overlay o;
+  ASSERT_TRUE(o.join(100).has_value());
+  const auto dup = o.join(100);
+  ASSERT_FALSE(dup.has_value());
+  EXPECT_EQ(dup.error(), JoinError::kKeyTaken);
+}
+
+TEST(Overlay, KeyOfRoundTrip) {
+  Overlay o;
+  const NodeId id = o.join(4242).value();
+  EXPECT_EQ(o.key_of(id), 4242u);
+  EXPECT_TRUE(o.is_alive(id));
+}
+
+TEST(Overlay, LeafPointersFollowKeyOrder) {
+  Overlay o;
+  const NodeId a = o.join(100).value();
+  const NodeId b = o.join(300).value();
+  const NodeId c = o.join(200).value();
+  // Order by key: a(100) -> c(200) -> b(300).
+  EXPECT_EQ(o.successor(a), c);
+  EXPECT_EQ(o.predecessor(c), a);
+  EXPECT_EQ(o.successor(c), b);
+  EXPECT_EQ(o.predecessor(b), c);
+  EXPECT_EQ(o.predecessor(a), kInvalidNode);
+  EXPECT_EQ(o.successor(b), kInvalidNode);
+}
+
+TEST(Overlay, ClosestAliveExact) {
+  Overlay o;
+  const NodeId a = o.join(100).value();
+  const NodeId b = o.join(1000).value();
+  EXPECT_EQ(o.closest_alive(100), a);
+  EXPECT_EQ(o.closest_alive(101), a);
+  EXPECT_EQ(o.closest_alive(549), a);   // closer to 100
+  EXPECT_EQ(o.closest_alive(551), b);
+  EXPECT_EQ(o.closest_alive(999999), b);
+}
+
+TEST(Overlay, ClosestAliveTieBreaksSmallerKey) {
+  Overlay o;
+  const NodeId a = o.join(100).value();
+  (void)o.join(200);
+  EXPECT_EQ(o.closest_alive(150), a);  // equidistant -> smaller key
+}
+
+TEST(Overlay, ClosestNodesOrderedByDistance) {
+  Overlay o;
+  const NodeId n100 = o.join(100).value();
+  const NodeId n200 = o.join(200).value();
+  const NodeId n400 = o.join(400).value();
+  const NodeId n800 = o.join(800).value();
+  const auto homes = o.closest_nodes(210, 3);
+  ASSERT_EQ(homes.size(), 3u);
+  EXPECT_EQ(homes[0], n200);
+  EXPECT_EQ(homes[1], n100);
+  EXPECT_EQ(homes[2], n400);
+  (void)n800;
+}
+
+TEST(Overlay, ClosestNodesClampsToPopulation) {
+  Overlay o;
+  (void)o.join(1);
+  (void)o.join(2);
+  EXPECT_EQ(o.closest_nodes(0, 10).size(), 2u);
+  EXPECT_TRUE(o.closest_nodes(0, 0).empty());
+}
+
+TEST(Overlay, RouteSingleNodeTerminatesImmediately) {
+  Overlay o;
+  const NodeId a = o.join(500).value();
+  const RouteResult r = o.route(a, 99999);
+  EXPECT_EQ(r.destination, a);
+  EXPECT_EQ(r.hops, 0u);
+  EXPECT_TRUE(r.reached_closest);
+  EXPECT_FALSE(r.stranded);
+}
+
+TEST(Overlay, RouteAlwaysReachesClosestInHealthyOverlay) {
+  Rng rng(1);
+  Overlay o = random_overlay(500, rng);
+  for (int q = 0; q < 2000; ++q) {
+    const Key target = rng.below(o.config().key_space);
+    const NodeId from = o.random_alive(rng);
+    const RouteResult r = o.route(from, target);
+    EXPECT_TRUE(r.reached_closest) << "target=" << target;
+    EXPECT_EQ(r.destination, o.closest_alive(target));
+  }
+}
+
+TEST(Overlay, RouteHopCountIsLogarithmic) {
+  Rng rng(2);
+  OverlayConfig cfg;
+  cfg.routing_base = 4;
+  Overlay o = random_overlay(4096, rng, cfg);
+  OnlineStats hops;
+  for (int q = 0; q < 3000; ++q) {
+    const Key target = rng.below(cfg.key_space);
+    const RouteResult r = o.route(o.random_alive(rng), target);
+    ASSERT_TRUE(r.reached_closest);
+    hops.add(static_cast<double>(r.hops));
+  }
+  // log_4(4096) = 6; greedy bidirectional fingers do a bit better on
+  // average. Bound generously but meaningfully.
+  EXPECT_LT(hops.mean(), 8.0);
+  EXPECT_GT(hops.mean(), 2.0);
+  EXPECT_LT(hops.max(), 20.0);
+}
+
+class RoutingBaseSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RoutingBaseSweep, AllRoutesSucceedAndStayBounded) {
+  Rng rng(3);
+  OverlayConfig cfg;
+  cfg.routing_base = GetParam();
+  Overlay o = random_overlay(1000, rng, cfg);
+  const double bound =
+      2.0 * std::log(1000.0) / std::log(static_cast<double>(cfg.routing_base)) +
+      8.0;
+  for (int q = 0; q < 500; ++q) {
+    const RouteResult r = o.route(o.random_alive(rng), rng.below(cfg.key_space));
+    EXPECT_TRUE(r.reached_closest);
+    EXPECT_LE(static_cast<double>(r.hops), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, RoutingBaseSweep,
+                         ::testing::Values(2u, 4u, 8u, 16u));
+
+TEST(Overlay, GracefulLeaveRelinksNeighbors) {
+  Overlay o;
+  const NodeId a = o.join(100).value();
+  const NodeId b = o.join(200).value();
+  const NodeId c = o.join(300).value();
+  o.leave(b);
+  EXPECT_FALSE(o.is_alive(b));
+  EXPECT_EQ(o.successor(a), c);
+  EXPECT_EQ(o.predecessor(c), a);
+  EXPECT_EQ(o.alive_count(), 2u);
+}
+
+TEST(Overlay, FailLeavesStalePointers) {
+  Overlay o;
+  const NodeId a = o.join(100).value();
+  const NodeId b = o.join(200).value();
+  const NodeId c = o.join(300).value();
+  o.fail(b);
+  // a's successor pointer still names b, but b is dead, so the live
+  // accessor hides it.
+  EXPECT_EQ(o.table_of(a).successor, b);
+  EXPECT_EQ(o.successor(a), kInvalidNode);
+  EXPECT_EQ(o.predecessor(c), kInvalidNode);
+}
+
+TEST(Overlay, RepairRestoresLeafChain) {
+  Overlay o;
+  const NodeId a = o.join(100).value();
+  const NodeId b = o.join(200).value();
+  const NodeId c = o.join(300).value();
+  o.fail(b);
+  o.repair();
+  EXPECT_EQ(o.successor(a), c);
+  EXPECT_EQ(o.predecessor(c), a);
+}
+
+TEST(Overlay, RoutingSurvivesModerateFailures) {
+  Rng rng(4);
+  Overlay o = random_overlay(1000, rng);
+  // Fail 10% of nodes without repair; routes from live nodes should
+  // still overwhelmingly succeed thanks to finger diversity.
+  auto nodes = o.alive_nodes();
+  for (std::size_t i = 0; i < 100; ++i) {
+    const NodeId victim = nodes[rng.below(nodes.size())];
+    if (o.is_alive(victim)) o.fail(victim);
+  }
+  int successes = 0;
+  const int queries = 1000;
+  for (int q = 0; q < queries; ++q) {
+    const RouteResult r = o.route(o.random_alive(rng), rng.below(o.config().key_space));
+    if (r.reached_closest) ++successes;
+  }
+  EXPECT_GT(successes, queries * 90 / 100);
+}
+
+TEST(Overlay, RouteAfterMassiveFailureAndRepair) {
+  Rng rng(5);
+  Overlay o = random_overlay(500, rng);
+  auto nodes = o.alive_nodes();
+  for (std::size_t i = 0; i < nodes.size(); i += 2) {
+    o.fail(nodes[i]);
+  }
+  o.repair();
+  for (int q = 0; q < 500; ++q) {
+    const RouteResult r = o.route(o.random_alive(rng), rng.below(o.config().key_space));
+    EXPECT_TRUE(r.reached_closest);
+  }
+}
+
+TEST(Overlay, AliveNodesSortedByKey) {
+  Rng rng(6);
+  Overlay o = random_overlay(200, rng);
+  const auto nodes = o.alive_nodes();
+  ASSERT_EQ(nodes.size(), 200u);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(o.key_of(nodes[i - 1]), o.key_of(nodes[i]));
+  }
+}
+
+TEST(Overlay, FingerTablesStayCompact) {
+  Rng rng(7);
+  OverlayConfig cfg;
+  cfg.routing_base = 4;
+  Overlay o = random_overlay(2000, rng, cfg);
+  // log_4(1e8) ~ 13.3 levels, (base-1)=3 digits per level, two
+  // directions, deduplicated: <= ~84 entries.
+  for (const NodeId id : o.alive_nodes()) {
+    EXPECT_LE(o.table_of(id).fingers.size(), 90u);
+  }
+}
+
+TEST(Overlay, JoinsAfterFailuresKeepRoutingCorrect) {
+  Rng rng(8);
+  Overlay o = random_overlay(300, rng);
+  for (int round = 0; round < 50; ++round) {
+    o.fail(o.random_alive(rng));
+    while (!o.join(rng.below(o.config().key_space)).has_value()) {
+    }
+  }
+  o.repair();
+  for (int q = 0; q < 300; ++q) {
+    const RouteResult r = o.route(o.random_alive(rng), rng.below(o.config().key_space));
+    EXPECT_TRUE(r.reached_closest);
+  }
+}
+
+TEST(Overlay, RandomAliveOnlyReturnsLiveNodes) {
+  Rng rng(9);
+  Overlay o = random_overlay(50, rng);
+  for (int i = 0; i < 20; ++i) o.fail(o.random_alive(rng));
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(o.is_alive(o.random_alive(rng)));
+  }
+}
+
+}  // namespace
+}  // namespace meteo::overlay

@@ -1,0 +1,140 @@
+#include "sim/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace meteo::sim {
+namespace {
+
+overlay::Overlay make_overlay(std::size_t n, Rng& rng) {
+  overlay::Overlay o;
+  while (o.alive_count() < n) {
+    (void)o.join(rng.below(o.config().key_space));
+  }
+  o.repair();
+  return o;
+}
+
+TEST(FailFraction, FailsRequestedShare) {
+  Rng rng(1);
+  overlay::Overlay o = make_overlay(1000, rng);
+  const std::size_t failed = fail_fraction(o, 0.3, rng);
+  EXPECT_EQ(failed, 300u);
+  EXPECT_EQ(o.alive_count(), 700u);
+}
+
+TEST(FailFraction, ZeroAndFullBounds) {
+  Rng rng(2);
+  overlay::Overlay o = make_overlay(100, rng);
+  EXPECT_EQ(fail_fraction(o, 0.0, rng), 0u);
+  EXPECT_EQ(o.alive_count(), 100u);
+  EXPECT_EQ(fail_fraction(o, 1.0, rng), 100u);
+  EXPECT_EQ(o.alive_count(), 0u);
+}
+
+TEST(FailFraction, VictimsAreRandomized) {
+  // Two different seeds should produce (almost surely) different victim
+  // sets; verify via surviving-key fingerprints.
+  Rng build1(3);
+  Rng build2(3);
+  overlay::Overlay o1 = make_overlay(500, build1);
+  overlay::Overlay o2 = make_overlay(500, build2);
+  Rng f1(100);
+  Rng f2(200);
+  fail_fraction(o1, 0.5, f1);
+  fail_fraction(o2, 0.5, f2);
+  overlay::Key sum1 = 0;
+  overlay::Key sum2 = 0;
+  for (const auto id : o1.alive_nodes()) sum1 += o1.key_of(id);
+  for (const auto id : o2.alive_nodes()) sum2 += o2.key_of(id);
+  EXPECT_NE(sum1, sum2);
+}
+
+TEST(ChurnProcess, JoinsGrowTheOverlay) {
+  Rng rng(4);
+  overlay::Overlay o = make_overlay(50, rng);
+  EventQueue q;
+  ChurnConfig cfg;
+  cfg.join_rate = 10.0;          // ~10 joins per unit time
+  cfg.fail_rate_per_node = 0.0;  // no failures
+  cfg.repair_interval = 0.0;
+  ChurnProcess churn(o, q, rng, cfg);
+  q.run_until(20.0);
+  EXPECT_GT(churn.joins(), 100u);
+  EXPECT_EQ(o.alive_count(), 50u + churn.joins());
+}
+
+TEST(ChurnProcess, FailuresShrinkTheOverlay) {
+  Rng rng(5);
+  overlay::Overlay o = make_overlay(500, rng);
+  EventQueue q;
+  ChurnConfig cfg;
+  cfg.join_rate = 0.0;
+  cfg.fail_rate_per_node = 0.01;
+  cfg.repair_interval = 0.0;
+  ChurnProcess churn(o, q, rng, cfg);
+  q.run_until(20.0);
+  EXPECT_GT(churn.failures(), 20u);
+  EXPECT_EQ(o.alive_count(), 500u - churn.failures());
+}
+
+TEST(ChurnProcess, OnJoinCallbackFires) {
+  Rng rng(6);
+  overlay::Overlay o = make_overlay(10, rng);
+  EventQueue q;
+  ChurnConfig cfg;
+  cfg.join_rate = 5.0;
+  cfg.fail_rate_per_node = 0.0;
+  cfg.repair_interval = 0.0;
+  std::size_t callbacks = 0;
+  ChurnProcess churn(o, q, rng, cfg, [&](overlay::NodeId id) {
+    EXPECT_TRUE(o.is_alive(id));
+    ++callbacks;
+  });
+  q.run_until(10.0);
+  EXPECT_EQ(callbacks, churn.joins());
+  EXPECT_GT(callbacks, 0u);
+}
+
+TEST(ChurnProcess, RepairKeepsRoutingHealthyUnderChurn) {
+  Rng rng(7);
+  overlay::Overlay o = make_overlay(300, rng);
+  EventQueue q;
+  ChurnConfig cfg;
+  cfg.join_rate = 2.0;
+  cfg.fail_rate_per_node = 0.005;
+  cfg.repair_interval = 5.0;
+  ChurnProcess churn(o, q, rng, cfg);
+  int successes = 0;
+  int queries = 0;
+  for (int round = 0; round < 20; ++round) {
+    q.run_until(q.now() + 5.0);
+    for (int i = 0; i < 50; ++i) {
+      const auto r = o.route(o.random_alive(rng), rng.below(o.config().key_space));
+      successes += r.reached_closest ? 1 : 0;
+      ++queries;
+    }
+  }
+  EXPECT_GT(churn.repairs(), 10u);
+  EXPECT_GT(successes, queries * 95 / 100);
+}
+
+TEST(ChurnProcess, StopHaltsScheduling) {
+  Rng rng(8);
+  overlay::Overlay o = make_overlay(50, rng);
+  EventQueue q;
+  ChurnConfig cfg;
+  cfg.join_rate = 10.0;
+  cfg.fail_rate_per_node = 0.0;
+  cfg.repair_interval = 0.0;
+  ChurnProcess churn(o, q, rng, cfg);
+  q.run_until(5.0);
+  const std::size_t joins_before = churn.joins();
+  churn.stop();
+  q.run_until(50.0);
+  EXPECT_LE(churn.joins(), joins_before + 1);  // at most one in-flight event
+}
+
+}  // namespace
+}  // namespace meteo::sim

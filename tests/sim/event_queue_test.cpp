@@ -1,0 +1,131 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace meteo::sim {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZeroEmpty) {
+  const EventQueue q;
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run_all(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, EqualTimesFireFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInUsesRelativeTime) {
+  EventQueue q;
+  q.schedule_at(10.0, [] {});
+  q.run_all();
+  double fired_at = -1.0;
+  q.schedule_in(5.0, [&] { fired_at = q.now(); });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  q.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.schedule_at(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelFiredEventFails) {
+  EventQueue q;
+  const EventId id = q.schedule_at(1.0, [] {});
+  q.run_all();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(0));
+  EXPECT_FALSE(q.cancel(999));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<double> times;
+  for (double t = 1.0; t <= 5.0; t += 1.0) {
+    q.schedule_at(t, [&times, &q] { times.push_back(q.now()); });
+  }
+  EXPECT_EQ(q.run_until(3.0), 3u);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.pending(), 2u);
+  EXPECT_EQ(q.run_until(10.0), 2u);
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);  // clock advances to the bound
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWithoutEvents) {
+  EventQueue q;
+  EXPECT_EQ(q.run_until(42.0), 0u);
+  EXPECT_DOUBLE_EQ(q.now(), 42.0);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) q.schedule_in(1.0, recurse);
+  };
+  q.schedule_in(1.0, recurse);
+  EXPECT_EQ(q.run_all(), 5u);
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, MaxEventsLimitsExecution) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> forever = [&] {
+    ++count;
+    q.schedule_in(1.0, forever);
+  };
+  q.schedule_in(1.0, forever);
+  EXPECT_EQ(q.run_all(100), 100u);
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, NowIsEventTimeDuringCallback) {
+  EventQueue q;
+  double observed = -1.0;
+  q.schedule_at(7.5, [&] { observed = q.now(); });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(observed, 7.5);
+}
+
+}  // namespace
+}  // namespace meteo::sim

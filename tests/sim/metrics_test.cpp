@@ -1,0 +1,64 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace meteo::sim {
+namespace {
+
+TEST(MetricRegistry, CounterStartsAtZero) {
+  MetricRegistry m;
+  EXPECT_EQ(m.counter_value("publish.messages"), 0u);
+  EXPECT_EQ(m.counter("publish.messages"), 0u);
+}
+
+TEST(MetricRegistry, CounterAccumulates) {
+  MetricRegistry m;
+  m.counter("hops") += 5;
+  m.counter("hops") += 2;
+  EXPECT_EQ(m.counter_value("hops"), 7u);
+}
+
+TEST(MetricRegistry, CounterHandleStaysValid) {
+  MetricRegistry m;
+  auto& h = m.counter("a");
+  m.counter("b") = 1;
+  m.counter("c") = 2;
+  h += 10;
+  EXPECT_EQ(m.counter_value("a"), 10u);
+}
+
+TEST(MetricRegistry, DistributionObserves) {
+  MetricRegistry m;
+  m.distribution("latency").add(1.0);
+  m.distribution("latency").add(3.0);
+  const OnlineStats* d = m.find_distribution("latency");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count(), 2u);
+  EXPECT_DOUBLE_EQ(d->mean(), 2.0);
+}
+
+TEST(MetricRegistry, FindMissingDistributionIsNull) {
+  const MetricRegistry m;
+  EXPECT_EQ(m.find_distribution("nope"), nullptr);
+}
+
+TEST(MetricRegistry, ResetClearsEverything) {
+  MetricRegistry m;
+  m.counter("x") = 5;
+  m.distribution("y").add(1.0);
+  m.reset();
+  EXPECT_EQ(m.counter_value("x"), 0u);
+  EXPECT_EQ(m.find_distribution("y"), nullptr);
+  EXPECT_TRUE(m.counters().empty());
+}
+
+TEST(MetricRegistry, IterationIsSortedByName) {
+  MetricRegistry m;
+  m.counter("zeta") = 1;
+  m.counter("alpha") = 2;
+  auto it = m.counters().begin();
+  EXPECT_EQ(it->first, "alpha");
+}
+
+}  // namespace
+}  // namespace meteo::sim

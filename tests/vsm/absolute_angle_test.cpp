@@ -1,0 +1,169 @@
+#include "vsm/absolute_angle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace meteo::vsm {
+namespace {
+
+constexpr double kHalfPi = std::numbers::pi / 2.0;
+
+SparseVector random_vector(Rng& rng, std::size_t nnz, KeywordId universe) {
+  std::vector<Entry> entries;
+  while (entries.size() < nnz) {
+    entries.push_back(
+        {static_cast<KeywordId>(rng.below(universe)), rng.uniform() + 0.05});
+  }
+  return SparseVector::from_entries(std::move(entries));
+}
+
+TEST(AbsoluteAngle, SingleAxisVectorSupportOnly) {
+  // In support-only mode a one-keyword vector is exactly its own axis:
+  // theta_1 = acos(1) = 0, so theta = 0.
+  const auto v = SparseVector::from_entries({{3, 5.0}});
+  EXPECT_NEAR(absolute_angle(v, 1, AngleMode::kSupportOnly), 0.0, 1e-12);
+}
+
+TEST(AbsoluteAngle, SingleAxisVectorUniversal) {
+  // Universal mode with dimension m: theta = sqrt((m-1)/m) * pi/2.
+  const auto v = SparseVector::from_entries({{3, 5.0}});
+  const std::size_t m = 100;
+  const double expected =
+      kHalfPi * std::sqrt(static_cast<double>(m - 1) / static_cast<double>(m));
+  EXPECT_NEAR(absolute_angle(v, m, AngleMode::kUniversal), expected, 1e-12);
+}
+
+TEST(AbsoluteAngle, UniformBinaryVectorClosedForm) {
+  // Binary vector over n of m dims: per-support angle acos(1/sqrt(n)).
+  const std::size_t n = 4;
+  const std::size_t m = 50;
+  std::vector<KeywordId> kws;
+  for (std::size_t i = 0; i < n; ++i) kws.push_back(static_cast<KeywordId>(i));
+  const auto v = SparseVector::binary(kws);
+  const double per = std::acos(1.0 / std::sqrt(static_cast<double>(n)));
+  const double expected = std::sqrt(
+      (static_cast<double>(n) * per * per +
+       static_cast<double>(m - n) * kHalfPi * kHalfPi) /
+      static_cast<double>(m));
+  EXPECT_NEAR(absolute_angle(v, m), expected, 1e-12);
+}
+
+TEST(AbsoluteAngle, AlwaysWithinZeroHalfPi) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = random_vector(rng, 1 + rng.below(40), 1000);
+    const double theta_u = absolute_angle(v, 1000);
+    const double theta_s = absolute_angle(v, 1000, AngleMode::kSupportOnly);
+    EXPECT_GE(theta_u, 0.0);
+    EXPECT_LE(theta_u, kHalfPi);
+    EXPECT_GE(theta_s, 0.0);
+    EXPECT_LE(theta_s, kHalfPi);
+  }
+}
+
+TEST(AbsoluteAngle, ScaleInvariant) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const auto v = random_vector(rng, 10, 200);
+    std::vector<Entry> scaled;
+    for (const Entry& e : v.entries()) scaled.push_back({e.keyword, e.weight * 7.5});
+    const auto w = SparseVector::from_entries(std::move(scaled));
+    EXPECT_NEAR(absolute_angle(v, 200), absolute_angle(w, 200), 1e-12);
+  }
+}
+
+TEST(AbsoluteAngle, IdenticalVectorsIdenticalAngles) {
+  Rng rng(3);
+  const auto v = random_vector(rng, 15, 500);
+  const auto w = v;
+  EXPECT_DOUBLE_EQ(absolute_angle(v, 500), absolute_angle(w, 500));
+}
+
+TEST(AbsoluteAngle, PermutedSupportSameAngleForUniformWeights) {
+  // With binary weights the absolute angle depends only on nnz — the known
+  // content-blindness of the scheme (DESIGN.md note 2).
+  const auto a = SparseVector::binary(std::vector<KeywordId>{1, 2, 3});
+  const auto b = SparseVector::binary(std::vector<KeywordId>{97, 98, 99});
+  EXPECT_DOUBLE_EQ(absolute_angle(a, 1000), absolute_angle(b, 1000));
+}
+
+TEST(AbsoluteAngle, MoreKeywordsSmallerUniversalAngle) {
+  // Each in-support coordinate replaces a (pi/2)^2 term with something
+  // smaller, so adding keywords (binary weights) decreases theta.
+  std::vector<KeywordId> kws;
+  double prev = kHalfPi + 1.0;
+  for (KeywordId k = 0; k < 64; ++k) {
+    kws.push_back(k);
+    const auto v = SparseVector::binary(kws);
+    const double theta = absolute_angle(v, 1 << 16);
+    EXPECT_LT(theta, prev);
+    prev = theta;
+  }
+}
+
+TEST(AbsoluteAngle, SimilarVectorsHaveCloseAngles) {
+  // The clustering property the whole system relies on (§3.1): perturbing
+  // one weight slightly moves the angle slightly.
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto v = random_vector(rng, 20, 300);
+    std::vector<Entry> perturbed(v.entries().begin(), v.entries().end());
+    perturbed[0].weight *= 1.01;
+    const auto w = SparseVector::from_entries(std::move(perturbed));
+    EXPECT_NEAR(absolute_angle(v, 300), absolute_angle(w, 300), 5e-3);
+  }
+}
+
+TEST(AngleToKey, BoundsAndMonotonicity) {
+  const std::uint64_t space = 100000000;  // paper's R = 1e8
+  EXPECT_EQ(angle_to_key(0.0, space), 0u);
+  EXPECT_EQ(angle_to_key(std::numbers::pi, space), space - 1);
+  std::uint64_t prev = 0;
+  for (double theta = 0.0; theta <= kHalfPi; theta += 0.01) {
+    const std::uint64_t key = angle_to_key(theta, space);
+    EXPECT_GE(key, prev);
+    EXPECT_LT(key, space);
+    prev = key;
+  }
+}
+
+TEST(AngleToKey, HalfPiMapsToMidSpace) {
+  const std::uint64_t space = 1000;
+  EXPECT_EQ(angle_to_key(kHalfPi, space), 500u);
+}
+
+TEST(AbsoluteAngleKey, EndToEndDeterministic) {
+  Rng rng(5);
+  const auto v = random_vector(rng, 43, 89000);
+  const auto k1 = absolute_angle_key(v, 89000, 100000000);
+  const auto k2 = absolute_angle_key(v, 89000, 100000000);
+  EXPECT_EQ(k1, k2);
+  // Universal-dictionary keys concentrate just below R/2 (DESIGN.md note 1).
+  EXPECT_GT(k1, 45000000u);
+  EXPECT_LT(k1, 50000000u);
+}
+
+class AngleKeyOrdering : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AngleKeyOrdering, SupportOnlyKeyGrowsWithNnz) {
+  // Support-only mode: binary vector of n keywords has theta=acos(1/sqrt n),
+  // strictly increasing in n.
+  const std::size_t n = GetParam();
+  std::vector<KeywordId> kws;
+  for (std::size_t i = 0; i < n; ++i) kws.push_back(static_cast<KeywordId>(i));
+  const auto small = SparseVector::binary(std::span(kws).first(n - 1));
+  const auto large = SparseVector::binary(kws);
+  EXPECT_LT(absolute_angle(small, n, AngleMode::kSupportOnly),
+            absolute_angle(large, n, AngleMode::kSupportOnly));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AngleKeyOrdering,
+                         ::testing::Values(2u, 3u, 5u, 10u, 50u, 200u));
+
+}  // namespace
+}  // namespace meteo::vsm

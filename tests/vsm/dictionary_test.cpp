@@ -1,0 +1,65 @@
+#include "vsm/dictionary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace meteo::vsm {
+namespace {
+
+TEST(Dictionary, InternAssignsSequentialIds) {
+  Dictionary d;
+  EXPECT_EQ(d.intern("alpha"), 0u);
+  EXPECT_EQ(d.intern("beta"), 1u);
+  EXPECT_EQ(d.intern("gamma"), 2u);
+  EXPECT_EQ(d.interned_count(), 3u);
+}
+
+TEST(Dictionary, InternIsIdempotent) {
+  Dictionary d;
+  const KeywordId a = d.intern("x");
+  const KeywordId b = d.intern("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(d.interned_count(), 1u);
+}
+
+TEST(Dictionary, FindExistingAndMissing) {
+  Dictionary d;
+  d.intern("p2p");
+  ASSERT_TRUE(d.find("p2p").has_value());
+  EXPECT_EQ(*d.find("p2p"), 0u);
+  EXPECT_FALSE(d.find("overlay").has_value());
+}
+
+TEST(Dictionary, SpellingRoundTrip) {
+  Dictionary d;
+  const KeywordId id = d.intern("distributed processing");
+  EXPECT_EQ(d.spelling(id), "distributed processing");
+}
+
+TEST(Dictionary, UniversalDimensionDominates) {
+  Dictionary d(89000);
+  d.intern("a");
+  d.intern("b");
+  EXPECT_EQ(d.dimension(), 89000u);
+  EXPECT_FALSE(d.dimension_grew());
+}
+
+TEST(Dictionary, DimensionGrowsWhenUniversalExceeded) {
+  Dictionary d(2);
+  d.intern("a");
+  d.intern("b");
+  EXPECT_FALSE(d.dimension_grew());
+  d.intern("c");
+  EXPECT_TRUE(d.dimension_grew());
+  EXPECT_EQ(d.dimension(), 3u);
+}
+
+TEST(Dictionary, ZeroUniversalTracksInterned) {
+  Dictionary d(0);
+  EXPECT_EQ(d.dimension(), 0u);
+  d.intern("a");
+  EXPECT_EQ(d.dimension(), 1u);
+  EXPECT_FALSE(d.dimension_grew());
+}
+
+}  // namespace
+}  // namespace meteo::vsm

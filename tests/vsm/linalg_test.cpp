@@ -1,0 +1,175 @@
+#include "vsm/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace meteo::vsm {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  const Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m.at(i, j), 0.0);
+    }
+  }
+}
+
+TEST(Matmul, KnownProduct) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  Matrix b(2, 2);
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+}
+
+TEST(Matmul, AtBEqualsTransposeThenMultiply) {
+  Rng rng(1);
+  Matrix a(4, 3);
+  Matrix b(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) a.at(i, j) = rng.normal();
+    for (std::size_t j = 0; j < 2; ++j) b.at(i, j) = rng.normal();
+  }
+  const Matrix direct = matmul_at_b(a, b);
+  const Matrix via_transpose = matmul(transpose(a), b);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(direct.at(i, j), via_transpose.at(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Transpose, RoundTrip) {
+  Rng rng(2);
+  Matrix a(3, 5);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) a.at(i, j) = rng.normal();
+  }
+  const Matrix t = transpose(transpose(a));
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(t.at(i, j), a.at(i, j));
+    }
+  }
+}
+
+TEST(Orthonormalize, ColumnsBecomeOrthonormal) {
+  Rng rng(3);
+  Matrix a(10, 4);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) a.at(i, j) = rng.normal();
+  }
+  const std::size_t rank = orthonormalize_columns(a);
+  EXPECT_EQ(rank, 4u);
+  for (std::size_t c1 = 0; c1 < 4; ++c1) {
+    for (std::size_t c2 = 0; c2 < 4; ++c2) {
+      double d = 0.0;
+      for (std::size_t i = 0; i < 10; ++i) d += a.at(i, c1) * a.at(i, c2);
+      EXPECT_NEAR(d, c1 == c2 ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Orthonormalize, DetectsRankDeficiency) {
+  Matrix a(3, 3);
+  // Column 2 = column 0 + column 1.
+  a.at(0, 0) = 1;
+  a.at(1, 1) = 1;
+  a.at(0, 2) = 1;
+  a.at(1, 2) = 1;
+  const std::size_t rank = orthonormalize_columns(a);
+  EXPECT_EQ(rank, 2u);
+}
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 1.0;
+  a.at(1, 1) = 5.0;
+  a.at(2, 2) = 3.0;
+  const EigenResult r = symmetric_eigen(a);
+  ASSERT_EQ(r.values.size(), 3u);
+  EXPECT_NEAR(r.values[0], 5.0, 1e-10);
+  EXPECT_NEAR(r.values[1], 3.0, 1e-10);
+  EXPECT_NEAR(r.values[2], 1.0, 1e-10);
+}
+
+TEST(SymmetricEigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 2;
+  const EigenResult r = symmetric_eigen(a);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(r.vectors.at(0, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(std::abs(r.vectors.at(1, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(SymmetricEigen, ReconstructsMatrix) {
+  Rng rng(4);
+  const std::size_t n = 6;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double x = rng.normal();
+      a.at(i, j) = x;
+      a.at(j, i) = x;
+    }
+  }
+  const EigenResult r = symmetric_eigen(a);
+  // A = V diag(values) V^T
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        sum += r.vectors.at(i, k) * r.values[k] * r.vectors.at(j, k);
+      }
+      EXPECT_NEAR(sum, a.at(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(SymmetricEigen, EigenvectorsOrthonormal) {
+  Rng rng(5);
+  const std::size_t n = 8;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double x = rng.uniform();
+      a.at(i, j) = x;
+      a.at(j, i) = x;
+    }
+  }
+  const EigenResult r = symmetric_eigen(a);
+  for (std::size_t c1 = 0; c1 < n; ++c1) {
+    for (std::size_t c2 = 0; c2 < n; ++c2) {
+      double d = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        d += r.vectors.at(i, c1) * r.vectors.at(i, c2);
+      }
+      EXPECT_NEAR(d, c1 == c2 ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace meteo::vsm

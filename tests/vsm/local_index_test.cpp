@@ -1,0 +1,180 @@
+#include "vsm/local_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace meteo::vsm {
+namespace {
+
+SparseVector vec(std::initializer_list<KeywordId> kws) {
+  return SparseVector::binary(std::vector<KeywordId>(kws));
+}
+
+TEST(LocalIndex, InsertAndContains) {
+  LocalIndex idx;
+  idx.insert(1, vec({0, 1}));
+  idx.insert(2, vec({2}));
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_TRUE(idx.contains(1));
+  EXPECT_TRUE(idx.contains(2));
+  EXPECT_FALSE(idx.contains(3));
+}
+
+TEST(LocalIndex, InsertReplacesExisting) {
+  LocalIndex idx;
+  idx.insert(1, vec({0}));
+  idx.insert(1, vec({5, 6}));
+  EXPECT_EQ(idx.size(), 1u);
+  ASSERT_NE(idx.vector_of(1), nullptr);
+  EXPECT_TRUE(idx.vector_of(1)->contains(5));
+}
+
+TEST(LocalIndex, EraseExistingAndMissing) {
+  LocalIndex idx;
+  idx.insert(1, vec({0}));
+  idx.insert(2, vec({1}));
+  idx.insert(3, vec({2}));
+  EXPECT_TRUE(idx.erase(2));
+  EXPECT_FALSE(idx.erase(2));
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_TRUE(idx.contains(1));
+  EXPECT_TRUE(idx.contains(3));
+}
+
+TEST(LocalIndex, VectorOfMissingIsNull) {
+  const LocalIndex idx;
+  EXPECT_EQ(idx.vector_of(7), nullptr);
+}
+
+TEST(LocalIndex, EvictLeastSimilarPicksOrthogonal) {
+  LocalIndex idx;
+  idx.insert(1, vec({0, 1}));    // shares both keywords with reference
+  idx.insert(2, vec({0, 9}));    // shares one
+  idx.insert(3, vec({7, 8}));    // disjoint -> least similar
+  const auto evicted = idx.evict_least_similar(vec({0, 1}));
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->id, 3u);
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_FALSE(idx.contains(3));
+}
+
+TEST(LocalIndex, EvictTieBreaksOnSmallestId) {
+  LocalIndex idx;
+  idx.insert(42, vec({7}));
+  idx.insert(10, vec({8}));   // both orthogonal to the reference
+  const auto evicted = idx.evict_least_similar(vec({0}));
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->id, 10u);
+}
+
+TEST(LocalIndex, EvictFromEmptyIsNullopt) {
+  LocalIndex idx;
+  EXPECT_FALSE(idx.evict_least_similar(vec({0})).has_value());
+}
+
+TEST(LocalIndex, TopKRanksByCosine) {
+  LocalIndex idx;
+  idx.insert(1, vec({0, 1, 2, 3}));  // cos with {0,1} = 2/sqrt(8)
+  idx.insert(2, vec({0, 1}));        // cos = 1
+  idx.insert(3, vec({0, 9}));        // cos = 1/2
+  idx.insert(4, vec({8, 9}));        // cos = 0
+  const auto top = idx.top_k(vec({0, 1}), 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 2u);
+  EXPECT_NEAR(top[0].score, 1.0, 1e-12);
+  EXPECT_EQ(top[1].id, 1u);
+  EXPECT_EQ(top[2].id, 3u);
+}
+
+TEST(LocalIndex, TopKClampsToSize) {
+  LocalIndex idx;
+  idx.insert(1, vec({0}));
+  const auto top = idx.top_k(vec({0}), 10);
+  EXPECT_EQ(top.size(), 1u);
+}
+
+TEST(LocalIndex, TopKZeroIsEmpty) {
+  LocalIndex idx;
+  idx.insert(1, vec({0}));
+  EXPECT_TRUE(idx.top_k(vec({0}), 0).empty());
+}
+
+TEST(LocalIndex, MatchAllConjunctive) {
+  LocalIndex idx;
+  idx.insert(1, vec({0, 1, 2}));
+  idx.insert(2, vec({0, 2}));
+  idx.insert(3, vec({1, 2}));
+  const std::vector<KeywordId> q = {0, 2};
+  const auto hits = idx.match_all(q);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 1u);
+  EXPECT_EQ(hits[1], 2u);
+}
+
+TEST(LocalIndex, MatchAllEmptyQueryMatchesEverything) {
+  LocalIndex idx;
+  idx.insert(1, vec({0}));
+  idx.insert(2, vec({1}));
+  const auto hits = idx.match_all({});
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(LocalIndex, MatchAnyDisjunctive) {
+  LocalIndex idx;
+  idx.insert(1, vec({0}));
+  idx.insert(2, vec({1}));
+  idx.insert(3, vec({5}));
+  const std::vector<KeywordId> q = {0, 1};
+  const auto hits = idx.match_any(q);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 1u);
+  EXPECT_EQ(hits[1], 2u);
+}
+
+TEST(LocalIndex, WithinAngleThreshold) {
+  LocalIndex idx;
+  idx.insert(1, vec({0, 1}));  // angle 0 to query
+  idx.insert(2, vec({0, 9}));  // angle 60 deg (cos = 0.5)
+  idx.insert(3, vec({8, 9}));  // angle 90 deg
+  const auto query = vec({0, 1});
+  const auto within_45 = idx.within_angle(query, std::numbers::pi / 4.0);
+  ASSERT_EQ(within_45.size(), 1u);
+  EXPECT_EQ(within_45[0].id, 1u);
+  const auto within_75 =
+      idx.within_angle(query, 75.0 * std::numbers::pi / 180.0);
+  EXPECT_EQ(within_75.size(), 2u);
+  const auto within_90 = idx.within_angle(query, std::numbers::pi / 2.0);
+  EXPECT_EQ(within_90.size(), 3u);
+}
+
+TEST(LocalIndex, EvictionSequencePreservesMostSimilar) {
+  // Repeatedly evicting against the same reference must drain items in
+  // ascending-similarity order — the property that keeps similar items
+  // clustered under the publish overflow policy (Fig. 2).
+  LocalIndex idx;
+  Rng rng(1);
+  const auto reference = vec({0, 1, 2, 3, 4});
+  for (ItemId id = 0; id < 50; ++id) {
+    std::vector<Entry> entries;
+    for (KeywordId k = 0; k < 5; ++k) {
+      if (rng.chance(0.5)) entries.push_back({k, 1.0});
+    }
+    entries.push_back({static_cast<KeywordId>(10 + id), 1.0});
+    idx.insert(id, SparseVector::from_entries(std::move(entries)));
+  }
+  double last_score = -1.0;
+  while (idx.size() > 0) {
+    const auto evicted = idx.evict_least_similar(reference);
+    ASSERT_TRUE(evicted.has_value());
+    const double score = cosine_similarity(reference, evicted->vector);
+    EXPECT_GE(score, last_score - 1e-12);
+    last_score = score;
+  }
+}
+
+}  // namespace
+}  // namespace meteo::vsm

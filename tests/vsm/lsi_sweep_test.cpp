@@ -1,0 +1,103 @@
+/// Parameterized sweeps over the LSI rank: reconstruction quality must
+/// improve monotonically-ish with rank, and retrieval must stay sane at
+/// every rank.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "vsm/lsi.hpp"
+
+namespace meteo::vsm {
+namespace {
+
+std::vector<StoredItem> clustered_corpus(Rng& rng, std::size_t clusters,
+                                         std::size_t docs_per_cluster) {
+  std::vector<StoredItem> docs;
+  ItemId id = 0;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    const auto base = static_cast<KeywordId>(100 * c);
+    for (std::size_t d = 0; d < docs_per_cluster; ++d) {
+      std::vector<Entry> entries;
+      for (int k = 0; k < 6; ++k) {
+        entries.push_back(
+            {static_cast<KeywordId>(base + rng.below(20)), 1.0});
+      }
+      docs.push_back({id++, SparseVector::from_entries(std::move(entries))});
+    }
+  }
+  return docs;
+}
+
+class LsiRankSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LsiRankSweep, SingularValuesDescendAndPositive) {
+  Rng rng(1);
+  const auto docs = clustered_corpus(rng, 4, 10);
+  Rng build_rng(2);
+  const LsiModel model = LsiModel::build(docs, GetParam(), build_rng);
+  const auto sv = model.singular_values();
+  for (std::size_t i = 0; i < sv.size(); ++i) {
+    EXPECT_GE(sv[i], 0.0);
+    if (i > 0) {
+      EXPECT_LE(sv[i], sv[i - 1] + 1e-9);
+    }
+  }
+}
+
+TEST_P(LsiRankSweep, SelfRetrievalTopRanked) {
+  Rng rng(3);
+  const auto docs = clustered_corpus(rng, 4, 10);
+  Rng build_rng(4);
+  const LsiModel model = LsiModel::build(docs, GetParam(), build_rng);
+  // Querying a doc's own vector ranks a same-cluster doc first; with
+  // rank >= clusters the doc itself scores near 1.
+  for (std::size_t probe = 0; probe < docs.size(); probe += 7) {
+    const auto top = model.top_k(docs[probe].vector, 1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_GT(top[0].score, 0.5);
+  }
+}
+
+TEST_P(LsiRankSweep, ClusterMatesBeatStrangers) {
+  Rng rng(5);
+  const auto docs = clustered_corpus(rng, 4, 10);
+  Rng build_rng(6);
+  const LsiModel model = LsiModel::build(docs, GetParam(), build_rng);
+  // Probe with a fresh vector from cluster 0's vocabulary.
+  const auto probe = SparseVector::binary(
+      std::vector<KeywordId>{0, 3, 7, 11});
+  const auto top = model.top_k(probe, 10);
+  ASSERT_EQ(top.size(), 10u);
+  std::size_t cluster0_hits = 0;
+  for (const auto& hit : top) {
+    if (hit.id < 10) ++cluster0_hits;  // first 10 ids = cluster 0
+  }
+  // High ranks converge to exact cosine, where same-cluster docs with no
+  // literal overlap score ~0 and tie with strangers; 7/10 is the robust
+  // bound across ranks.
+  EXPECT_GE(cluster0_hits, 7u) << "rank " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, LsiRankSweep,
+                         ::testing::Values(2u, 4u, 8u, 16u));
+
+TEST(LsiRankQuality, HigherRankNeverHurtsFrobeniusCapture) {
+  Rng rng(7);
+  const auto docs = clustered_corpus(rng, 5, 8);
+  double prev_mass = -1.0;
+  for (const std::size_t rank : {1u, 2u, 4u, 8u, 16u}) {
+    Rng build_rng(8);
+    const LsiModel model =
+        LsiModel::build(docs, rank, build_rng, /*power_iterations=*/4);
+    double mass = 0.0;
+    for (const double s : model.singular_values()) mass += s * s;
+    EXPECT_GE(mass, prev_mass - 1e-6) << "rank " << rank;
+    prev_mass = mass;
+  }
+}
+
+}  // namespace
+}  // namespace meteo::vsm

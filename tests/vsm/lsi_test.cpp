@@ -1,0 +1,129 @@
+#include "vsm/lsi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace meteo::vsm {
+namespace {
+
+std::vector<StoredItem> corpus() {
+  // Two latent topics: "networking" (keywords 0-3) and "graphics"
+  // (keywords 10-13), with documents drawn from one topic each.
+  std::vector<StoredItem> docs;
+  auto add = [&](ItemId id, std::initializer_list<KeywordId> kws) {
+    docs.push_back({id, SparseVector::binary(std::vector<KeywordId>(kws))});
+  };
+  add(1, {0, 1, 2});
+  add(2, {1, 2, 3});
+  add(3, {0, 2, 3});
+  add(4, {10, 11, 12});
+  add(5, {11, 12, 13});
+  add(6, {10, 12, 13});
+  return docs;
+}
+
+TEST(Lsi, BuildProducesRequestedRank) {
+  const auto docs = corpus();
+  Rng rng(1);
+  const LsiModel m = LsiModel::build(docs, 2, rng);
+  EXPECT_EQ(m.rank(), 2u);
+  EXPECT_EQ(m.doc_count(), 6u);
+  ASSERT_EQ(m.singular_values().size(), 2u);
+  EXPECT_GE(m.singular_values()[0], m.singular_values()[1]);
+  EXPECT_GT(m.singular_values()[1], 0.0);
+}
+
+TEST(Lsi, RankClampedToMatrixSize) {
+  const auto docs = corpus();
+  Rng rng(2);
+  const LsiModel m = LsiModel::build(docs, 50, rng);
+  EXPECT_LE(m.rank(), 6u);
+}
+
+TEST(Lsi, TopKPrefersSameTopic) {
+  const auto docs = corpus();
+  Rng rng(3);
+  const LsiModel m = LsiModel::build(docs, 2, rng);
+  // Query overlaps doc 1's topic only partially but should still rank all
+  // networking docs above all graphics docs.
+  const auto q = SparseVector::binary(std::vector<KeywordId>{0, 1});
+  const auto top = m.top_k(q, 6);
+  ASSERT_EQ(top.size(), 6u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_LE(top[static_cast<std::size_t>(i)].id, 3u)
+        << "networking docs should occupy the top 3";
+  }
+}
+
+TEST(Lsi, LatentRetrievalSurfacesCorrelatedTerms) {
+  // The classic LSI property: a query using keyword 3 should retrieve doc 1
+  // ({0,1,2}) with a positive score because 3 co-occurs with {1,2} in the
+  // corpus, even though literal overlap is zero.
+  const auto docs = corpus();
+  Rng rng(4);
+  const LsiModel m = LsiModel::build(docs, 2, rng);
+  const auto q = SparseVector::binary(std::vector<KeywordId>{3});
+  const auto top = m.top_k(q, 6);
+  double doc1_score = -1.0;
+  double doc4_score = -1.0;
+  for (const auto& s : top) {
+    if (s.id == 1) doc1_score = s.score;
+    if (s.id == 4) doc4_score = s.score;
+  }
+  EXPECT_GT(doc1_score, 0.5);
+  EXPECT_GT(doc1_score, doc4_score + 0.3);
+}
+
+TEST(Lsi, FoldInUnknownKeywordIsZeroVector) {
+  const auto docs = corpus();
+  Rng rng(5);
+  const LsiModel m = LsiModel::build(docs, 2, rng);
+  const auto q = SparseVector::binary(std::vector<KeywordId>{999});
+  for (const double x : m.fold_in(q)) {
+    EXPECT_DOUBLE_EQ(x, 0.0);
+  }
+}
+
+TEST(Lsi, SingularValuesMatchFrobeniusMass) {
+  // For rank = matrix rank, sum of squared singular values equals ||A||_F^2.
+  const auto docs = corpus();
+  Rng rng(6);
+  const LsiModel m = LsiModel::build(docs, 6, rng, /*power_iterations=*/4);
+  double frob = 0.0;
+  for (const auto& d : docs) frob += d.vector.norm() * d.vector.norm();
+  double sum_sq = 0.0;
+  for (const double s : m.singular_values()) sum_sq += s * s;
+  EXPECT_NEAR(sum_sq, frob, 0.05 * frob);
+}
+
+TEST(Lsi, SingleDocumentCorpus) {
+  std::vector<StoredItem> docs;
+  docs.push_back({7, SparseVector::binary(std::vector<KeywordId>{1, 2, 3})});
+  Rng rng(7);
+  const LsiModel m = LsiModel::build(docs, 3, rng);
+  EXPECT_EQ(m.rank(), 1u);
+  const auto top = m.top_k(docs[0].vector, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 7u);
+  EXPECT_NEAR(top[0].score, 1.0, 1e-6);
+}
+
+TEST(Lsi, DeterministicGivenSeed) {
+  const auto docs = corpus();
+  Rng rng1(42);
+  Rng rng2(42);
+  const LsiModel a = LsiModel::build(docs, 2, rng1);
+  const LsiModel b = LsiModel::build(docs, 2, rng2);
+  const auto q = SparseVector::binary(std::vector<KeywordId>{0});
+  const auto ta = a.top_k(q, 6);
+  const auto tb = b.top_k(q, 6);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].id, tb[i].id);
+    EXPECT_DOUBLE_EQ(ta[i].score, tb[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace meteo::vsm

@@ -1,0 +1,173 @@
+#include "vsm/sparse_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace meteo::vsm {
+namespace {
+
+TEST(SparseVector, EmptyByDefault) {
+  const SparseVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.nnz(), 0u);
+  EXPECT_DOUBLE_EQ(v.norm(), 0.0);
+}
+
+TEST(SparseVector, FromEntriesSortsByKeyword) {
+  const auto v = SparseVector::from_entries({{5, 1.0}, {1, 2.0}, {3, 0.5}});
+  ASSERT_EQ(v.nnz(), 3u);
+  EXPECT_EQ(v.entries()[0].keyword, 1u);
+  EXPECT_EQ(v.entries()[1].keyword, 3u);
+  EXPECT_EQ(v.entries()[2].keyword, 5u);
+}
+
+TEST(SparseVector, DuplicatesAreSummed) {
+  const auto v = SparseVector::from_entries({{2, 1.0}, {2, 3.0}});
+  ASSERT_EQ(v.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(v.entries()[0].weight, 4.0);
+}
+
+TEST(SparseVector, ZeroWeightsDropped) {
+  const auto v = SparseVector::from_entries({{1, 0.0}, {2, 1.0}});
+  ASSERT_EQ(v.nnz(), 1u);
+  EXPECT_EQ(v.entries()[0].keyword, 2u);
+}
+
+TEST(SparseVector, NormIsEuclidean) {
+  const auto v = SparseVector::from_entries({{0, 3.0}, {1, 4.0}});
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+}
+
+TEST(SparseVector, BinaryConstruction) {
+  const std::vector<KeywordId> kws = {7, 2, 9};
+  const auto v = SparseVector::binary(kws);
+  EXPECT_EQ(v.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(v.weight_of(2), 1.0);
+  EXPECT_DOUBLE_EQ(v.weight_of(7), 1.0);
+  EXPECT_DOUBLE_EQ(v.norm(), std::sqrt(3.0));
+}
+
+TEST(SparseVector, WeightOfAbsentKeywordIsZero) {
+  const auto v = SparseVector::from_entries({{10, 2.0}});
+  EXPECT_DOUBLE_EQ(v.weight_of(9), 0.0);
+  EXPECT_DOUBLE_EQ(v.weight_of(11), 0.0);
+  EXPECT_FALSE(v.contains(9));
+  EXPECT_TRUE(v.contains(10));
+}
+
+TEST(SparseVector, MaxKeyword) {
+  const auto v = SparseVector::from_entries({{3, 1.0}, {42, 1.0}, {7, 1.0}});
+  EXPECT_EQ(v.max_keyword(), 42u);
+}
+
+TEST(Dot, DisjointSupportsIsZero) {
+  const auto a = SparseVector::from_entries({{0, 1.0}, {2, 1.0}});
+  const auto b = SparseVector::from_entries({{1, 1.0}, {3, 1.0}});
+  EXPECT_DOUBLE_EQ(dot(a, b), 0.0);
+}
+
+TEST(Dot, OverlappingSupports) {
+  const auto a = SparseVector::from_entries({{0, 2.0}, {1, 3.0}});
+  const auto b = SparseVector::from_entries({{1, 4.0}, {2, 5.0}});
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+}
+
+TEST(Dot, Commutative) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Entry> ea;
+    std::vector<Entry> eb;
+    for (int i = 0; i < 20; ++i) {
+      ea.push_back({static_cast<KeywordId>(rng.below(30)), rng.uniform() + 0.1});
+      eb.push_back({static_cast<KeywordId>(rng.below(30)), rng.uniform() + 0.1});
+    }
+    const auto a = SparseVector::from_entries(ea);
+    const auto b = SparseVector::from_entries(eb);
+    EXPECT_NEAR(dot(a, b), dot(b, a), 1e-12);
+  }
+}
+
+TEST(Cosine, IdenticalVectorsIsOne) {
+  const auto v = SparseVector::from_entries({{1, 2.0}, {4, 1.0}});
+  EXPECT_NEAR(cosine_similarity(v, v), 1.0, 1e-12);
+}
+
+TEST(Cosine, ScaleInvariant) {
+  const auto a = SparseVector::from_entries({{1, 2.0}, {4, 1.0}});
+  const auto b = SparseVector::from_entries({{1, 20.0}, {4, 10.0}});
+  EXPECT_NEAR(cosine_similarity(a, b), 1.0, 1e-12);
+}
+
+TEST(Cosine, OrthogonalIsZero) {
+  const auto a = SparseVector::from_entries({{0, 1.0}});
+  const auto b = SparseVector::from_entries({{1, 1.0}});
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+}
+
+TEST(Cosine, EmptyVectorYieldsZero) {
+  const SparseVector empty;
+  const auto v = SparseVector::from_entries({{0, 1.0}});
+  EXPECT_DOUBLE_EQ(cosine_similarity(empty, v), 0.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity(v, empty), 0.0);
+}
+
+TEST(AngleBetween, RightAngleForDisjoint) {
+  const auto a = SparseVector::from_entries({{0, 1.0}});
+  const auto b = SparseVector::from_entries({{1, 1.0}});
+  EXPECT_NEAR(angle_between(a, b), std::numbers::pi / 2.0, 1e-12);
+}
+
+TEST(AngleBetween, ZeroForParallel) {
+  const auto a = SparseVector::from_entries({{0, 1.0}, {1, 1.0}});
+  const auto b = SparseVector::from_entries({{0, 5.0}, {1, 5.0}});
+  EXPECT_NEAR(angle_between(a, b), 0.0, 1e-7);
+}
+
+TEST(AngleBetween, KnownFortyFive) {
+  const auto a = SparseVector::from_entries({{0, 1.0}});
+  const auto b = SparseVector::from_entries({{0, 1.0}, {1, 1.0}});
+  EXPECT_NEAR(angle_between(a, b), std::numbers::pi / 4.0, 1e-12);
+}
+
+// Property: for random non-negative vectors the angle is within [0, pi/2]
+// and sharing more keywords can only reduce it relative to disjoint.
+class AngleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AngleProperty, RangeAndSharingMonotonicity) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Entry> base;
+    for (int i = 0; i < 10; ++i) {
+      base.push_back({static_cast<KeywordId>(i), rng.uniform() + 0.1});
+    }
+    const auto a = SparseVector::from_entries(base);
+    // b shares exactly `shared` leading keywords of a.
+    double prev_angle = std::numbers::pi;  // sentinel above pi/2
+    for (int shared = 0; shared <= 10; ++shared) {
+      std::vector<Entry> eb;
+      for (int i = 0; i < shared; ++i) eb.push_back(base[static_cast<std::size_t>(i)]);
+      for (int i = 0; i < 10 - shared; ++i) {
+        eb.push_back({static_cast<KeywordId>(100 + i), base[static_cast<std::size_t>(i)].weight});
+      }
+      const auto b = SparseVector::from_entries(eb);
+      const double angle = angle_between(a, b);
+      EXPECT_GE(angle, 0.0);
+      EXPECT_LE(angle, std::numbers::pi / 2.0 + 1e-12);
+      // Replacing a disjoint keyword with a shared one (same weight) never
+      // increases the angle.
+      EXPECT_LE(angle, prev_angle + 1e-9);
+      prev_angle = angle;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AngleProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace meteo::vsm

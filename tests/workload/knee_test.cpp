@@ -1,0 +1,114 @@
+#include "workload/knee.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace meteo::workload {
+namespace {
+
+std::vector<Knot> linear_curve(std::size_t points) {
+  std::vector<Knot> c;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(points - 1);
+    c.push_back(Knot{x, x});
+  }
+  return c;
+}
+
+/// A CDF-looking curve with one sharp corner at (0.2, 0.9).
+std::vector<Knot> elbow_curve(std::size_t points) {
+  std::vector<Knot> c;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(points - 1);
+    const double y = x <= 0.2 ? x * 4.5 : 0.9 + (x - 0.2) * 0.125;
+    c.push_back(Knot{x, y});
+  }
+  return c;
+}
+
+TEST(FindKnees, AlwaysIncludesEndpoints) {
+  const auto curve = elbow_curve(101);
+  const auto knees = find_knees(curve, KneeConfig{4, 0.0});
+  ASSERT_GE(knees.size(), 2u);
+  EXPECT_EQ(knees.front(), curve.front());
+  EXPECT_EQ(knees.back(), curve.back());
+}
+
+TEST(FindKnees, LinearCurveNeedsOnlyEndpoints) {
+  const auto curve = linear_curve(101);
+  const auto knees = find_knees(curve, KneeConfig{5, 1e-9});
+  EXPECT_EQ(knees.size(), 2u);
+}
+
+TEST(FindKnees, ElbowIsDetected) {
+  const auto curve = elbow_curve(101);
+  const auto knees = find_knees(curve, KneeConfig{3, 0.0});
+  ASSERT_EQ(knees.size(), 3u);
+  // The middle knee should be at (or adjacent to) the corner x = 0.2.
+  EXPECT_NEAR(knees[1].x, 0.2, 0.02);
+}
+
+TEST(FindKnees, RespectsBudget) {
+  Rng rng(1);
+  std::vector<Knot> curve;
+  double y = 0.0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    y += rng.uniform() * 0.01;
+    curve.push_back(Knot{static_cast<double>(i), y});
+  }
+  const auto knees = find_knees(curve, KneeConfig{7, 0.0});
+  EXPECT_LE(knees.size(), 7u);
+}
+
+TEST(FindKnees, OutputSortedAndMonotone) {
+  const auto curve = elbow_curve(301);
+  const auto knees = find_knees(curve, KneeConfig{6, 0.0});
+  for (std::size_t i = 1; i < knees.size(); ++i) {
+    EXPECT_GT(knees[i].x, knees[i - 1].x);
+    EXPECT_GE(knees[i].y, knees[i - 1].y);
+  }
+}
+
+TEST(FindKnees, MoreKneesNeverWorseFit) {
+  const auto curve = elbow_curve(301);
+  double prev = 1e9;
+  for (std::size_t budget = 2; budget <= 10; ++budget) {
+    const auto knees = find_knees(curve, KneeConfig{budget, 0.0});
+    const double dev = max_deviation(curve, knees);
+    EXPECT_LE(dev, prev + 1e-12);
+    prev = dev;
+  }
+}
+
+TEST(FindKnees, MinDeviationStopsEarly) {
+  const auto curve = elbow_curve(101);
+  // Huge tolerance: only the endpoints survive.
+  const auto knees = find_knees(curve, KneeConfig{10, 10.0});
+  EXPECT_EQ(knees.size(), 2u);
+}
+
+TEST(MaxDeviation, ZeroForExactFit) {
+  const auto curve = linear_curve(11);
+  const std::vector<Knot> knees = {curve.front(), curve.back()};
+  EXPECT_NEAR(max_deviation(curve, knees), 0.0, 1e-12);
+}
+
+TEST(MaxDeviation, DetectsMisfit) {
+  const auto curve = elbow_curve(101);
+  const std::vector<Knot> knees = {curve.front(), curve.back()};
+  // The corner at y=0.9 vs chord y(0.2)~0.2: deviation ~0.7.
+  EXPECT_GT(max_deviation(curve, knees), 0.5);
+}
+
+TEST(FindKnees, TwoPointCurve) {
+  const std::vector<Knot> curve = {{0.0, 0.0}, {1.0, 1.0}};
+  const auto knees = find_knees(curve, KneeConfig{5, 0.0});
+  EXPECT_EQ(knees.size(), 2u);
+}
+
+}  // namespace
+}  // namespace meteo::workload

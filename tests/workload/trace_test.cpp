@@ -1,0 +1,160 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace meteo::workload {
+namespace {
+
+TraceConfig small_config() {
+  TraceConfig cfg;
+  cfg.num_items = 2000;
+  cfg.num_keywords = 5000;
+  cfg.mean_basket = 20.0;
+  cfg.max_basket = 500;
+  return cfg;
+}
+
+TEST(Trace, SynthesisBasicShape) {
+  const Trace t = synthesize_trace(small_config(), 1);
+  EXPECT_EQ(t.item_count(), 2000u);
+  EXPECT_EQ(t.keyword_space(), 5000u);
+}
+
+TEST(Trace, DeterministicForSeed) {
+  const Trace a = synthesize_trace(small_config(), 7);
+  const Trace b = synthesize_trace(small_config(), 7);
+  ASSERT_EQ(a.item_count(), b.item_count());
+  for (std::size_t i = 0; i < a.item_count(); ++i) {
+    const auto ka = a.keywords_of(i);
+    const auto kb = b.keywords_of(i);
+    ASSERT_EQ(ka.size(), kb.size());
+    EXPECT_TRUE(std::equal(ka.begin(), ka.end(), kb.begin()));
+  }
+}
+
+TEST(Trace, DifferentSeedsDiffer) {
+  const Trace a = synthesize_trace(small_config(), 1);
+  const Trace b = synthesize_trace(small_config(), 2);
+  std::uint64_t fa = 0;
+  std::uint64_t fb = 0;
+  for (std::size_t i = 0; i < a.item_count(); ++i) {
+    for (const auto k : a.keywords_of(i)) fa += k;
+    for (const auto k : b.keywords_of(i)) fb += k;
+  }
+  EXPECT_NE(fa, fb);
+}
+
+TEST(Trace, KeywordsAreSortedAndDistinct) {
+  const Trace t = synthesize_trace(small_config(), 3);
+  for (std::size_t i = 0; i < t.item_count(); ++i) {
+    const auto kws = t.keywords_of(i);
+    for (std::size_t j = 1; j < kws.size(); ++j) {
+      EXPECT_LT(kws[j - 1], kws[j]);
+    }
+  }
+}
+
+TEST(Trace, BasketBoundsRespected) {
+  TraceConfig cfg = small_config();
+  cfg.min_basket = 2;
+  cfg.max_basket = 50;
+  const Trace t = synthesize_trace(cfg, 4);
+  const TraceStats s = t.stats();
+  EXPECT_GE(s.min_basket, 2u);
+  EXPECT_LE(s.max_basket, 50u);
+}
+
+TEST(Trace, MeanBasketNearTarget) {
+  TraceConfig cfg = small_config();
+  cfg.num_items = 20000;
+  const Trace t = synthesize_trace(cfg, 5);
+  const TraceStats s = t.stats();
+  // Lognormal clamping biases slightly; allow 15%.
+  EXPECT_NEAR(s.mean_basket, 20.0, 3.0);
+}
+
+TEST(Trace, StatsConsistency) {
+  const Trace t = synthesize_trace(small_config(), 6);
+  const TraceStats s = t.stats();
+  EXPECT_EQ(s.items, 2000u);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < t.item_count(); ++i) {
+    total += t.keywords_of(i).size();
+  }
+  EXPECT_EQ(s.total_incidences, total);
+  EXPECT_LE(s.keywords_used, t.keyword_space());
+  EXPECT_GT(s.keywords_used, 0u);
+}
+
+TEST(Trace, PopularityIsSkewed) {
+  // Zipf keyword popularity: the most popular keyword should appear in far
+  // more items than the median keyword (Fig. 6's shape).
+  const Trace t = synthesize_trace(small_config(), 7);
+  auto df = t.document_frequency();
+  std::sort(df.begin(), df.end(), std::greater<>());
+  EXPECT_GT(df[0], 20 * std::max<std::uint64_t>(df[df.size() / 2], 1));
+}
+
+TEST(Trace, DocumentFrequencySumsToIncidences) {
+  const Trace t = synthesize_trace(small_config(), 8);
+  const auto& df = t.document_frequency();
+  std::uint64_t sum = 0;
+  for (const auto d : df) sum += d;
+  EXPECT_EQ(sum, t.stats().total_incidences);
+}
+
+TEST(Trace, BinaryWeightsAllOne) {
+  const Trace t = synthesize_trace(small_config(), 9);
+  const auto w = t.keyword_weights(WeightScheme::kBinary);
+  ASSERT_EQ(w.size(), t.keyword_space());
+  for (const double x : w) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(Trace, IdfWeightsFavorRareKeywords) {
+  const Trace t = synthesize_trace(small_config(), 10);
+  const auto w = t.keyword_weights(WeightScheme::kIdf);
+  const auto& df = t.document_frequency();
+  // Keyword 0 is the most popular under Zipf; find a rare used keyword.
+  std::size_t rare = 0;
+  for (std::size_t k = 0; k < df.size(); ++k) {
+    if (df[k] == 1) {
+      rare = k;
+      break;
+    }
+  }
+  EXPECT_GT(w[rare], w[0]);
+  for (const double x : w) EXPECT_GT(x, 0.0);
+}
+
+TEST(Trace, VectorOfMatchesKeywords) {
+  const Trace t = synthesize_trace(small_config(), 11);
+  const auto w = t.keyword_weights(WeightScheme::kIdf);
+  const auto v = t.vector_of(0, w);
+  const auto kws = t.keywords_of(0);
+  ASSERT_EQ(v.nnz(), kws.size());
+  for (const auto k : kws) {
+    EXPECT_DOUBLE_EQ(v.weight_of(k), w[k]);
+  }
+}
+
+TEST(Trace, LargeBasketsResolveDistinct) {
+  // Baskets near the keyword-space size force the dedup fill path.
+  TraceConfig cfg;
+  cfg.num_items = 20;
+  cfg.num_keywords = 100;
+  cfg.mean_basket = 80.0;
+  cfg.basket_sigma = 0.3;
+  cfg.max_basket = 100;
+  const Trace t = synthesize_trace(cfg, 12);
+  for (std::size_t i = 0; i < t.item_count(); ++i) {
+    const auto kws = t.keywords_of(i);
+    const std::set<vsm::KeywordId> distinct(kws.begin(), kws.end());
+    EXPECT_EQ(distinct.size(), kws.size());
+  }
+}
+
+}  // namespace
+}  // namespace meteo::workload

@@ -1,0 +1,121 @@
+#include "workload/worldcup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace meteo::workload {
+namespace {
+
+WorldCupRecord rec(std::uint32_t ts, std::uint32_t client, std::uint32_t obj) {
+  WorldCupRecord r;
+  r.timestamp = ts;
+  r.client_id = client;
+  r.object_id = obj;
+  r.size = 1234;
+  r.method = 1;
+  r.status = 200 & 0x3f;
+  r.type = 2;
+  r.server = 3;
+  return r;
+}
+
+TEST(WorldCup, WriteReadRoundTrip) {
+  const std::vector<WorldCupRecord> records = {
+      rec(100, 1, 10), rec(101, 2, 20), rec(0xFFFFFFFF, 0xDEADBEEF, 0xCAFEBABE)};
+  std::stringstream ss;
+  write_worldcup_log(ss, records);
+  const auto read = read_worldcup_log(ss);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read.value(), records);
+}
+
+TEST(WorldCup, RecordIsTwentyBytes) {
+  std::stringstream ss;
+  write_worldcup_log(ss, std::vector<WorldCupRecord>{rec(1, 2, 3)});
+  EXPECT_EQ(ss.str().size(), kWorldCupRecordBytes);
+}
+
+TEST(WorldCup, BigEndianLayout) {
+  std::stringstream ss;
+  write_worldcup_log(ss, std::vector<WorldCupRecord>{rec(0x01020304, 0, 0)});
+  const std::string bytes = ss.str();
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[1]), 0x02);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[2]), 0x03);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[3]), 0x04);
+}
+
+TEST(WorldCup, EmptyStreamYieldsNoRecords) {
+  std::stringstream ss;
+  const auto read = read_worldcup_log(ss);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_TRUE(read.value().empty());
+}
+
+TEST(WorldCup, TruncatedRecordIsError) {
+  std::stringstream ss;
+  write_worldcup_log(ss, std::vector<WorldCupRecord>{rec(1, 2, 3)});
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() - 3);  // chop the tail
+  std::stringstream truncated(bytes);
+  const auto read = read_worldcup_log(truncated);
+  ASSERT_FALSE(read.has_value());
+  EXPECT_EQ(read.error(), WorldCupError::kTruncatedRecord);
+}
+
+TEST(WorldCup, MaxRecordsLimitsRead) {
+  std::vector<WorldCupRecord> records;
+  for (std::uint32_t i = 0; i < 10; ++i) records.push_back(rec(i, i, i));
+  std::stringstream ss;
+  write_worldcup_log(ss, records);
+  const auto read = read_worldcup_log(ss, 4);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read.value().size(), 4u);
+  EXPECT_EQ(read.value()[3].timestamp, 3u);
+}
+
+TEST(WorldCup, BuildTraceAggregatesClients) {
+  // Client 7 requests objects {10, 20, 10}; client 8 requests {20}.
+  const std::vector<WorldCupRecord> records = {
+      rec(1, 7, 10), rec(2, 7, 20), rec(3, 7, 10), rec(4, 8, 20)};
+  const Trace t = build_trace(records);
+  ASSERT_EQ(t.item_count(), 2u);
+  EXPECT_EQ(t.keywords_of(0).size(), 2u);  // {10,20} deduped
+  EXPECT_EQ(t.keywords_of(1).size(), 1u);
+  const TraceStats s = t.stats();
+  EXPECT_EQ(s.total_incidences, 3u);
+  EXPECT_EQ(s.keywords_used, 2u);
+}
+
+TEST(WorldCup, BuildTraceDensifiesIds) {
+  const std::vector<WorldCupRecord> records = {rec(1, 1000000, 99999999),
+                                               rec(2, 2000000, 88888888)};
+  const Trace t = build_trace(records);
+  EXPECT_EQ(t.item_count(), 2u);
+  EXPECT_EQ(t.keyword_space(), 2u);
+  EXPECT_EQ(t.keywords_of(0)[0], 0u);
+  EXPECT_EQ(t.keywords_of(1)[0], 1u);
+}
+
+TEST(WorldCup, BuildTraceTimestampFilter) {
+  const std::vector<WorldCupRecord> records = {
+      rec(10, 1, 100), rec(20, 2, 200), rec(30, 3, 300)};
+  const Trace t = build_trace(records, 15, 25);
+  EXPECT_EQ(t.item_count(), 1u);
+  EXPECT_EQ(t.stats().total_incidences, 1u);
+}
+
+TEST(WorldCup, BuildTracePreservesOrderOfFirstAppearance) {
+  const std::vector<WorldCupRecord> records = {
+      rec(1, 5, 50), rec(2, 6, 60), rec(3, 5, 70)};
+  const Trace t = build_trace(records);
+  // Client 5 appeared first -> item 0 with objects {50->0, 70->2}.
+  ASSERT_EQ(t.keywords_of(0).size(), 2u);
+  EXPECT_EQ(t.keywords_of(0)[0], 0u);
+  EXPECT_EQ(t.keywords_of(0)[1], 2u);
+}
+
+}  // namespace
+}  // namespace meteo::workload
