@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_capability.dir/ablation_capability.cpp.o"
+  "CMakeFiles/ablation_capability.dir/ablation_capability.cpp.o.d"
+  "ablation_capability"
+  "ablation_capability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_capability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

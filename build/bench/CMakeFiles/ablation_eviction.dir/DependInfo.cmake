@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_eviction.cpp" "bench/CMakeFiles/ablation_eviction.dir/ablation_eviction.cpp.o" "gcc" "bench/CMakeFiles/ablation_eviction.dir/ablation_eviction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/meteo_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/meteorograph/CMakeFiles/meteo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/meteo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/meteo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/meteo_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/vsm/CMakeFiles/meteo_vsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/meteo_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/meteo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

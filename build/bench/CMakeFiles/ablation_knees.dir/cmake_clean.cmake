@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_knees.dir/ablation_knees.cpp.o"
+  "CMakeFiles/ablation_knees.dir/ablation_knees.cpp.o.d"
+  "ablation_knees"
+  "ablation_knees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_knees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_routing_base.dir/ablation_routing_base.cpp.o"
+  "CMakeFiles/ablation_routing_base.dir/ablation_routing_base.cpp.o.d"
+  "ablation_routing_base"
+  "ablation_routing_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_routing_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_psearch.dir/baseline_psearch.cpp.o"
+  "CMakeFiles/baseline_psearch.dir/baseline_psearch.cpp.o.d"
+  "baseline_psearch"
+  "baseline_psearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_psearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_range_search.dir/ext_range_search.cpp.o"
+  "CMakeFiles/ext_range_search.dir/ext_range_search.cpp.o.d"
+  "ext_range_search"
+  "ext_range_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_range_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

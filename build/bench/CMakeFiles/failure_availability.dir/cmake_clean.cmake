@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_availability.dir/failure_availability.cpp.o"
+  "CMakeFiles/failure_availability.dir/failure_availability.cpp.o.d"
+  "failure_availability"
+  "failure_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

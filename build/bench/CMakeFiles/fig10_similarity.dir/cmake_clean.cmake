@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_similarity.dir/fig10_similarity.cpp.o"
+  "CMakeFiles/fig10_similarity.dir/fig10_similarity.cpp.o.d"
+  "fig10_similarity"
+  "fig10_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

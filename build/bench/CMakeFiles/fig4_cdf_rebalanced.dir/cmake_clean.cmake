@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cdf_rebalanced.dir/fig4_cdf_rebalanced.cpp.o"
+  "CMakeFiles/fig4_cdf_rebalanced.dir/fig4_cdf_rebalanced.cpp.o.d"
+  "fig4_cdf_rebalanced"
+  "fig4_cdf_rebalanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cdf_rebalanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

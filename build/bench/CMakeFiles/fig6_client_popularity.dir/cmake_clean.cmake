@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_client_popularity.dir/fig6_client_popularity.cpp.o"
+  "CMakeFiles/fig6_client_popularity.dir/fig6_client_popularity.cpp.o.d"
+  "fig6_client_popularity"
+  "fig6_client_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_client_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

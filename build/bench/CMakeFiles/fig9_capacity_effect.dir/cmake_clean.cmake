@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_capacity_effect.dir/fig9_capacity_effect.cpp.o"
+  "CMakeFiles/fig9_capacity_effect.dir/fig9_capacity_effect.cpp.o.d"
+  "fig9_capacity_effect"
+  "fig9_capacity_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_capacity_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

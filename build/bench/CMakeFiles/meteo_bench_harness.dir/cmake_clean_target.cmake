@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libmeteo_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_workload.dir/table1_workload.cpp.o"
+  "CMakeFiles/table1_workload.dir/table1_workload.cpp.o.d"
+  "table1_workload"
+  "table1_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

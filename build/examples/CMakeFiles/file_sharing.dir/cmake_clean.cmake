@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_sharing.dir/file_sharing.cpp.o"
+  "CMakeFiles/file_sharing.dir/file_sharing.cpp.o.d"
+  "file_sharing"
+  "file_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_discovery.dir/service_discovery.cpp.o"
+  "CMakeFiles/service_discovery.dir/service_discovery.cpp.o.d"
+  "service_discovery"
+  "service_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/can.cpp" "src/baseline/CMakeFiles/meteo_baseline.dir/can.cpp.o" "gcc" "src/baseline/CMakeFiles/meteo_baseline.dir/can.cpp.o.d"
+  "/root/repo/src/baseline/flooding.cpp" "src/baseline/CMakeFiles/meteo_baseline.dir/flooding.cpp.o" "gcc" "src/baseline/CMakeFiles/meteo_baseline.dir/flooding.cpp.o.d"
+  "/root/repo/src/baseline/keyword_dht.cpp" "src/baseline/CMakeFiles/meteo_baseline.dir/keyword_dht.cpp.o" "gcc" "src/baseline/CMakeFiles/meteo_baseline.dir/keyword_dht.cpp.o.d"
+  "/root/repo/src/baseline/psearch.cpp" "src/baseline/CMakeFiles/meteo_baseline.dir/psearch.cpp.o" "gcc" "src/baseline/CMakeFiles/meteo_baseline.dir/psearch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/meteo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vsm/CMakeFiles/meteo_vsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/meteo_overlay.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meteo_baseline.dir/can.cpp.o"
+  "CMakeFiles/meteo_baseline.dir/can.cpp.o.d"
+  "CMakeFiles/meteo_baseline.dir/flooding.cpp.o"
+  "CMakeFiles/meteo_baseline.dir/flooding.cpp.o.d"
+  "CMakeFiles/meteo_baseline.dir/keyword_dht.cpp.o"
+  "CMakeFiles/meteo_baseline.dir/keyword_dht.cpp.o.d"
+  "CMakeFiles/meteo_baseline.dir/psearch.cpp.o"
+  "CMakeFiles/meteo_baseline.dir/psearch.cpp.o.d"
+  "libmeteo_baseline.a"
+  "libmeteo_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meteo_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmeteo_baseline.a"
+)

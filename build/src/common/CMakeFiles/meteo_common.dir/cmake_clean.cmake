@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meteo_common.dir/cdf.cpp.o"
+  "CMakeFiles/meteo_common.dir/cdf.cpp.o.d"
+  "CMakeFiles/meteo_common.dir/cli.cpp.o"
+  "CMakeFiles/meteo_common.dir/cli.cpp.o.d"
+  "CMakeFiles/meteo_common.dir/rng.cpp.o"
+  "CMakeFiles/meteo_common.dir/rng.cpp.o.d"
+  "CMakeFiles/meteo_common.dir/stats.cpp.o"
+  "CMakeFiles/meteo_common.dir/stats.cpp.o.d"
+  "CMakeFiles/meteo_common.dir/table.cpp.o"
+  "CMakeFiles/meteo_common.dir/table.cpp.o.d"
+  "CMakeFiles/meteo_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/meteo_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/meteo_common.dir/zipf.cpp.o"
+  "CMakeFiles/meteo_common.dir/zipf.cpp.o.d"
+  "libmeteo_common.a"
+  "libmeteo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meteo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

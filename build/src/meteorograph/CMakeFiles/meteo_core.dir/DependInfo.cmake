@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meteorograph/depart.cpp" "src/meteorograph/CMakeFiles/meteo_core.dir/depart.cpp.o" "gcc" "src/meteorograph/CMakeFiles/meteo_core.dir/depart.cpp.o.d"
+  "/root/repo/src/meteorograph/first_hop.cpp" "src/meteorograph/CMakeFiles/meteo_core.dir/first_hop.cpp.o" "gcc" "src/meteorograph/CMakeFiles/meteo_core.dir/first_hop.cpp.o.d"
+  "/root/repo/src/meteorograph/hot_regions.cpp" "src/meteorograph/CMakeFiles/meteo_core.dir/hot_regions.cpp.o" "gcc" "src/meteorograph/CMakeFiles/meteo_core.dir/hot_regions.cpp.o.d"
+  "/root/repo/src/meteorograph/maintenance.cpp" "src/meteorograph/CMakeFiles/meteo_core.dir/maintenance.cpp.o" "gcc" "src/meteorograph/CMakeFiles/meteo_core.dir/maintenance.cpp.o.d"
+  "/root/repo/src/meteorograph/meteorograph.cpp" "src/meteorograph/CMakeFiles/meteo_core.dir/meteorograph.cpp.o" "gcc" "src/meteorograph/CMakeFiles/meteo_core.dir/meteorograph.cpp.o.d"
+  "/root/repo/src/meteorograph/naming.cpp" "src/meteorograph/CMakeFiles/meteo_core.dir/naming.cpp.o" "gcc" "src/meteorograph/CMakeFiles/meteo_core.dir/naming.cpp.o.d"
+  "/root/repo/src/meteorograph/notify.cpp" "src/meteorograph/CMakeFiles/meteo_core.dir/notify.cpp.o" "gcc" "src/meteorograph/CMakeFiles/meteo_core.dir/notify.cpp.o.d"
+  "/root/repo/src/meteorograph/publish.cpp" "src/meteorograph/CMakeFiles/meteo_core.dir/publish.cpp.o" "gcc" "src/meteorograph/CMakeFiles/meteo_core.dir/publish.cpp.o.d"
+  "/root/repo/src/meteorograph/range_ops.cpp" "src/meteorograph/CMakeFiles/meteo_core.dir/range_ops.cpp.o" "gcc" "src/meteorograph/CMakeFiles/meteo_core.dir/range_ops.cpp.o.d"
+  "/root/repo/src/meteorograph/range_search.cpp" "src/meteorograph/CMakeFiles/meteo_core.dir/range_search.cpp.o" "gcc" "src/meteorograph/CMakeFiles/meteo_core.dir/range_search.cpp.o.d"
+  "/root/repo/src/meteorograph/retrieve.cpp" "src/meteorograph/CMakeFiles/meteo_core.dir/retrieve.cpp.o" "gcc" "src/meteorograph/CMakeFiles/meteo_core.dir/retrieve.cpp.o.d"
+  "/root/repo/src/meteorograph/search.cpp" "src/meteorograph/CMakeFiles/meteo_core.dir/search.cpp.o" "gcc" "src/meteorograph/CMakeFiles/meteo_core.dir/search.cpp.o.d"
+  "/root/repo/src/meteorograph/storage.cpp" "src/meteorograph/CMakeFiles/meteo_core.dir/storage.cpp.o" "gcc" "src/meteorograph/CMakeFiles/meteo_core.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/meteo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vsm/CMakeFiles/meteo_vsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/meteo_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/meteo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/meteo_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meteo_core.dir/depart.cpp.o"
+  "CMakeFiles/meteo_core.dir/depart.cpp.o.d"
+  "CMakeFiles/meteo_core.dir/first_hop.cpp.o"
+  "CMakeFiles/meteo_core.dir/first_hop.cpp.o.d"
+  "CMakeFiles/meteo_core.dir/hot_regions.cpp.o"
+  "CMakeFiles/meteo_core.dir/hot_regions.cpp.o.d"
+  "CMakeFiles/meteo_core.dir/maintenance.cpp.o"
+  "CMakeFiles/meteo_core.dir/maintenance.cpp.o.d"
+  "CMakeFiles/meteo_core.dir/meteorograph.cpp.o"
+  "CMakeFiles/meteo_core.dir/meteorograph.cpp.o.d"
+  "CMakeFiles/meteo_core.dir/naming.cpp.o"
+  "CMakeFiles/meteo_core.dir/naming.cpp.o.d"
+  "CMakeFiles/meteo_core.dir/notify.cpp.o"
+  "CMakeFiles/meteo_core.dir/notify.cpp.o.d"
+  "CMakeFiles/meteo_core.dir/publish.cpp.o"
+  "CMakeFiles/meteo_core.dir/publish.cpp.o.d"
+  "CMakeFiles/meteo_core.dir/range_ops.cpp.o"
+  "CMakeFiles/meteo_core.dir/range_ops.cpp.o.d"
+  "CMakeFiles/meteo_core.dir/range_search.cpp.o"
+  "CMakeFiles/meteo_core.dir/range_search.cpp.o.d"
+  "CMakeFiles/meteo_core.dir/retrieve.cpp.o"
+  "CMakeFiles/meteo_core.dir/retrieve.cpp.o.d"
+  "CMakeFiles/meteo_core.dir/search.cpp.o"
+  "CMakeFiles/meteo_core.dir/search.cpp.o.d"
+  "CMakeFiles/meteo_core.dir/storage.cpp.o"
+  "CMakeFiles/meteo_core.dir/storage.cpp.o.d"
+  "libmeteo_core.a"
+  "libmeteo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meteo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meteo_overlay.dir/overlay.cpp.o"
+  "CMakeFiles/meteo_overlay.dir/overlay.cpp.o.d"
+  "libmeteo_overlay.a"
+  "libmeteo_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meteo_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

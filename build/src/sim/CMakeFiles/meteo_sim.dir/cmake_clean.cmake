@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meteo_sim.dir/churn.cpp.o"
+  "CMakeFiles/meteo_sim.dir/churn.cpp.o.d"
+  "CMakeFiles/meteo_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/meteo_sim.dir/event_queue.cpp.o.d"
+  "libmeteo_sim.a"
+  "libmeteo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meteo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

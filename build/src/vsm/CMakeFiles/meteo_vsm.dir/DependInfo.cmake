@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vsm/absolute_angle.cpp" "src/vsm/CMakeFiles/meteo_vsm.dir/absolute_angle.cpp.o" "gcc" "src/vsm/CMakeFiles/meteo_vsm.dir/absolute_angle.cpp.o.d"
+  "/root/repo/src/vsm/dictionary.cpp" "src/vsm/CMakeFiles/meteo_vsm.dir/dictionary.cpp.o" "gcc" "src/vsm/CMakeFiles/meteo_vsm.dir/dictionary.cpp.o.d"
+  "/root/repo/src/vsm/linalg.cpp" "src/vsm/CMakeFiles/meteo_vsm.dir/linalg.cpp.o" "gcc" "src/vsm/CMakeFiles/meteo_vsm.dir/linalg.cpp.o.d"
+  "/root/repo/src/vsm/local_index.cpp" "src/vsm/CMakeFiles/meteo_vsm.dir/local_index.cpp.o" "gcc" "src/vsm/CMakeFiles/meteo_vsm.dir/local_index.cpp.o.d"
+  "/root/repo/src/vsm/lsi.cpp" "src/vsm/CMakeFiles/meteo_vsm.dir/lsi.cpp.o" "gcc" "src/vsm/CMakeFiles/meteo_vsm.dir/lsi.cpp.o.d"
+  "/root/repo/src/vsm/sparse_vector.cpp" "src/vsm/CMakeFiles/meteo_vsm.dir/sparse_vector.cpp.o" "gcc" "src/vsm/CMakeFiles/meteo_vsm.dir/sparse_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/meteo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meteo_vsm.dir/absolute_angle.cpp.o"
+  "CMakeFiles/meteo_vsm.dir/absolute_angle.cpp.o.d"
+  "CMakeFiles/meteo_vsm.dir/dictionary.cpp.o"
+  "CMakeFiles/meteo_vsm.dir/dictionary.cpp.o.d"
+  "CMakeFiles/meteo_vsm.dir/linalg.cpp.o"
+  "CMakeFiles/meteo_vsm.dir/linalg.cpp.o.d"
+  "CMakeFiles/meteo_vsm.dir/local_index.cpp.o"
+  "CMakeFiles/meteo_vsm.dir/local_index.cpp.o.d"
+  "CMakeFiles/meteo_vsm.dir/lsi.cpp.o"
+  "CMakeFiles/meteo_vsm.dir/lsi.cpp.o.d"
+  "CMakeFiles/meteo_vsm.dir/sparse_vector.cpp.o"
+  "CMakeFiles/meteo_vsm.dir/sparse_vector.cpp.o.d"
+  "libmeteo_vsm.a"
+  "libmeteo_vsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meteo_vsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

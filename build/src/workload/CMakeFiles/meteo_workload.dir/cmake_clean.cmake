@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meteo_workload.dir/knee.cpp.o"
+  "CMakeFiles/meteo_workload.dir/knee.cpp.o.d"
+  "CMakeFiles/meteo_workload.dir/trace.cpp.o"
+  "CMakeFiles/meteo_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/meteo_workload.dir/worldcup.cpp.o"
+  "CMakeFiles/meteo_workload.dir/worldcup.cpp.o.d"
+  "libmeteo_workload.a"
+  "libmeteo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meteo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

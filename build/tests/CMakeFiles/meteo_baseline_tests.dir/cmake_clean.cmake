@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meteo_baseline_tests.dir/baseline/can_test.cpp.o"
+  "CMakeFiles/meteo_baseline_tests.dir/baseline/can_test.cpp.o.d"
+  "CMakeFiles/meteo_baseline_tests.dir/baseline/flooding_test.cpp.o"
+  "CMakeFiles/meteo_baseline_tests.dir/baseline/flooding_test.cpp.o.d"
+  "CMakeFiles/meteo_baseline_tests.dir/baseline/keyword_dht_test.cpp.o"
+  "CMakeFiles/meteo_baseline_tests.dir/baseline/keyword_dht_test.cpp.o.d"
+  "CMakeFiles/meteo_baseline_tests.dir/baseline/psearch_test.cpp.o"
+  "CMakeFiles/meteo_baseline_tests.dir/baseline/psearch_test.cpp.o.d"
+  "meteo_baseline_tests"
+  "meteo_baseline_tests.pdb"
+  "meteo_baseline_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meteo_baseline_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

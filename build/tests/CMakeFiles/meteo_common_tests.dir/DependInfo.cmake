@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/cdf_test.cpp" "tests/CMakeFiles/meteo_common_tests.dir/common/cdf_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_common_tests.dir/common/cdf_test.cpp.o.d"
+  "/root/repo/tests/common/cli_test.cpp" "tests/CMakeFiles/meteo_common_tests.dir/common/cli_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_common_tests.dir/common/cli_test.cpp.o.d"
+  "/root/repo/tests/common/result_test.cpp" "tests/CMakeFiles/meteo_common_tests.dir/common/result_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_common_tests.dir/common/result_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/meteo_common_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_common_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/meteo_common_tests.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_common_tests.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/meteo_common_tests.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_common_tests.dir/common/table_test.cpp.o.d"
+  "/root/repo/tests/common/thread_pool_test.cpp" "tests/CMakeFiles/meteo_common_tests.dir/common/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_common_tests.dir/common/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/common/zipf_test.cpp" "tests/CMakeFiles/meteo_common_tests.dir/common/zipf_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_common_tests.dir/common/zipf_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/meteo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meteo_common_tests.dir/common/cdf_test.cpp.o"
+  "CMakeFiles/meteo_common_tests.dir/common/cdf_test.cpp.o.d"
+  "CMakeFiles/meteo_common_tests.dir/common/cli_test.cpp.o"
+  "CMakeFiles/meteo_common_tests.dir/common/cli_test.cpp.o.d"
+  "CMakeFiles/meteo_common_tests.dir/common/result_test.cpp.o"
+  "CMakeFiles/meteo_common_tests.dir/common/result_test.cpp.o.d"
+  "CMakeFiles/meteo_common_tests.dir/common/rng_test.cpp.o"
+  "CMakeFiles/meteo_common_tests.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/meteo_common_tests.dir/common/stats_test.cpp.o"
+  "CMakeFiles/meteo_common_tests.dir/common/stats_test.cpp.o.d"
+  "CMakeFiles/meteo_common_tests.dir/common/table_test.cpp.o"
+  "CMakeFiles/meteo_common_tests.dir/common/table_test.cpp.o.d"
+  "CMakeFiles/meteo_common_tests.dir/common/thread_pool_test.cpp.o"
+  "CMakeFiles/meteo_common_tests.dir/common/thread_pool_test.cpp.o.d"
+  "CMakeFiles/meteo_common_tests.dir/common/zipf_test.cpp.o"
+  "CMakeFiles/meteo_common_tests.dir/common/zipf_test.cpp.o.d"
+  "meteo_common_tests"
+  "meteo_common_tests.pdb"
+  "meteo_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meteo_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

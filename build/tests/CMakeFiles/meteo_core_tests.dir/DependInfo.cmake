@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/meteorograph/depart_test.cpp" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/depart_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/depart_test.cpp.o.d"
+  "/root/repo/tests/meteorograph/edge_cases_test.cpp" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/meteorograph/first_hop_test.cpp" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/first_hop_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/first_hop_test.cpp.o.d"
+  "/root/repo/tests/meteorograph/hot_regions_test.cpp" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/hot_regions_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/hot_regions_test.cpp.o.d"
+  "/root/repo/tests/meteorograph/lsi_backend_test.cpp" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/lsi_backend_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/lsi_backend_test.cpp.o.d"
+  "/root/repo/tests/meteorograph/maintenance_test.cpp" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/maintenance_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/maintenance_test.cpp.o.d"
+  "/root/repo/tests/meteorograph/meteorograph_test.cpp" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/meteorograph_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/meteorograph_test.cpp.o.d"
+  "/root/repo/tests/meteorograph/naming_test.cpp" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/naming_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/naming_test.cpp.o.d"
+  "/root/repo/tests/meteorograph/notify_test.cpp" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/notify_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/notify_test.cpp.o.d"
+  "/root/repo/tests/meteorograph/range_search_test.cpp" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/range_search_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/range_search_test.cpp.o.d"
+  "/root/repo/tests/meteorograph/replica_retrieve_test.cpp" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/replica_retrieve_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/replica_retrieve_test.cpp.o.d"
+  "/root/repo/tests/meteorograph/storage_test.cpp" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/storage_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/storage_test.cpp.o.d"
+  "/root/repo/tests/meteorograph/walk_test.cpp" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/walk_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_core_tests.dir/meteorograph/walk_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/meteorograph/CMakeFiles/meteo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/meteo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/meteo_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/meteo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/vsm/CMakeFiles/meteo_vsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/meteo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

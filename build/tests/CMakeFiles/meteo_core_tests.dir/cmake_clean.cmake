@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/depart_test.cpp.o"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/depart_test.cpp.o.d"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/edge_cases_test.cpp.o"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/edge_cases_test.cpp.o.d"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/first_hop_test.cpp.o"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/first_hop_test.cpp.o.d"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/hot_regions_test.cpp.o"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/hot_regions_test.cpp.o.d"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/lsi_backend_test.cpp.o"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/lsi_backend_test.cpp.o.d"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/maintenance_test.cpp.o"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/maintenance_test.cpp.o.d"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/meteorograph_test.cpp.o"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/meteorograph_test.cpp.o.d"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/naming_test.cpp.o"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/naming_test.cpp.o.d"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/notify_test.cpp.o"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/notify_test.cpp.o.d"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/range_search_test.cpp.o"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/range_search_test.cpp.o.d"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/replica_retrieve_test.cpp.o"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/replica_retrieve_test.cpp.o.d"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/storage_test.cpp.o"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/storage_test.cpp.o.d"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/walk_test.cpp.o"
+  "CMakeFiles/meteo_core_tests.dir/meteorograph/walk_test.cpp.o.d"
+  "meteo_core_tests"
+  "meteo_core_tests.pdb"
+  "meteo_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meteo_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/fuzz_test.cpp" "tests/CMakeFiles/meteo_integration_tests.dir/integration/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_integration_tests.dir/integration/fuzz_test.cpp.o.d"
+  "/root/repo/tests/integration/system_property_test.cpp" "tests/CMakeFiles/meteo_integration_tests.dir/integration/system_property_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_integration_tests.dir/integration/system_property_test.cpp.o.d"
+  "/root/repo/tests/integration/worldcup_pipeline_test.cpp" "tests/CMakeFiles/meteo_integration_tests.dir/integration/worldcup_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_integration_tests.dir/integration/worldcup_pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/meteorograph/CMakeFiles/meteo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/meteo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/meteo_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/meteo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/vsm/CMakeFiles/meteo_vsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/meteo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meteo_integration_tests.dir/integration/fuzz_test.cpp.o"
+  "CMakeFiles/meteo_integration_tests.dir/integration/fuzz_test.cpp.o.d"
+  "CMakeFiles/meteo_integration_tests.dir/integration/system_property_test.cpp.o"
+  "CMakeFiles/meteo_integration_tests.dir/integration/system_property_test.cpp.o.d"
+  "CMakeFiles/meteo_integration_tests.dir/integration/worldcup_pipeline_test.cpp.o"
+  "CMakeFiles/meteo_integration_tests.dir/integration/worldcup_pipeline_test.cpp.o.d"
+  "meteo_integration_tests"
+  "meteo_integration_tests.pdb"
+  "meteo_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meteo_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

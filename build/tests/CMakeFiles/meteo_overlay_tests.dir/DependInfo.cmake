@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/overlay/key_space_test.cpp" "tests/CMakeFiles/meteo_overlay_tests.dir/overlay/key_space_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_overlay_tests.dir/overlay/key_space_test.cpp.o.d"
+  "/root/repo/tests/overlay/overlay_property_test.cpp" "tests/CMakeFiles/meteo_overlay_tests.dir/overlay/overlay_property_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_overlay_tests.dir/overlay/overlay_property_test.cpp.o.d"
+  "/root/repo/tests/overlay/overlay_test.cpp" "tests/CMakeFiles/meteo_overlay_tests.dir/overlay/overlay_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_overlay_tests.dir/overlay/overlay_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/meteo_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/meteo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meteo_overlay_tests.dir/overlay/key_space_test.cpp.o"
+  "CMakeFiles/meteo_overlay_tests.dir/overlay/key_space_test.cpp.o.d"
+  "CMakeFiles/meteo_overlay_tests.dir/overlay/overlay_property_test.cpp.o"
+  "CMakeFiles/meteo_overlay_tests.dir/overlay/overlay_property_test.cpp.o.d"
+  "CMakeFiles/meteo_overlay_tests.dir/overlay/overlay_test.cpp.o"
+  "CMakeFiles/meteo_overlay_tests.dir/overlay/overlay_test.cpp.o.d"
+  "meteo_overlay_tests"
+  "meteo_overlay_tests.pdb"
+  "meteo_overlay_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meteo_overlay_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

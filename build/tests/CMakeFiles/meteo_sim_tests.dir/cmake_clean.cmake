@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meteo_sim_tests.dir/sim/churn_test.cpp.o"
+  "CMakeFiles/meteo_sim_tests.dir/sim/churn_test.cpp.o.d"
+  "CMakeFiles/meteo_sim_tests.dir/sim/event_queue_fuzz_test.cpp.o"
+  "CMakeFiles/meteo_sim_tests.dir/sim/event_queue_fuzz_test.cpp.o.d"
+  "CMakeFiles/meteo_sim_tests.dir/sim/event_queue_test.cpp.o"
+  "CMakeFiles/meteo_sim_tests.dir/sim/event_queue_test.cpp.o.d"
+  "CMakeFiles/meteo_sim_tests.dir/sim/metrics_test.cpp.o"
+  "CMakeFiles/meteo_sim_tests.dir/sim/metrics_test.cpp.o.d"
+  "meteo_sim_tests"
+  "meteo_sim_tests.pdb"
+  "meteo_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meteo_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

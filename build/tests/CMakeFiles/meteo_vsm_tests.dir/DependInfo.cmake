@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vsm/absolute_angle_test.cpp" "tests/CMakeFiles/meteo_vsm_tests.dir/vsm/absolute_angle_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_vsm_tests.dir/vsm/absolute_angle_test.cpp.o.d"
+  "/root/repo/tests/vsm/dictionary_test.cpp" "tests/CMakeFiles/meteo_vsm_tests.dir/vsm/dictionary_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_vsm_tests.dir/vsm/dictionary_test.cpp.o.d"
+  "/root/repo/tests/vsm/linalg_test.cpp" "tests/CMakeFiles/meteo_vsm_tests.dir/vsm/linalg_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_vsm_tests.dir/vsm/linalg_test.cpp.o.d"
+  "/root/repo/tests/vsm/local_index_test.cpp" "tests/CMakeFiles/meteo_vsm_tests.dir/vsm/local_index_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_vsm_tests.dir/vsm/local_index_test.cpp.o.d"
+  "/root/repo/tests/vsm/lsi_sweep_test.cpp" "tests/CMakeFiles/meteo_vsm_tests.dir/vsm/lsi_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_vsm_tests.dir/vsm/lsi_sweep_test.cpp.o.d"
+  "/root/repo/tests/vsm/lsi_test.cpp" "tests/CMakeFiles/meteo_vsm_tests.dir/vsm/lsi_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_vsm_tests.dir/vsm/lsi_test.cpp.o.d"
+  "/root/repo/tests/vsm/sparse_vector_test.cpp" "tests/CMakeFiles/meteo_vsm_tests.dir/vsm/sparse_vector_test.cpp.o" "gcc" "tests/CMakeFiles/meteo_vsm_tests.dir/vsm/sparse_vector_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vsm/CMakeFiles/meteo_vsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/meteo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meteo_vsm_tests.dir/vsm/absolute_angle_test.cpp.o"
+  "CMakeFiles/meteo_vsm_tests.dir/vsm/absolute_angle_test.cpp.o.d"
+  "CMakeFiles/meteo_vsm_tests.dir/vsm/dictionary_test.cpp.o"
+  "CMakeFiles/meteo_vsm_tests.dir/vsm/dictionary_test.cpp.o.d"
+  "CMakeFiles/meteo_vsm_tests.dir/vsm/linalg_test.cpp.o"
+  "CMakeFiles/meteo_vsm_tests.dir/vsm/linalg_test.cpp.o.d"
+  "CMakeFiles/meteo_vsm_tests.dir/vsm/local_index_test.cpp.o"
+  "CMakeFiles/meteo_vsm_tests.dir/vsm/local_index_test.cpp.o.d"
+  "CMakeFiles/meteo_vsm_tests.dir/vsm/lsi_sweep_test.cpp.o"
+  "CMakeFiles/meteo_vsm_tests.dir/vsm/lsi_sweep_test.cpp.o.d"
+  "CMakeFiles/meteo_vsm_tests.dir/vsm/lsi_test.cpp.o"
+  "CMakeFiles/meteo_vsm_tests.dir/vsm/lsi_test.cpp.o.d"
+  "CMakeFiles/meteo_vsm_tests.dir/vsm/sparse_vector_test.cpp.o"
+  "CMakeFiles/meteo_vsm_tests.dir/vsm/sparse_vector_test.cpp.o.d"
+  "meteo_vsm_tests"
+  "meteo_vsm_tests.pdb"
+  "meteo_vsm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meteo_vsm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

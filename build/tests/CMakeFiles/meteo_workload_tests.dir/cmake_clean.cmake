@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meteo_workload_tests.dir/workload/knee_test.cpp.o"
+  "CMakeFiles/meteo_workload_tests.dir/workload/knee_test.cpp.o.d"
+  "CMakeFiles/meteo_workload_tests.dir/workload/trace_test.cpp.o"
+  "CMakeFiles/meteo_workload_tests.dir/workload/trace_test.cpp.o.d"
+  "CMakeFiles/meteo_workload_tests.dir/workload/worldcup_test.cpp.o"
+  "CMakeFiles/meteo_workload_tests.dir/workload/worldcup_test.cpp.o.d"
+  "meteo_workload_tests"
+  "meteo_workload_tests.pdb"
+  "meteo_workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meteo_workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

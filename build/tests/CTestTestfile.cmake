@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/meteo_common_tests[1]_include.cmake")
+include("/root/repo/build/tests/meteo_vsm_tests[1]_include.cmake")
+include("/root/repo/build/tests/meteo_overlay_tests[1]_include.cmake")
+include("/root/repo/build/tests/meteo_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/meteo_workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/meteo_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/meteo_integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/meteo_baseline_tests[1]_include.cmake")
