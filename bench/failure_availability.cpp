@@ -3,11 +3,19 @@
 /// random items succeed when routing still reaches a node holding any
 /// replica. Paper reference points: at 50% failures, availability ~80%/
 /// 95%/99% for 2/4/8 replicas; at 90% failures, ~20%/30%/45%.
+///
+/// Beyond crash failures, --drop-rate injects deterministic message loss
+/// into the query phase through a sim::FaultPlan: every lookup message may
+/// be dropped, forcing per-hop timeouts, retries (budget set by
+/// --fault-retries; 0 disables retransmission) and alternate-finger
+/// reroutes, whose totals are reported per replica configuration.
 
+#include <string>
 #include <vector>
 
 #include "bench/harness.hpp"
 #include "sim/churn.hpp"
+#include "sim/fault_plan.hpp"
 
 int main(int argc, char** argv) {
   using namespace meteo;
@@ -15,9 +23,16 @@ int main(int argc, char** argv) {
   bench::add_common_flags(cli);
   cli.add_flag("walk-limit", "8",
                "neighbor hops a failover lookup may take");
+  cli.add_flag("drop-rate", "0",
+               "probability a query-phase message is dropped (FaultPlan)");
+  cli.add_flag("fault-retries", "3",
+               "per-hop retry budget under message loss (0 = no retries)");
   if (!cli.parse(argc, argv)) return 1;
   const bench::ExperimentFlags flags = bench::read_common_flags(cli);
   const auto walk_limit = static_cast<std::size_t>(cli.get_int("walk-limit"));
+  const double drop_rate = cli.get_double("drop-rate");
+  const auto fault_retries =
+      static_cast<std::size_t>(cli.get_int("fault-retries"));
 
   bench::banner("Section 4.3: item availability vs node failures", flags.csv);
 
@@ -25,6 +40,7 @@ int main(int argc, char** argv) {
 
   TextTable table({"failed %", "1 replica", "2 replicas", "4 replicas",
                    "8 replicas"});
+  TextTable faults({"replicas", "retries", "timeouts", "reroutes"});
   const std::size_t replica_counts[] = {1, 2, 4, 8};
   const double fractions[] = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
 
@@ -35,8 +51,15 @@ int main(int argc, char** argv) {
   for (std::size_t rc = 0; rc < std::size(replica_counts); ++rc) {
     core::Meteorograph sys = bench::build_system(
         flags, wl, core::LoadBalanceMode::kUnusedHashSpacePlusHotRegions,
-        flags.nodes, 0, replica_counts[rc]);
+        flags.nodes, 0, replica_counts[rc], fault_retries);
     (void)bench::publish_all(sys, wl);
+
+    // Message loss applies to the query phase only: the corpus goes in over
+    // clean links so every configuration starts from the same stored state,
+    // and the same plan seed makes runs replayable flag-for-flag.
+    sim::FaultPlan plan({drop_rate, 0.0, 0.0},
+                        flags.seed ^ (0xfa0017u + replica_counts[rc]));
+    if (drop_rate > 0.0) sys.set_fault_hook(&plan);
 
     Rng fail_rng(flags.seed ^ 0xdead);
     Rng query_rng(flags.seed ^ 0xbeef);
@@ -65,6 +88,12 @@ int main(int argc, char** argv) {
       availability[f][rc] = 100.0 * static_cast<double>(successes) /
                             static_cast<double>(flags.queries);
     }
+    sys.set_fault_hook(nullptr);
+    faults.add_row({std::to_string(replica_counts[rc]),
+                    std::to_string(sys.metrics().counter_value("retry.count")),
+                    std::to_string(sys.metrics().counter_value("timeout.count")),
+                    std::to_string(
+                        sys.metrics().counter_value("reroute.count"))});
   }
 
   for (std::size_t f = 0; f < std::size(fractions); ++f) {
@@ -75,6 +104,11 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   bench::emit(table, flags.csv);
+
+  if (drop_rate > 0.0) {
+    bench::banner("message-fault recovery cost (query phase)", flags.csv);
+    bench::emit(faults, flags.csv);
+  }
 
   TextTable reference({"paper reference", "2 replicas", "4 replicas",
                        "8 replicas"});

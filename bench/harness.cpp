@@ -64,12 +64,13 @@ core::Meteorograph build_system(const ExperimentFlags& flags,
                                 const Workload& wl,
                                 core::LoadBalanceMode mode, std::size_t nodes,
                                 std::size_t capacity_factor,
-                                std::size_t replicas) {
+                                std::size_t replicas, std::size_t max_retries) {
   core::SystemConfig cfg;
   cfg.node_count = nodes;
   cfg.dimension = flags.keywords;
   cfg.load_balance = mode;
   cfg.replicas = replicas;
+  cfg.overlay.retry.max_retries = max_retries;
   if (capacity_factor > 0) {
     const std::size_t c = std::max<std::size_t>(1, flags.items / nodes);
     cfg.node_capacity = capacity_factor * c;

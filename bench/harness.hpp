@@ -50,10 +50,13 @@ struct Workload {
 
 /// Builds a Meteorograph system over `wl` with `nodes` peers.
 /// capacity_factor: node capacity = factor * (items / nodes); 0 = infinite.
+/// max_retries: per-hop retry budget under message faults (0 disables
+/// retransmission; only alternate-finger rerouting remains).
 [[nodiscard]] core::Meteorograph build_system(
     const ExperimentFlags& flags, const Workload& wl,
     core::LoadBalanceMode mode, std::size_t nodes,
-    std::size_t capacity_factor = 0, std::size_t replicas = 1);
+    std::size_t capacity_factor = 0, std::size_t replicas = 1,
+    std::size_t max_retries = 3);
 
 struct PublishStats {
   std::size_t published = 0;

@@ -14,7 +14,7 @@ namespace meteo::core {
 DepartResult Meteorograph::depart_node(overlay::NodeId node) {
   METEO_EXPECTS(overlay_.is_alive(node));
   METEO_EXPECTS(overlay_.alive_count() > 1);
-  sync_node_data();
+  begin_operation();
 
   DepartResult result;
   // Take the node's state, then leave the overlay so routing and

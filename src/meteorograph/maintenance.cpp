@@ -51,6 +51,7 @@ std::size_t MaintenanceProcess::run_once() {
     const PublishResult r = system_.publish(item.id, item.vector);
     messages += r.total_messages();
     if (r.success) ++stats_.items_republished;
+    if (r.degraded) ++stats_.degraded_republishes;
   }
   ++stats_.cycles;
   return messages;

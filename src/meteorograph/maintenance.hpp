@@ -26,6 +26,9 @@ namespace meteo::core {
 struct MaintenanceStats {
   std::size_t cycles = 0;
   std::size_t items_republished = 0;
+  /// Republishes degraded by message loss (missing replica or pointer
+  /// legs); the next cycle retries them.
+  std::size_t degraded_republishes = 0;
   std::size_t messages = 0;
 };
 

@@ -70,6 +70,31 @@ Meteorograph::Meteorograph(SystemConfig config,
   }
 }
 
+void Meteorograph::begin_operation() {
+  if (overlay::FaultHook* hook = overlay_.fault_hook()) {
+    for (const overlay::NodeId node : hook->take_due_crashes()) {
+      // The last node never crashes: the simulator needs a live peer to
+      // originate operations from.
+      if (overlay_.is_alive(node) && overlay_.alive_count() > 1) {
+        overlay_.fail(node);
+        ++metrics_.counter("fault.crashes_applied");
+      }
+    }
+  }
+  sync_node_data();
+}
+
+void Meteorograph::record_fault_stats(const overlay::HopStats& stats) {
+  // Created lazily so fault-free runs keep a fault-free metrics map
+  // (byte-identical to a run without any hook attached).
+  if (stats.retries != 0) metrics_.counter("retry.count") += stats.retries;
+  if (stats.timeouts != 0) metrics_.counter("timeout.count") += stats.timeouts;
+  if (stats.reroutes != 0) metrics_.counter("reroute.count") += stats.reroutes;
+  if (stats.timeout_cost != 0.0) {
+    metrics_.distribution("fault.timeout_cost").add(stats.timeout_cost);
+  }
+}
+
 void Meteorograph::sync_node_data() {
   if (node_data_.size() < overlay_.size()) {
     node_data_.resize(overlay_.size());

@@ -53,6 +53,11 @@ struct PublishResult {
   std::size_t replica_messages = 0;///< replica placement traffic
   std::size_t pointer_messages = 0;///< directory-pointer publication
   std::size_t notify_messages = 0; ///< subscription deliveries triggered
+  /// Message loss degraded the publish: the primary may be mis-homed, or
+  /// replica/pointer placement legs were lost. Never set on perfect links.
+  bool degraded = false;
+  std::size_t replicas_missed = 0;  ///< replica homes never reached
+  bool pointer_missed = false;      ///< directory pointer publication lost
   [[nodiscard]] std::size_t total_messages() const noexcept {
     return route_hops + chain_hops + replica_messages + pointer_messages +
            notify_messages;
@@ -64,6 +69,11 @@ struct RetrieveResult {
   std::size_t route_hops = 0;
   std::size_t walk_hops = 0;
   std::size_t nodes_visited = 0;
+  /// Explicit degradation instead of silent success: message loss cut the
+  /// operation short of the requested amount. items_missed is the
+  /// shortfall. Never set on perfect links.
+  bool partial = false;
+  std::size_t items_missed = 0;
   [[nodiscard]] std::size_t total_messages() const noexcept {
     return route_hops + walk_hops;
   }
@@ -76,6 +86,9 @@ struct LocateResult {
   bool via_replica = false;
   std::size_t route_hops = 0;  ///< "Closest" series of Fig. 9
   std::size_t walk_hops = 0;   ///< "Neighbors" series of Fig. 9
+  /// Message loss ended the search before the item was ruled out; a
+  /// negative `found` may be a false negative. Never set on perfect links.
+  bool fault_blocked = false;
   [[nodiscard]] std::size_t total_hops() const noexcept {
     return route_hops + walk_hops;
   }
@@ -110,6 +123,8 @@ struct SubscribeResult {
   std::size_t planted_nodes = 0;  ///< directory nodes holding a copy
   std::size_t route_hops = 0;
   std::size_t walk_hops = 0;
+  /// Message loss stopped planting before `horizon` copies were placed.
+  bool partial = false;
   [[nodiscard]] std::size_t total_messages() const noexcept {
     return route_hops + walk_hops;
   }
@@ -149,6 +164,8 @@ struct RangeSearchResult {
   std::size_t route_hops = 0;
   std::size_t walk_hops = 0;
   std::size_t nodes_visited = 0;
+  /// Message loss truncated the range scan; matches may be incomplete.
+  bool partial = false;
   [[nodiscard]] std::size_t total_messages() const noexcept {
     return route_hops + walk_hops;
   }
@@ -163,6 +180,10 @@ struct SearchResult {
   std::size_t walk_hops = 0;         ///< directory-space neighbor steps
   std::size_t lookup_messages = 0;   ///< pointer-chasing traffic
   std::size_t nodes_visited = 0;     ///< directory nodes scanned
+  /// Message loss lost pointer lookups or truncated the directory walk;
+  /// the result set may be incomplete. Never set on perfect links.
+  bool partial = false;
+  std::size_t lookups_failed = 0;  ///< pointer chases lost to faults
   [[nodiscard]] std::size_t total_messages() const noexcept {
     return route_hops + walk_hops + lookup_messages;
   }
@@ -263,6 +284,15 @@ class Meteorograph {
   [[nodiscard]] std::vector<Notification> take_notifications(
       overlay::NodeId subscriber);
 
+  // --- fault injection -------------------------------------------------------
+  /// Attaches a message-level fault injector (e.g. sim::FaultPlan) to the
+  /// overlay. Every routed message then passes through it; crashes it
+  /// schedules are applied to the membership at the next operation
+  /// boundary. Non-owning; nullptr detaches.
+  void set_fault_hook(overlay::FaultHook* hook) noexcept {
+    overlay_.set_fault_hook(hook);
+  }
+
   // --- introspection --------------------------------------------------------
   [[nodiscard]] overlay::Overlay& network() noexcept { return overlay_; }
   [[nodiscard]] const overlay::Overlay& network() const noexcept {
@@ -303,6 +333,15 @@ class Meteorograph {
 
   /// Ensures node_data_ covers every overlay node id.
   void sync_node_data();
+
+  /// Operation prologue: applies crashes the fault hook declared due
+  /// (overlay membership changes happen at operation boundaries, never
+  /// mid-route), then syncs per-node state.
+  void begin_operation();
+
+  /// Folds an operation's retry/timeout/reroute costs into the registry
+  /// (`retry.count`, `timeout.count`, `reroute.count`, `fault.timeout_cost`).
+  void record_fault_stats(const overlay::HopStats& stats);
 
   /// Publish hook: fires notifications for subscriptions on the node that
   /// received the item's directory pointer. Returns delivery messages.

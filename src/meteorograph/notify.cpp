@@ -23,7 +23,7 @@ SubscribeResult Meteorograph::subscribe(
   METEO_EXPECTS(!keywords.empty());
   METEO_EXPECTS(horizon >= 1);
   METEO_EXPECTS(subscriber < overlay_.size());
-  sync_node_data();
+  begin_operation();
 
   std::vector<vsm::KeywordId> sorted(keywords.begin(), keywords.end());
   std::sort(sorted.begin(), sorted.end());
@@ -50,8 +50,12 @@ SubscribeResult Meteorograph::subscribe(
   }
   result.walk_hops = walk.hops();
   result.planted_nodes = homes.size();
+  result.partial =
+      result.planted_nodes < horizon && (route.blocked || walk.faulted());
   subscription_homes_.emplace(result.id, std::move(homes));
 
+  record_fault_stats(route.stats);
+  record_fault_stats(walk.stats());
   ++metrics_.counter("notify.subscribe.count");
   metrics_.counter("notify.subscribe.messages") += result.total_messages();
   return result;
@@ -87,7 +91,14 @@ std::size_t Meteorograph::deliver_notifications(
     if (!overlay_.is_alive(s.subscriber)) continue;
     const overlay::RouteResult leg =
         overlay_.route(pointer_node, overlay_.key_of(s.subscriber));
+    record_fault_stats(leg.stats);
     messages += std::max<std::size_t>(leg.hops, 1);
+    if (leg.blocked) {
+      // The notification died en route (notifications are best-effort
+      // soft state; the subscriber misses this match).
+      ++metrics_.counter("notify.lost");
+      continue;
+    }
     node_data_[s.subscriber].inbox.push_back(Notification{s.id, item});
     ++metrics_.counter("notify.delivered");
   }

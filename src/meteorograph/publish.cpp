@@ -22,9 +22,10 @@ PublishResult Meteorograph::publish(vsm::ItemId id,
                                     const vsm::SparseVector& vector,
                                     std::optional<overlay::NodeId> from) {
   METEO_EXPECTS(!vector.empty());
-  sync_node_data();
+  begin_operation();
 
   PublishResult result;
+  overlay::HopStats fault_stats;
   const overlay::Key raw = naming_.raw_key(vector);
   const overlay::Key key = naming_.balanced_key(vector);
 
@@ -34,6 +35,10 @@ PublishResult Meteorograph::publish(vsm::ItemId id,
   const overlay::RouteResult route = overlay_.route(source, key);
   result.home = route.destination;
   result.route_hops = route.hops;
+  fault_stats += route.stats;
+  // A blocked publish route still stores at the closest *reachable* node,
+  // but the item may be mis-homed relative to its key: flag it.
+  result.degraded = route.blocked;
 
   // Step 3: store, overflow-chaining through closest neighbors when full.
   // The displaced item always moves toward the side of the band it belongs
@@ -72,20 +77,30 @@ PublishResult Meteorograph::publish(vsm::ItemId id,
   }
 
   if (!result.success) {
+    record_fault_stats(fault_stats);
     ++metrics_.counter("publish.failures");
     return result;
   }
 
   // §3.6: place k-1 replicas on the nodes numerically closest to the key.
+  // A replica leg that cannot reach its home (message loss past retries)
+  // leaves that copy missing; the shortfall is reported, and soft-state
+  // maintenance restores it on the next republish cycle.
   if (config_.replicas > 1) {
     std::size_t placed = 0;
     for (const overlay::NodeId home :
          overlay_.closest_nodes(key, config_.replicas)) {
       if (home == result.home) continue;
-      node_data_[home].replicas.insert_or_assign(id, vector);
       const overlay::RouteResult leg =
           overlay_.route(result.home, overlay_.key_of(home));
+      fault_stats += leg.stats;
       result.replica_messages += std::max<std::size_t>(leg.hops, 1);
+      if (leg.blocked) {
+        ++result.replicas_missed;
+        result.degraded = true;
+      } else {
+        node_data_[home].replicas.insert_or_assign(id, vector);
+      }
       if (++placed + 1 >= config_.replicas) break;
     }
   }
@@ -94,21 +109,36 @@ PublishResult Meteorograph::publish(vsm::ItemId id,
   // pointers of similar items aggregate.
   if (config_.directory_pointers) {
     const overlay::RouteResult leg = overlay_.route(result.home, raw);
+    fault_stats += leg.stats;
     result.pointer_messages = leg.hops;
-    node_data_[leg.destination].directory.push_back(
-        DirectoryPointer{id, key, keyword_list(vector)});
-    // §6 notifications: standing interests planted on this directory node
-    // fire as the pointer arrives.
-    result.notify_messages =
-        deliver_notifications(leg.destination, id, vector);
+    if (leg.blocked) {
+      // The pointer publication died en route: the item stays findable by
+      // similarity walk, but keyword search will not discover it until the
+      // owner republishes.
+      result.pointer_missed = true;
+      result.degraded = true;
+    } else {
+      node_data_[leg.destination].directory.push_back(
+          DirectoryPointer{id, key, keyword_list(vector)});
+      // §6 notifications: standing interests planted on this directory node
+      // fire as the pointer arrives.
+      result.notify_messages =
+          deliver_notifications(leg.destination, id, vector);
+    }
   }
 
+  record_fault_stats(fault_stats);
   ++metrics_.counter("publish.count");
   metrics_.counter("publish.messages") += result.total_messages();
   metrics_.distribution("publish.route_hops")
       .add(static_cast<double>(result.route_hops));
   metrics_.distribution("publish.chain_hops")
       .add(static_cast<double>(result.chain_hops));
+  if (result.degraded) {
+    ++metrics_.counter("publish.degraded");
+    metrics_.distribution("publish.replicas_missed")
+        .add(static_cast<double>(result.replicas_missed));
+  }
   return result;
 }
 
@@ -116,7 +146,7 @@ WithdrawResult Meteorograph::withdraw(vsm::ItemId id,
                                       const vsm::SparseVector& vector,
                                       std::optional<overlay::NodeId> from) {
   METEO_EXPECTS(!vector.empty());
-  sync_node_data();
+  begin_operation();
 
   WithdrawResult result;
   // Primary copy: find it the same way a query would, then erase.
@@ -161,6 +191,7 @@ WithdrawResult Meteorograph::withdraw(vsm::ItemId id,
       if (!walk.advance()) break;
       ++result.messages;
     }
+    record_fault_stats(walk.stats());
   }
 
   ++metrics_.counter("withdraw.count");

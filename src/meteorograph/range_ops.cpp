@@ -17,7 +17,7 @@ AttributeId Meteorograph::register_attribute(double lo, double hi,
 RangePublishResult Meteorograph::publish_attribute(
     vsm::ItemId id, AttributeId attribute, double value,
     std::optional<overlay::NodeId> from) {
-  sync_node_data();
+  begin_operation();
   const AttributeSpace& space = attributes_.space(attribute);
   const overlay::Key key = space.key_of(value);
   const overlay::NodeId source = from.value_or(overlay_.random_alive(rng_));
@@ -28,6 +28,7 @@ RangePublishResult Meteorograph::publish_attribute(
   result.route_hops = route.hops;
   node_data_[route.destination].attributes[attribute].emplace(value, id);
 
+  record_fault_stats(route.stats);
   ++metrics_.counter("range.publish.count");
   metrics_.counter("range.publish.messages") += route.hops;
   return result;
@@ -37,9 +38,10 @@ RangeSearchResult Meteorograph::range_search(
     AttributeId attribute, double lo, double hi,
     std::optional<overlay::NodeId> from) {
   METEO_EXPECTS(lo <= hi);
-  sync_node_data();
+  begin_operation();
 
   RangeSearchResult result;
+  overlay::HopStats fault_stats;
   const AttributeSpace& space = attributes_.space(attribute);
   const overlay::Key key_lo = space.key_of(lo);
   const overlay::Key key_hi = space.key_of(hi);
@@ -47,15 +49,22 @@ RangeSearchResult Meteorograph::range_search(
   const overlay::NodeId source = from.value_or(overlay_.random_alive(rng_));
   const overlay::RouteResult route = overlay_.route(source, key_lo);
   result.route_hops = route.hops;
+  fault_stats += route.stats;
+  if (route.blocked) result.partial = true;
 
   // A record with key k lives on the node *closest* to k, which may sit
   // just below key_lo or just above key_hi — start one node early and
-  // stop one node late.
+  // stop one node late. Every step is a message; one lost past retries
+  // truncates the scan (reported as partial).
   overlay::NodeId cur = route.destination;
   if (const overlay::NodeId pred = overlay_.predecessor(cur);
       pred != overlay::kInvalidNode) {
-    cur = pred;
-    ++result.walk_hops;
+    if (overlay_.deliver(cur, pred, fault_stats)) {
+      cur = pred;
+      ++result.walk_hops;
+    } else {
+      result.partial = true;  // records just below key_lo stay unseen
+    }
   }
   bool past_hi = false;
   while (cur != overlay::kInvalidNode) {
@@ -69,8 +78,14 @@ RangeSearchResult Meteorograph::range_search(
     }
     if (past_hi) break;
     if (overlay_.key_of(cur) > key_hi) past_hi = true;  // one-node margin
-    cur = overlay_.successor(cur);
-    if (cur != overlay::kInvalidNode) ++result.walk_hops;
+    const overlay::NodeId next = overlay_.successor(cur);
+    if (next == overlay::kInvalidNode) break;
+    if (!overlay_.deliver(cur, next, fault_stats)) {
+      if (!past_hi) result.partial = true;  // the rest of the range is cut off
+      break;
+    }
+    cur = next;
+    ++result.walk_hops;
   }
 
   std::sort(result.matches.begin(), result.matches.end(),
@@ -79,8 +94,10 @@ RangeSearchResult Meteorograph::range_search(
               return a.item < b.item;
             });
 
+  record_fault_stats(fault_stats);
   ++metrics_.counter("range.search.count");
   metrics_.counter("range.search.messages") += result.total_messages();
+  if (result.partial) ++metrics_.counter("range.search.partial");
   return result;
 }
 

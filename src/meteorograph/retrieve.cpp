@@ -12,7 +12,7 @@ RetrieveResult Meteorograph::retrieve(const vsm::SparseVector& query,
                                       std::optional<overlay::NodeId> from) {
   METEO_EXPECTS(!query.empty());
   METEO_EXPECTS(amount > 0);
-  sync_node_data();
+  begin_operation();
 
   RetrieveResult result;
   const overlay::Key key = naming_.balanced_key(query);
@@ -58,6 +58,14 @@ RetrieveResult Meteorograph::retrieve(const vsm::SparseVector& query,
   }
   result.walk_hops = walk.hops();
 
+  // Degradation is explicit: a shortfall caused by message loss (a blocked
+  // route or a walk direction closed by an unreachable neighbor) is
+  // reported, not silently returned as a thin result set.
+  if (remaining > 0 && (route.blocked || walk.faulted())) {
+    result.partial = true;
+    result.items_missed = remaining;
+  }
+
   // Final ranking across all visited nodes.
   std::sort(result.items.begin(), result.items.end(),
             [](const vsm::ScoredItem& a, const vsm::ScoredItem& b) {
@@ -65,12 +73,19 @@ RetrieveResult Meteorograph::retrieve(const vsm::SparseVector& query,
               return a.id < b.id;
             });
 
+  record_fault_stats(route.stats);
+  record_fault_stats(walk.stats());
   ++metrics_.counter("retrieve.count");
   metrics_.counter("retrieve.messages") += result.total_messages();
   metrics_.distribution("retrieve.route_hops")
       .add(static_cast<double>(result.route_hops));
   metrics_.distribution("retrieve.walk_hops")
       .add(static_cast<double>(result.walk_hops));
+  if (result.partial) {
+    ++metrics_.counter("retrieve.partial");
+    metrics_.distribution("retrieve.items_missed")
+        .add(static_cast<double>(result.items_missed));
+  }
   return result;
 }
 
@@ -79,7 +94,7 @@ LocateResult Meteorograph::locate(vsm::ItemId id,
                                   std::optional<overlay::NodeId> from,
                                   std::size_t walk_limit) {
   METEO_EXPECTS(!vector.empty());
-  sync_node_data();
+  begin_operation();
 
   LocateResult result;
   const overlay::Key key = naming_.balanced_key(vector);
@@ -112,7 +127,10 @@ LocateResult Meteorograph::locate(vsm::ItemId id,
     if (visited >= walk_limit || !walk.advance()) break;
   }
   result.walk_hops = walk.hops();
+  result.fault_blocked = !result.found && (route.blocked || walk.faulted());
 
+  record_fault_stats(route.stats);
+  record_fault_stats(walk.stats());
   ++metrics_.counter("locate.count");
   if (result.found) ++metrics_.counter("locate.found");
   metrics_.distribution("locate.route_hops")

@@ -19,7 +19,7 @@ SearchResult Meteorograph::similarity_search(
     std::span<const vsm::KeywordId> keywords, std::size_t k,
     std::optional<overlay::NodeId> from) {
   METEO_EXPECTS(!keywords.empty());
-  sync_node_data();
+  begin_operation();
 
   std::vector<vsm::KeywordId> query(keywords.begin(), keywords.end());
   std::sort(query.begin(), query.end());
@@ -37,6 +37,8 @@ SearchResult Meteorograph::similarity_search(
   const overlay::NodeId source = from.value_or(overlay_.random_alive(rng_));
   const overlay::RouteResult route = overlay_.route(source, start_key);
   result.route_hops = route.hops;
+  overlay::HopStats fault_stats = route.stats;
+  if (route.blocked) result.partial = true;
 
   std::unordered_set<vsm::ItemId> seen;
   auto add_item = [&](vsm::ItemId id, std::size_t hops) {
@@ -49,10 +51,18 @@ SearchResult Meteorograph::similarity_search(
 
   // Chase one directory pointer: route to the item's key, harvesting every
   // matching item at each visited node (the paper's k'-batched replies),
-  // walking past overflow spill until the pointed-to item is found.
+  // walking past overflow spill until the pointed-to item is found. A
+  // lookup whose request dies en route is counted as failed instead of
+  // silently returning nothing.
   auto chase = [&](overlay::NodeId origin, const DirectoryPointer& pointer) {
     const overlay::RouteResult leg = overlay_.route(origin, pointer.item_key);
+    fault_stats += leg.stats;
     result.lookup_messages += leg.hops + 1;  // request legs + reply
+    if (leg.blocked) {
+      ++result.lookups_failed;
+      result.partial = true;
+      return;
+    }
     NeighborWalk spill(overlay_, leg.destination, pointer.item_key);
     bool found_target = false;
     while (true) {
@@ -65,6 +75,8 @@ SearchResult Meteorograph::similarity_search(
       if (!spill.advance()) break;
       ++result.lookup_messages;
     }
+    fault_stats += spill.stats();
+    if (spill.faulted() && !found_target) result.partial = true;
   };
 
   // Walk the directory (raw-key) space outward from the start node.
@@ -95,11 +107,21 @@ SearchResult Meteorograph::similarity_search(
     if (!walk.advance()) break;
   }
   result.walk_hops = walk.hops();
+  fault_stats += walk.stats();
+  // A directory walk cut short by an unreachable neighbor may have missed
+  // pointer regions entirely — only a fully satisfied k excuses it.
+  if (walk.faulted() && !satisfied()) result.partial = true;
 
+  record_fault_stats(fault_stats);
   ++metrics_.counter("search.count");
   metrics_.counter("search.messages") += result.total_messages();
   metrics_.distribution("search.items")
       .add(static_cast<double>(result.items.size()));
+  if (result.partial) {
+    ++metrics_.counter("search.partial");
+    metrics_.distribution("search.lookups_failed")
+        .add(static_cast<double>(result.lookups_failed));
+  }
   return result;
 }
 

@@ -5,9 +5,12 @@
 /// directory-space scan: starting from a node, expand outward along the
 /// linear node order, always advancing the frontier whose next node is
 /// closer to the target key. Each advance is one overlay hop (and one
-/// message). The walk observes only *live* leaf pointers, so after
-/// unrepaired failures it stops at the first dead neighbor on a side —
-/// exactly the reachability loss §4.3 measures.
+/// message, sent through the overlay's fault-aware deliver()). The walk
+/// observes only *live* leaf pointers, so after unrepaired failures it
+/// stops at the first dead neighbor on a side — exactly the reachability
+/// loss §4.3 measures. Under message faults a side whose next neighbor
+/// exhausted its retries is likewise closed (faulted() reports it, so
+/// callers can flag the operation's result as partial).
 
 #include "overlay/overlay.hpp"
 
@@ -21,31 +24,50 @@ class NeighborWalk {
 
   [[nodiscard]] overlay::NodeId current() const noexcept { return current_; }
   [[nodiscard]] std::size_t hops() const noexcept { return hops_; }
+  /// Retry/timeout accounting for the walk's messages so far.
+  [[nodiscard]] const overlay::HopStats& stats() const noexcept {
+    return stats_;
+  }
+  /// True when message loss closed at least one direction: nodes past the
+  /// unreachable neighbor were never consulted, so results may be partial.
+  [[nodiscard]] bool faulted() const noexcept { return faulted_; }
 
   /// Moves to the nearest unvisited neighbor (one hop); false when both
-  /// directions are exhausted (space edge or dead neighbor).
+  /// directions are exhausted (space edge, dead neighbor, or a neighbor
+  /// unreachable through message loss).
   bool advance() {
-    const overlay::NodeId down = net_.predecessor(low_);
-    const overlay::NodeId up = net_.successor(high_);
-    if (down == overlay::kInvalidNode && up == overlay::kInvalidNode) {
-      return false;
+    while (true) {
+      const overlay::NodeId down =
+          low_blocked_ ? overlay::kInvalidNode : net_.predecessor(low_);
+      const overlay::NodeId up =
+          high_blocked_ ? overlay::kInvalidNode : net_.successor(high_);
+      if (down == overlay::kInvalidNode && up == overlay::kInvalidNode) {
+        return false;
+      }
+      bool take_down;
+      if (down != overlay::kInvalidNode && up != overlay::kInvalidNode) {
+        take_down = overlay::strictly_closer(net_.key_of(down),
+                                             net_.key_of(up), target_);
+      } else {
+        take_down = down != overlay::kInvalidNode;
+      }
+      const overlay::NodeId next = take_down ? down : up;
+      if (!net_.deliver(current_, next, stats_)) {
+        // Lost past recovery: the linear walk cannot step over the silent
+        // neighbor, so this direction is done; try the other one.
+        faulted_ = true;
+        (take_down ? low_blocked_ : high_blocked_) = true;
+        continue;
+      }
+      if (take_down) {
+        low_ = next;
+      } else {
+        high_ = next;
+      }
+      current_ = next;
+      ++hops_;
+      return true;
     }
-    bool take_down;
-    if (down != overlay::kInvalidNode && up != overlay::kInvalidNode) {
-      take_down = overlay::strictly_closer(net_.key_of(down),
-                                           net_.key_of(up), target_);
-    } else {
-      take_down = down != overlay::kInvalidNode;
-    }
-    if (take_down) {
-      low_ = down;
-      current_ = down;
-    } else {
-      high_ = up;
-      current_ = up;
-    }
-    ++hops_;
-    return true;
   }
 
  private:
@@ -54,7 +76,11 @@ class NeighborWalk {
   overlay::NodeId current_;
   overlay::NodeId low_;   // lowest-key node visited
   overlay::NodeId high_;  // highest-key node visited
+  bool low_blocked_ = false;
+  bool high_blocked_ = false;
+  bool faulted_ = false;
   std::size_t hops_ = 0;
+  overlay::HopStats stats_;
 };
 
 }  // namespace meteo::core

@@ -7,6 +7,38 @@ namespace meteo::overlay {
 Overlay::Overlay(OverlayConfig config) : config_(config) {
   METEO_EXPECTS(config_.key_space > 0);
   METEO_EXPECTS(config_.routing_base >= 2);
+  METEO_EXPECTS(config_.retry.timeout > 0.0);
+  METEO_EXPECTS(config_.retry.backoff >= 1.0);
+}
+
+bool Overlay::deliver(NodeId from, NodeId to, HopStats& stats) const {
+  ++stats.messages;
+  if (fault_hook_ == nullptr) return true;
+
+  double wait = config_.retry.timeout;
+  for (std::size_t attempt = 0;; ++attempt) {
+    if (attempt > 0) ++stats.messages;  // the retransmission
+    const MessageFate fate =
+        fault_hook_->on_message(MessageContext{from, to, attempt});
+    const bool lost =
+        fate == MessageFate::kDrop || fault_hook_->is_stalled(to);
+    if (!lost) {
+      if (fate == MessageFate::kDelay) {
+        // The copy arrives, but only after the sender's timer fired: the
+        // wait is paid, the late arrival still completes the hop.
+        ++stats.timeouts;
+        stats.timeout_cost += wait;
+      } else if (fate == MessageFate::kDuplicate) {
+        ++stats.messages;  // the spurious extra copy on the wire
+      }
+      return true;
+    }
+    ++stats.timeouts;
+    stats.timeout_cost += wait;
+    if (attempt >= config_.retry.max_retries) return false;
+    ++stats.retries;
+    wait *= config_.retry.backoff;
+  }
 }
 
 std::size_t Overlay::registry_lower_bound(Key key) const {
@@ -186,27 +218,53 @@ RouteResult Overlay::route(NodeId from, Key target) const {
 
   RouteResult result;
   NodeId cur = from;
+  std::vector<NodeId> lost;  // candidates that exhausted retries this step
   for (std::size_t step = 0; step <= config_.max_route_hops; ++step) {
     const NodeState& node = nodes_[cur];
-    NodeId best = cur;
-    Key best_key = node.key;
-    auto consider = [&](NodeId candidate) {
-      if (candidate == kInvalidNode) return;
-      const NodeState& c = nodes_[candidate];
-      if (!c.alive) return;  // observable per-hop timeout: skip dead links
-      if (strictly_closer(c.key, best_key, target)) {
-        best = candidate;
-        best_key = c.key;
-      }
-    };
-    for (const NodeId f : node.table.fingers) consider(f);
-    for (const NodeId l : node.table.leaf_set) consider(l);
-    consider(node.table.predecessor);
-    consider(node.table.successor);
+    lost.clear();
+    bool advanced = false;
+    bool had_loss = false;
+    // Best-first over the live closer pointers: try the greedily best
+    // candidate; on repeated message loss fall back to the next best
+    // (alternate-finger reroute) until one answers or none remain.
+    while (true) {
+      NodeId best = cur;
+      Key best_key = node.key;
+      auto consider = [&](NodeId candidate) {
+        if (candidate == kInvalidNode) return;
+        const NodeState& c = nodes_[candidate];
+        if (!c.alive) return;  // observable per-hop timeout: skip dead links
+        if (!lost.empty() &&
+            std::find(lost.begin(), lost.end(), candidate) != lost.end()) {
+          return;
+        }
+        if (strictly_closer(c.key, best_key, target)) {
+          best = candidate;
+          best_key = c.key;
+        }
+      };
+      for (const NodeId f : node.table.fingers) consider(f);
+      for (const NodeId l : node.table.leaf_set) consider(l);
+      consider(node.table.predecessor);
+      consider(node.table.successor);
 
-    if (best == cur) break;  // local minimum: no live pointer is closer
-    cur = best;
-    ++result.hops;
+      if (best == cur) break;  // no (remaining) live pointer is closer
+      if (had_loss) ++result.stats.reroutes;
+      if (deliver(cur, best, result.stats)) {
+        cur = best;
+        ++result.hops;
+        advanced = true;
+        break;
+      }
+      had_loss = true;
+      lost.push_back(best);
+    }
+    if (!advanced) {
+      // Either a genuine local minimum or every closer pointer was
+      // unreachable through message loss.
+      result.blocked = had_loss;
+      break;
+    }
   }
 
   result.destination = cur;

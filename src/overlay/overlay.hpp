@@ -25,10 +25,24 @@
 
 #include "common/result.hpp"
 #include "common/rng.hpp"
+#include "overlay/fault_hook.hpp"
 #include "overlay/key_space.hpp"
 #include "overlay/routing_table.hpp"
 
 namespace meteo::overlay {
+
+/// Per-hop failure handling: how long a sender waits for an ack and how
+/// often it retransmits before declaring the link lost and rerouting.
+struct RetryPolicy {
+  /// Retransmissions after the first attempt; 0 disables retries (a single
+  /// timeout declares the hop lost).
+  std::size_t max_retries = 3;
+  /// First-attempt timeout in virtual time units.
+  double timeout = 1.0;
+  /// Multiplier applied to the timeout after each failed attempt
+  /// (exponential backoff). \pre >= 1
+  double backoff = 2.0;
+};
 
 struct OverlayConfig {
   Key key_space = kDefaultKeySpace;
@@ -39,6 +53,8 @@ struct OverlayConfig {
   std::size_t leaf_set_size = 4;
   /// Safety valve for routing loops under heavy damage.
   std::size_t max_route_hops = 256;
+  /// Per-hop timeout/retry behaviour when a fault hook is attached.
+  RetryPolicy retry;
 };
 
 enum class JoinError {
@@ -48,13 +64,20 @@ enum class JoinError {
 struct RouteResult {
   /// The node the request ended at (kInvalidNode only if `from` was dead).
   NodeId destination = kInvalidNode;
-  /// Overlay hops taken == request messages sent.
+  /// Successful overlay hops taken (without a fault hook this equals the
+  /// request messages sent; with one, stats.messages also counts retries
+  /// and duplicates).
   std::size_t hops = 0;
   /// destination is the ground-truth closest alive node to the target key.
   bool reached_closest = false;
   /// Route stranded: some strictly closer node exists but every pointer
   /// toward it was dead.
   bool stranded = false;
+  /// The route ended early because every closer live pointer exhausted its
+  /// retries (message loss, not topology). Only set with a fault hook.
+  bool blocked = false;
+  /// Retry/timeout/reroute accounting across the route's messages.
+  HopStats stats;
 };
 
 class Overlay {
@@ -106,8 +129,22 @@ class Overlay {
   [[nodiscard]] NodeId successor(NodeId id) const;
 
   /// Greedy routing from `from` toward the node responsible for `target`.
+  /// Every hop is sent through deliver(); on repeated loss the router falls
+  /// back to the next-best live pointer (alternate-finger reroute) before
+  /// giving up on the step.
   /// \pre is_alive(from)
   [[nodiscard]] RouteResult route(NodeId from, Key target) const;
+
+  /// Attaches a message-level fault injector (non-owning; nullptr
+  /// detaches). Every message subsequently passes through it.
+  void set_fault_hook(FaultHook* hook) noexcept { fault_hook_ = hook; }
+  [[nodiscard]] FaultHook* fault_hook() const noexcept { return fault_hook_; }
+
+  /// One point-to-point message from `from` to `to` with the configured
+  /// timeout/retry/backoff handling. Returns false when every attempt was
+  /// lost (only possible with a fault hook attached). Costs are
+  /// accumulated into `stats`.
+  bool deliver(NodeId from, NodeId to, HopStats& stats) const;
 
   /// All alive node ids in ascending key order.
   [[nodiscard]] std::vector<NodeId> alive_nodes() const;
@@ -135,6 +172,8 @@ class Overlay {
   std::vector<NodeState> nodes_;
   /// Alive nodes sorted by key (the oracle membership view).
   std::vector<RegistryEntry> registry_;
+  /// Message-level fault injector; nullptr = perfect links.
+  FaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace meteo::overlay

@@ -1,0 +1,112 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+
+namespace meteo::sim {
+
+FaultPlan::FaultPlan(FaultPlanConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  METEO_EXPECTS(config_.drop_rate >= 0.0 && config_.drop_rate <= 1.0);
+  METEO_EXPECTS(config_.delay_rate >= 0.0 && config_.delay_rate <= 1.0);
+  METEO_EXPECTS(config_.duplicate_rate >= 0.0 &&
+                config_.duplicate_rate <= 1.0);
+  METEO_EXPECTS(config_.drop_rate + config_.delay_rate +
+                    config_.duplicate_rate <=
+                1.0);
+}
+
+void FaultPlan::add_event(NodeEvent event) {
+  METEO_EXPECTS(event.at >= messages_);
+  // Keep the schedule sorted by trigger count; equal triggers fire in
+  // insertion order (stable upper_bound insert).
+  const auto it = std::upper_bound(
+      schedule_.begin() + static_cast<std::ptrdiff_t>(next_event_),
+      schedule_.end(), event.at,
+      [](std::size_t at, const NodeEvent& e) { return at < e.at; });
+  schedule_.insert(it, event);
+}
+
+void FaultPlan::crash_at(std::size_t at_message, overlay::NodeId node) {
+  add_event(NodeEvent{at_message, node, NodeEvent::Kind::kCrash});
+}
+
+void FaultPlan::stall_at(std::size_t at_message, overlay::NodeId node) {
+  add_event(NodeEvent{at_message, node, NodeEvent::Kind::kStall});
+}
+
+void FaultPlan::resume_at(std::size_t at_message, overlay::NodeId node) {
+  add_event(NodeEvent{at_message, node, NodeEvent::Kind::kResume});
+}
+
+void FaultPlan::fire_due_events() {
+  while (next_event_ < schedule_.size() &&
+         schedule_[next_event_].at <= messages_) {
+    const NodeEvent& e = schedule_[next_event_];
+    switch (e.kind) {
+      case NodeEvent::Kind::kCrash:
+        due_crashes_.push_back(e.node);
+        [[fallthrough]];  // a crashed node also stops answering
+      case NodeEvent::Kind::kStall:
+        if (std::find(stalled_.begin(), stalled_.end(), e.node) ==
+            stalled_.end()) {
+          stalled_.push_back(e.node);
+        }
+        break;
+      case NodeEvent::Kind::kResume:
+        stalled_.erase(std::remove(stalled_.begin(), stalled_.end(), e.node),
+                       stalled_.end());
+        break;
+    }
+    ++next_event_;
+  }
+}
+
+overlay::MessageFate FaultPlan::decide(std::uint64_t index) const {
+  // Stateless hash of (seed, index): decorrelated across indices, and the
+  // whole fate sequence is fixed by the seed alone.
+  const std::uint64_t h = splitmix64(seed_ ^ splitmix64(index));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u < config_.drop_rate) return overlay::MessageFate::kDrop;
+  if (u < config_.drop_rate + config_.delay_rate) {
+    return overlay::MessageFate::kDelay;
+  }
+  if (u < config_.drop_rate + config_.delay_rate + config_.duplicate_rate) {
+    return overlay::MessageFate::kDuplicate;
+  }
+  return overlay::MessageFate::kDeliver;
+}
+
+overlay::MessageFate FaultPlan::on_message(
+    const overlay::MessageContext& ctx) {
+  (void)ctx;  // fate depends only on the global transmission index
+  fire_due_events();
+  const overlay::MessageFate fate = decide(messages_);
+  ++messages_;
+  switch (fate) {
+    case overlay::MessageFate::kDrop:
+      ++dropped_;
+      break;
+    case overlay::MessageFate::kDelay:
+      ++delayed_;
+      break;
+    case overlay::MessageFate::kDuplicate:
+      ++duplicated_;
+      break;
+    case overlay::MessageFate::kDeliver:
+      break;
+  }
+  return fate;
+}
+
+bool FaultPlan::is_stalled(overlay::NodeId node) const {
+  return std::find(stalled_.begin(), stalled_.end(), node) != stalled_.end();
+}
+
+std::vector<overlay::NodeId> FaultPlan::take_due_crashes() {
+  fire_due_events();
+  std::vector<overlay::NodeId> out;
+  out.swap(due_crashes_);
+  return out;
+}
+
+}  // namespace meteo::sim

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file fault_plan.hpp
+/// Deterministic, replayable message-fault scenarios.
+///
+/// A FaultPlan implements the overlay's FaultHook: it decides, per
+/// transmission, whether the message is delivered, dropped, delayed past
+/// the sender's timeout, or duplicated, and it can make nodes crash or
+/// stall (stop answering) when the plan's global message counter reaches a
+/// chosen value.
+///
+/// Determinism and replay: the fate of transmission #i is a pure function
+/// of (seed, i) — a splitmix64 hash, not a shared RNG stream — so a run is
+/// byte-for-byte reproducible from the seed regardless of how decisions
+/// interleave with other random draws, and a failing scenario replays
+/// exactly from (seed, config, schedule). With all rates zero and an empty
+/// schedule the plan is a no-op: behaviour is identical to running without
+/// a hook.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "overlay/fault_hook.hpp"
+
+namespace meteo::sim {
+
+struct FaultPlanConfig {
+  /// Probability a transmission is lost (sender times out). [0, 1]
+  double drop_rate = 0.0;
+  /// Probability a transmission arrives after the sender's timeout fired.
+  double delay_rate = 0.0;
+  /// Probability a transmission is duplicated on the wire.
+  double duplicate_rate = 0.0;
+};
+
+class FaultPlan final : public overlay::FaultHook {
+ public:
+  /// \pre all rates in [0, 1] and their sum <= 1
+  explicit FaultPlan(FaultPlanConfig config = {}, std::uint64_t seed = 0);
+
+  // --- scheduled node faults (by global message count) ----------------------
+  /// Crashes `node` once `at_message` transmissions have been observed: it
+  /// stops answering immediately, and the crash is surfaced through
+  /// take_due_crashes() for the owner to apply to the overlay membership.
+  /// \pre at_message >= messages_seen()
+  void crash_at(std::size_t at_message, overlay::NodeId node);
+
+  /// Like crash_at, but transient: the node ignores traffic until a
+  /// matching resume_at fires. \pre at_message >= messages_seen()
+  void stall_at(std::size_t at_message, overlay::NodeId node);
+
+  /// Ends a stall scheduled with stall_at. \pre at_message >= messages_seen()
+  void resume_at(std::size_t at_message, overlay::NodeId node);
+
+  // --- FaultHook -------------------------------------------------------------
+  overlay::MessageFate on_message(const overlay::MessageContext& ctx) override;
+  [[nodiscard]] bool is_stalled(overlay::NodeId node) const override;
+  std::vector<overlay::NodeId> take_due_crashes() override;
+
+  // --- introspection ---------------------------------------------------------
+  [[nodiscard]] const FaultPlanConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t messages_seen() const noexcept { return messages_; }
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t delayed() const noexcept { return delayed_; }
+  [[nodiscard]] std::size_t duplicated() const noexcept { return duplicated_; }
+
+ private:
+  struct NodeEvent {
+    enum class Kind { kCrash, kStall, kResume };
+    std::size_t at;
+    overlay::NodeId node;
+    Kind kind;
+  };
+
+  /// Pure fate of transmission `index` under this seed.
+  [[nodiscard]] overlay::MessageFate decide(std::uint64_t index) const;
+  /// Applies every scheduled event with at <= messages_seen().
+  void fire_due_events();
+  void add_event(NodeEvent event);
+
+  FaultPlanConfig config_;
+  std::uint64_t seed_;
+  std::size_t messages_ = 0;
+  std::vector<NodeEvent> schedule_;  // sorted by `at`, stable
+  std::size_t next_event_ = 0;
+  std::vector<overlay::NodeId> stalled_;
+  std::vector<overlay::NodeId> due_crashes_;
+  std::size_t dropped_ = 0;
+  std::size_t delayed_ = 0;
+  std::size_t duplicated_ = 0;
+};
+
+}  // namespace meteo::sim

@@ -1,5 +1,7 @@
 /// Randomized schedule/cancel/run interleavings for the event queue,
-/// checked against a reference model.
+/// checked against a reference model, plus a fuzzed lossy-transport model
+/// (FaultPlan fates driving delayed/duplicated deliveries) that checks
+/// exactly-once effects and one-shot crash events.
 
 #include <gtest/gtest.h>
 
@@ -9,6 +11,7 @@
 
 #include "common/rng.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault_plan.hpp"
 
 namespace meteo::sim {
 namespace {
@@ -82,6 +85,105 @@ TEST_P(EventQueueFuzz, MatchesReferenceModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
                          ::testing::Values(11u, 22u, 33u, 44u));
+
+// A lossy transport simulated on the queue: each message's fate comes from
+// a FaultPlan, deliveries are scheduled with random latencies (delays past
+// the timeout horizon, duplicates as extra in-flight copies), and the run
+// loop is interleaved with the sends. Invariants: no scheduled delivery is
+// ever lost by the queue, duplicated deliveries have their effect exactly
+// once, delivery times are non-decreasing, and delayed copies arrive after
+// the timeout horizon.
+TEST_P(EventQueueFuzz, FaultyTransportDeliversExactlyOnce) {
+  Rng rng(GetParam());
+  EventQueue q;
+  FaultPlan plan({0.15, 0.2, 0.2}, GetParam() ^ 0xfa417u);
+
+  constexpr double kTimeout = 2.0;
+  constexpr std::size_t kMessages = 400;
+  std::vector<int> arrivals(kMessages, 0);  // raw copies, incl. duplicates
+  std::vector<int> effects(kMessages, 0);   // receiver-side dedup
+  std::vector<bool> was_dropped(kMessages, false);
+  std::vector<bool> was_delayed(kMessages, false);
+  std::vector<double> sent_at(kMessages, 0.0);
+  std::vector<double> first_arrival(kMessages, -1.0);
+  std::vector<double> delivery_times;
+  std::size_t scheduled_copies = 0;
+
+  for (std::size_t i = 0; i < kMessages; ++i) {
+    const auto fate =
+        plan.on_message(overlay::MessageContext{1, 2, 0});
+    sent_at[i] = q.now();
+    const auto deliver = [&, i] {
+      delivery_times.push_back(q.now());
+      ++arrivals[i];
+      if (arrivals[i] == 1) {
+        ++effects[i];  // effect-once dedup by id
+        first_arrival[i] = q.now();
+      }
+    };
+    switch (fate) {
+      case overlay::MessageFate::kDrop:
+        was_dropped[i] = true;
+        break;
+      case overlay::MessageFate::kDelay:
+        // Arrives, but only after the sender's timeout horizon.
+        was_delayed[i] = true;
+        q.schedule_in(kTimeout + rng.uniform(0.1, 1.0), deliver);
+        ++scheduled_copies;
+        break;
+      case overlay::MessageFate::kDuplicate:
+        q.schedule_in(rng.uniform(0.1, 1.0), deliver);
+        q.schedule_in(rng.uniform(0.1, 1.0), deliver);
+        scheduled_copies += 2;
+        break;
+      case overlay::MessageFate::kDeliver:
+        q.schedule_in(rng.uniform(0.1, 1.0), deliver);
+        ++scheduled_copies;
+        break;
+    }
+    // Interleave draining with sending so deliveries and sends mix.
+    if (rng.uniform() < 0.3) q.run_until(q.now() + rng.uniform(0.0, 1.5));
+  }
+
+  // A crash event armed redundantly (e.g. by a duplicated control message)
+  // must still fire exactly once: the first firing disarms the other copy.
+  int crash_fires = 0;
+  EventId crash_a = 0;
+  EventId crash_b = 0;
+  crash_a = q.schedule_in(0.5, [&] {
+    ++crash_fires;
+    (void)q.cancel(crash_b);
+  });
+  crash_b = q.schedule_in(1.5, [&] {
+    ++crash_fires;
+    (void)q.cancel(crash_a);
+  });
+
+  q.run_all();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(crash_fires, 1);
+
+  // Every scheduled copy arrived; nothing was lost inside the queue.
+  EXPECT_EQ(delivery_times.size(), scheduled_copies);
+  EXPECT_TRUE(std::is_sorted(delivery_times.begin(), delivery_times.end()));
+
+  for (std::size_t i = 0; i < kMessages; ++i) {
+    if (was_dropped[i]) {
+      EXPECT_EQ(arrivals[i], 0) << "dropped message " << i << " arrived";
+    } else {
+      EXPECT_GE(arrivals[i], 1) << "message " << i << " lost";
+      EXPECT_EQ(effects[i], 1) << "message " << i << " effect not once";
+      if (was_delayed[i]) {
+        // Delayed copies really did outlive the timeout horizon (the
+        // property the overlay charges a timeout for before the arrival).
+        EXPECT_GE(first_arrival[i], sent_at[i] + kTimeout) << "message " << i;
+      }
+    }
+  }
+  EXPECT_EQ(plan.delayed(),
+            static_cast<std::size_t>(
+                std::count(was_delayed.begin(), was_delayed.end(), true)));
+}
 
 }  // namespace
 }  // namespace meteo::sim

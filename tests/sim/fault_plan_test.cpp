@@ -1,0 +1,251 @@
+/// FaultPlan unit tests: deterministic fate sequences, rate accuracy,
+/// scheduled crash/stall/resume semantics, and interaction with the
+/// overlay's retry/timeout/reroute machinery.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "overlay/overlay.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace meteo::sim {
+namespace {
+
+using overlay::MessageContext;
+using overlay::MessageFate;
+
+std::vector<MessageFate> fate_sequence(FaultPlan& plan, std::size_t count) {
+  std::vector<MessageFate> fates;
+  fates.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    fates.push_back(plan.on_message(MessageContext{1, 2, 0}));
+  }
+  return fates;
+}
+
+TEST(FaultPlanTest, ZeroRatesAlwaysDeliver) {
+  FaultPlan plan({}, 42);
+  for (const MessageFate fate : fate_sequence(plan, 1000)) {
+    EXPECT_EQ(fate, MessageFate::kDeliver);
+  }
+  EXPECT_EQ(plan.dropped(), 0u);
+  EXPECT_EQ(plan.delayed(), 0u);
+  EXPECT_EQ(plan.duplicated(), 0u);
+  EXPECT_EQ(plan.messages_seen(), 1000u);
+}
+
+TEST(FaultPlanTest, SameSeedSameFateSequence) {
+  const FaultPlanConfig cfg{0.2, 0.1, 0.05};
+  FaultPlan a(cfg, 7);
+  FaultPlan b(cfg, 7);
+  EXPECT_EQ(fate_sequence(a, 5000), fate_sequence(b, 5000));
+  EXPECT_EQ(a.dropped(), b.dropped());
+  EXPECT_EQ(a.delayed(), b.delayed());
+  EXPECT_EQ(a.duplicated(), b.duplicated());
+}
+
+TEST(FaultPlanTest, DifferentSeedsDiffer) {
+  const FaultPlanConfig cfg{0.3, 0.0, 0.0};
+  FaultPlan a(cfg, 1);
+  FaultPlan b(cfg, 2);
+  EXPECT_NE(fate_sequence(a, 2000), fate_sequence(b, 2000));
+}
+
+TEST(FaultPlanTest, FateIndependentOfContext) {
+  // The fate of transmission #i depends only on (seed, i), never on the
+  // endpoints — this is what makes replay insensitive to routing detail.
+  const FaultPlanConfig cfg{0.25, 0.1, 0.1};
+  FaultPlan a(cfg, 99);
+  FaultPlan b(cfg, 99);
+  std::vector<MessageFate> fa;
+  std::vector<MessageFate> fb;
+  for (std::size_t i = 0; i < 3000; ++i) {
+    fa.push_back(a.on_message(MessageContext{1, 2, 0}));
+    fb.push_back(b.on_message(
+        MessageContext{static_cast<overlay::NodeId>(i % 17),
+                       static_cast<overlay::NodeId>(i % 5), i % 3}));
+  }
+  EXPECT_EQ(fa, fb);
+}
+
+TEST(FaultPlanTest, RatesApproximatelyRespected) {
+  FaultPlan plan({0.2, 0.1, 0.05}, 1234);
+  const std::size_t n = 50'000;
+  (void)fate_sequence(plan, n);
+  const auto frac = [n](std::size_t c) {
+    return static_cast<double>(c) / static_cast<double>(n);
+  };
+  EXPECT_NEAR(frac(plan.dropped()), 0.2, 0.01);
+  EXPECT_NEAR(frac(plan.delayed()), 0.1, 0.01);
+  EXPECT_NEAR(frac(plan.duplicated()), 0.05, 0.01);
+}
+
+TEST(FaultPlanTest, StallAndResumeAtMessageCounts) {
+  FaultPlan plan({}, 5);
+  plan.stall_at(3, 77);
+  plan.resume_at(6, 77);
+  for (std::size_t i = 0; i < 10; ++i) {
+    (void)plan.on_message(MessageContext{0, 1, 0});
+    // An event scheduled at N fires while the transmission with index N is
+    // decided, i.e. once messages_seen() has advanced past N.
+    if (plan.messages_seen() >= 4 && plan.messages_seen() <= 6) {
+      EXPECT_TRUE(plan.is_stalled(77)) << "after " << plan.messages_seen();
+    } else if (plan.messages_seen() >= 7) {
+      EXPECT_FALSE(plan.is_stalled(77)) << "after " << plan.messages_seen();
+    }
+  }
+}
+
+TEST(FaultPlanTest, CrashFiresExactlyOnce) {
+  FaultPlan plan({}, 5);
+  plan.crash_at(0, 4);
+  plan.crash_at(5, 9);
+
+  // Due immediately (zero messages needed).
+  std::vector<overlay::NodeId> due = plan.take_due_crashes();
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 4u);
+  EXPECT_TRUE(plan.is_stalled(4));  // crashed nodes stop answering
+
+  // Not due yet: only fires once the counter reaches 5.
+  EXPECT_TRUE(plan.take_due_crashes().empty());
+  (void)fate_sequence(plan, 5);
+  due = plan.take_due_crashes();
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 9u);
+
+  // Never again: each crash event is surfaced exactly once.
+  (void)fate_sequence(plan, 100);
+  EXPECT_TRUE(plan.take_due_crashes().empty());
+}
+
+// --- integration with the overlay's retry machinery -------------------------
+
+overlay::Overlay make_ring(std::size_t nodes) {
+  overlay::OverlayConfig cfg;
+  cfg.key_space = 1u << 16;
+  overlay::Overlay net(cfg);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    (void)net.join(static_cast<overlay::Key>((i * cfg.key_space) / nodes));
+  }
+  net.repair();
+  return net;
+}
+
+TEST(FaultPlanOverlayTest, ZeroRatePlanMatchesNoHookExactly) {
+  overlay::Overlay net = make_ring(64);
+  const overlay::Key target = 40'000;
+  const overlay::RouteResult bare = net.route(0, target);
+
+  FaultPlan plan({}, 3);
+  net.set_fault_hook(&plan);
+  const overlay::RouteResult hooked = net.route(0, target);
+  net.set_fault_hook(nullptr);
+
+  EXPECT_EQ(hooked.destination, bare.destination);
+  EXPECT_EQ(hooked.hops, bare.hops);
+  EXPECT_EQ(hooked.reached_closest, bare.reached_closest);
+  EXPECT_FALSE(hooked.blocked);
+  EXPECT_EQ(hooked.stats.messages, bare.stats.messages);
+  EXPECT_FALSE(hooked.stats.any_faults());
+}
+
+TEST(FaultPlanOverlayTest, DropsCauseRetriesAndStillSucceed) {
+  overlay::Overlay net = make_ring(64);
+  FaultPlan plan({0.3, 0.0, 0.0}, 11);
+  net.set_fault_hook(&plan);
+
+  std::size_t reached = 0;
+  overlay::HopStats total;
+  for (overlay::Key k = 100; k < 60'000; k += 1000) {
+    const overlay::RouteResult r = net.route(0, k);
+    if (r.reached_closest) ++reached;
+    total += r.stats;
+  }
+  net.set_fault_hook(nullptr);
+
+  // 30% drop with 3 retries: per-hop loss ~0.8%, so nearly every route
+  // completes, and the retries that saved them are visible in the stats.
+  EXPECT_GE(reached, 55u);
+  EXPECT_GT(total.retries, 0u);
+  EXPECT_GE(total.timeouts, total.retries);  // every retry follows a timeout
+  EXPECT_GT(total.messages, 0u);
+}
+
+TEST(FaultPlanOverlayTest, StalledNodeForcesReroute) {
+  overlay::Overlay net = make_ring(32);
+  // Stall the node closest to the target: routes toward it must give up on
+  // it after retries and end blocked (no closer live pointer answers).
+  const overlay::Key target = 33'000;
+  const overlay::NodeId home = net.closest_alive(target);
+  FaultPlan plan({}, 0);
+  plan.stall_at(0, home);
+  net.set_fault_hook(&plan);
+  const overlay::RouteResult r = net.route(0, target);
+  net.set_fault_hook(nullptr);
+
+  EXPECT_NE(r.destination, home);
+  EXPECT_FALSE(r.reached_closest);
+  EXPECT_TRUE(r.blocked);
+  EXPECT_GT(r.stats.timeouts, 0u);
+}
+
+TEST(FaultPlanOverlayTest, BackoffCostGrowsExponentially) {
+  overlay::OverlayConfig cfg;
+  cfg.key_space = 1u << 16;
+  cfg.retry.max_retries = 3;
+  cfg.retry.timeout = 1.0;
+  cfg.retry.backoff = 2.0;
+  overlay::Overlay net(cfg);
+  (void)net.join(100);
+  (void)net.join(50'000);
+  net.repair();
+
+  FaultPlan plan({}, 0);
+  plan.stall_at(0, 1);  // the only other node never answers
+  net.set_fault_hook(&plan);
+  const overlay::RouteResult r = net.route(0, 60'000);
+  net.set_fault_hook(nullptr);
+
+  // 4 attempts waited out: 1 + 2 + 4 + 8 backoff units.
+  EXPECT_TRUE(r.blocked);
+  EXPECT_EQ(r.stats.timeouts, 4u);
+  EXPECT_EQ(r.stats.retries, 3u);
+  EXPECT_DOUBLE_EQ(r.stats.timeout_cost, 15.0);
+}
+
+TEST(FaultPlanOverlayTest, RetriesDisabledLosesRoutesAtHighDrop) {
+  overlay::OverlayConfig cfg;
+  cfg.key_space = 1u << 16;
+  cfg.retry.max_retries = 0;
+  overlay::OverlayConfig cfg_on;
+  cfg_on.key_space = cfg.key_space;
+  overlay::Overlay with_retries_off(cfg);
+  overlay::Overlay with_retries_on(cfg_on);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const auto key = static_cast<overlay::Key>((i * cfg.key_space) / 64);
+    (void)with_retries_off.join(key);
+    (void)with_retries_on.join(key);
+  }
+  with_retries_off.repair();
+  with_retries_on.repair();
+
+  auto run = [](overlay::Overlay& net, std::uint64_t seed) {
+    FaultPlan plan({0.4, 0.0, 0.0}, seed);
+    net.set_fault_hook(&plan);
+    std::size_t reached = 0;
+    for (overlay::Key k = 100; k < 60'000; k += 500) {
+      if (net.route(0, k).reached_closest) ++reached;
+    }
+    net.set_fault_hook(nullptr);
+    return reached;
+  };
+
+  // Same fault sequence seed: the only difference is the retry budget.
+  EXPECT_GT(run(with_retries_on, 21), run(with_retries_off, 21));
+}
+
+}  // namespace
+}  // namespace meteo::sim

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure with sanitizers, build, and run the fast test
+# tier. This is the pre-merge check — tier2 (whole-system integration
+# sweeps) runs in the full `ctest` invocation instead.
+#
+# Usage: tools/run_tier1.sh [build-dir]
+#   build-dir    defaults to build-tier1 (kept separate from the plain
+#                `build` tree so sanitizer flags never pollute it)
+#
+# Environment:
+#   METEO_SANITIZE  sanitizer list passed to CMake (default
+#                   "address,undefined"; set to "" to disable)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build-tier1}"
+sanitize="${METEO_SANITIZE-address,undefined}"
+
+cmake -B "$build_dir" -S . \
+  -DMETEO_SANITIZE="$sanitize" \
+  -DMETEO_BUILD_BENCH=OFF \
+  -DMETEO_BUILD_EXAMPLES=OFF
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" -L tier1 --output-on-failure -j "$(nproc)"
