@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
       std::size_t successes = 0;
       for (std::size_t q = 0; q < flags.queries; ++q) {
         const vsm::ItemId id = query_rng.below(wl.vectors.size());
-        if (sys.locate(id, wl.vectors[id], std::nullopt, walk_limit).found) {
+        if (sys.locate(id, wl.vectors[id], {.walk_limit = walk_limit}).found) {
           ++successes;
         }
       }

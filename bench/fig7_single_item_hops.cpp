@@ -2,6 +2,10 @@
 /// (paper: N = 1,000..10,000, infinite node storage, 100K queries), for
 /// the three variants None / Unused Hash Space / + Hot Regions. All three
 /// must track O(log N).
+///
+/// The query sweep runs as locate batches through the BatchEngine; a final
+/// section times the same batch at 1/2/4/8 workers and merges the
+/// throughput into BENCH_batch.json.
 
 #include <cmath>
 #include <vector>
@@ -15,6 +19,8 @@ int main(int argc, char** argv) {
   bench::add_common_flags(cli);
   cli.add_flag("node-counts", "1000,2500,5000,7500,10000",
                "comma-separated overlay sizes");
+  cli.add_flag("batch-json", "BENCH_batch.json",
+               "throughput report path (empty = skip the timing sweep)");
   if (!cli.parse(argc, argv)) return 1;
   const bench::ExperimentFlags flags = bench::read_common_flags(cli);
 
@@ -43,19 +49,31 @@ int main(int argc, char** argv) {
       core::LoadBalanceMode::kUnusedHashSpacePlusHotRegions,
   };
 
+  // The query set is drawn once per overlay size and shared by all three
+  // modes (and, below, by every worker count of the timing sweep).
+  auto make_ops = [&](std::size_t n) {
+    Rng query_rng(flags.seed ^ n);
+    std::vector<core::LocateOp> ops;
+    ops.reserve(flags.queries);
+    for (std::size_t q = 0; q < flags.queries; ++q) {
+      const vsm::ItemId id = query_rng.below(wl.vectors.size());
+      ops.push_back(core::LocateOp{id, &wl.vectors[id], {}});
+    }
+    return ops;
+  };
+
   TextTable table({"N", "None", "Unused Hash Space",
                    "Unused Hash Space + Hot Regions", "log4(N)"});
   for (const std::size_t n : node_counts) {
+    const std::vector<core::LocateOp> ops = make_ops(n);
     std::vector<std::string> row = {
         TextTable::integer(static_cast<long long>(n))};
     for (const core::LoadBalanceMode mode : modes) {
       core::Meteorograph sys = bench::build_system(flags, wl, mode, n);
       (void)bench::publish_all(sys, wl);
-      Rng query_rng(flags.seed ^ n);
+      core::BatchEngine engine(sys, {.seed = flags.seed ^ n});
       OnlineStats hops;
-      for (std::size_t q = 0; q < flags.queries; ++q) {
-        const vsm::ItemId id = query_rng.below(wl.vectors.size());
-        const core::LocateResult r = sys.locate(id, wl.vectors[id]);
+      for (const core::LocateResult& r : engine.locate(ops)) {
         hops.add(static_cast<double>(r.total_hops()));
       }
       row.push_back(TextTable::num(hops.mean(), 4));
@@ -65,5 +83,22 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   bench::emit(table, flags.csv);
+
+  // ---- batch throughput sweep --------------------------------------------
+  if (!cli.get("batch-json").empty()) {
+    bench::banner("Locate batch throughput vs worker count", flags.csv);
+    const std::size_t n = node_counts.back();
+    core::Meteorograph sys = bench::build_system(
+        flags, wl, core::LoadBalanceMode::kUnusedHashSpacePlusHotRegions, n);
+    (void)bench::publish_all(sys, wl);
+    const std::vector<core::LocateOp> ops = make_ops(n);
+    const std::size_t workers[] = {1, 2, 4, 8};
+    const std::vector<bench::BatchTiming> timings = bench::time_batches(
+        sys, workers, ops.size(), flags.seed,
+        [&](core::BatchEngine& engine) { (void)engine.locate(ops); });
+    bench::emit(bench::batch_table(timings), flags.csv);
+    bench::append_batch_json(cli.get("batch-json"), "fig7_locate_batch",
+                             timings);
+  }
   return 0;
 }

@@ -1,6 +1,7 @@
 /// Kernel microbenchmarks (google-benchmark): the hot paths every
 /// experiment leans on — absolute-angle computation, Eq. 6 remapping,
-/// overlay routing, and the workload samplers.
+/// overlay routing, the workload samplers, and whole-batch execution at
+/// increasing worker counts.
 
 #include <benchmark/benchmark.h>
 
@@ -8,10 +9,12 @@
 
 #include "common/rng.hpp"
 #include "common/zipf.hpp"
+#include "meteorograph/batch.hpp"
 #include "meteorograph/naming.hpp"
 #include "overlay/overlay.hpp"
 #include "vsm/absolute_angle.hpp"
 #include "vsm/sparse_vector.hpp"
+#include "workload/trace.hpp"
 
 namespace {
 
@@ -99,6 +102,79 @@ void BM_AliasSample(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AliasSample);
+
+// --- batch engine ----------------------------------------------------------
+
+/// A published system plus prebuilt op vectors, built once and shared by
+/// every BM_Batch* invocation (read-only batches leave it untouched).
+struct BatchFixture {
+  std::vector<vsm::SparseVector> vectors;
+  core::Meteorograph sys;
+  std::vector<core::LocateOp> locate_ops;
+  std::vector<core::RetrieveOp> retrieve_ops;
+};
+
+BatchFixture& batch_fixture() {
+  static BatchFixture* fx = [] {
+    workload::TraceConfig tc;
+    tc.num_items = 2000;
+    tc.num_keywords = 5000;
+    tc.mean_basket = 10.0;
+    tc.max_basket = 100;
+    const workload::Trace trace = workload::synthesize_trace(tc, 42);
+    const auto weights = trace.keyword_weights(workload::WeightScheme::kIdf);
+    std::vector<vsm::SparseVector> vectors;
+    vectors.reserve(tc.num_items);
+    for (std::size_t i = 0; i < tc.num_items; ++i) {
+      vectors.push_back(trace.vector_of(i, weights));
+    }
+    std::vector<vsm::SparseVector> sample;
+    for (std::size_t i = 0; i < vectors.size(); i += 17) {
+      sample.push_back(vectors[i]);
+    }
+    core::SystemConfig cfg;
+    cfg.node_count = 500;
+    cfg.dimension = 5000;
+    auto* f = new BatchFixture{std::move(vectors),
+                               core::Meteorograph(cfg, sample, 42),
+                               {},
+                               {}};
+    for (vsm::ItemId id = 0; id < f->vectors.size(); ++id) {
+      (void)f->sys.publish(id, f->vectors[id]);
+    }
+    // Ops borrow from f->vectors, whose buffer is already at rest.
+    for (vsm::ItemId id = 0; id < f->vectors.size(); ++id) {
+      f->locate_ops.push_back(core::LocateOp{id, &f->vectors[id], {}});
+      f->retrieve_ops.push_back(core::RetrieveOp{&f->vectors[id], 5, {}});
+    }
+    return f;
+  }();
+  return *fx;
+}
+
+void BM_BatchLocate(benchmark::State& state) {
+  BatchFixture& fx = batch_fixture();
+  core::BatchEngine engine(
+      fx.sys, {.workers = static_cast<std::size_t>(state.range(0)), .seed = 9});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.locate(fx.locate_ops));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.locate_ops.size()));
+}
+BENCHMARK(BM_BatchLocate)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_BatchRetrieve(benchmark::State& state) {
+  BatchFixture& fx = batch_fixture();
+  core::BatchEngine engine(
+      fx.sys, {.workers = static_cast<std::size_t>(state.range(0)), .seed = 9});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.retrieve(fx.retrieve_ops));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.retrieve_ops.size()));
+}
+BENCHMARK(BM_BatchRetrieve)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace
 

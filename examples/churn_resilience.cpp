@@ -68,7 +68,7 @@ int main() {
     for (std::size_t q = 0; q < kQueries; ++q) {
       const vsm::ItemId id = query_rng.below(kItems);
       const core::LocateResult r =
-          sys.locate(id, vectors[id], std::nullopt, /*walk_limit=*/12);
+          sys.locate(id, vectors[id], {.walk_limit = 12});
       if (r.found) {
         ++found;
         hops += static_cast<double>(r.total_hops());

@@ -43,9 +43,9 @@ int main() {
   const overlay::NodeId bob = nodes[1];
   const auto sub_alice = sys.subscribe(
       std::vector<vsm::KeywordId>{kw("politics"), kw("europe")}, alice,
-      /*horizon=*/64);
+      {.horizon = 64});
   const auto sub_bob = sys.subscribe(
-      std::vector<vsm::KeywordId>{kw("sports")}, bob, /*horizon=*/64);
+      std::vector<vsm::KeywordId>{kw("sports")}, bob, {.horizon = 64});
   std::printf("alice subscribed to <politics, europe> (%zu nodes, %zu msgs)\n",
               sub_alice.planted_nodes, sub_alice.total_messages());
   std::printf("bob   subscribed to <sports>          (%zu nodes, %zu msgs)\n\n",

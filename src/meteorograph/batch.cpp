@@ -1,0 +1,225 @@
+#include "meteorograph/batch.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "overlay/fault_hook.hpp"
+
+namespace meteo::core {
+
+namespace {
+
+/// Closes the per-operation fate scope even when the op throws, so a
+/// worker thread never leaks an active scope into the next op it runs.
+class ScopeGuard {
+ public:
+  ScopeGuard(overlay::FaultHook* hook, std::uint64_t salt,
+             std::uint64_t first_message = 0)
+      : hook_(hook) {
+    if (hook_ != nullptr) hook_->begin_op_scope(salt, first_message);
+  }
+  ~ScopeGuard() {
+    if (hook_ != nullptr) resume_ = hook_->end_op_scope();
+  }
+  ScopeGuard(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(const ScopeGuard&) = delete;
+
+  /// Next in-scope message index, valid after close(); used to resume one
+  /// logical operation's fate stream across the plan/commit split.
+  std::uint64_t close() {
+    if (hook_ != nullptr) {
+      resume_ = hook_->end_op_scope();
+      hook_ = nullptr;
+    }
+    return resume_;
+  }
+
+ private:
+  overlay::FaultHook* hook_;
+  std::uint64_t resume_ = 0;
+};
+
+}  // namespace
+
+BatchEngine::BatchEngine(Meteorograph& system, BatchOptions options)
+    : system_(system), options_(options) {
+  if (options_.workers == 0) {
+    options_.workers =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (options_.workers > 1) pool_.emplace(options_.workers);
+}
+
+template <typename Result, typename Op, typename Exec, typename Record>
+std::vector<Result> BatchEngine::run_read_batch(std::span<const Op> ops,
+                                                std::size_t workers,
+                                                Exec&& exec, Record&& record) {
+  system_.begin_batch();
+  BatchGuard batch(system_);
+
+  overlay::FaultHook* hook = system_.network().fault_hook();
+  const bool scoped = hook != nullptr && hook->supports_op_scopes();
+  // A hook without per-op fate scopes decides fates off one shared,
+  // order-dependent stream: run its batches single-threaded.
+  if (hook != nullptr && !scoped) workers = 1;
+
+  std::vector<Result> results(ops.size());
+  std::vector<Meteorograph::OpTrace> traces(ops.size());
+
+  // Scopes are used even at one worker so the fate streams — and with
+  // them results and metrics — match any other worker count exactly.
+  auto run_one = [&](std::size_t i) {
+    Rng rng = substream(i);
+    ScopeGuard scope(scoped ? hook : nullptr, scope_salt(i));
+    results[i] = exec(ops[i], rng, traces[i]);
+  };
+
+  if (workers > 1 && pool_.has_value() && ops.size() > 1) {
+    pool_->parallel_for(0, ops.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < ops.size(); ++i) run_one(i);
+  }
+
+  // Metric fold in op-index order: OnlineStats accumulation is
+  // float-order-sensitive, so the order must not depend on workers.
+  for (std::size_t i = 0; i < ops.size(); ++i) record(results[i], traces[i]);
+  return results;
+}
+
+std::vector<RetrieveResult> BatchEngine::retrieve(
+    std::span<const RetrieveOp> ops) {
+  std::size_t workers = options_.workers;
+  // AngleStore's LSI projection cache mutates lazily under top_k_lsi.
+  if (system_.config().local_ranking == LocalRanking::kLsi) workers = 1;
+  return run_read_batch<RetrieveResult>(
+      ops, workers,
+      [this](const RetrieveOp& op, Rng& rng, Meteorograph::OpTrace& trace) {
+        METEO_EXPECTS(op.query != nullptr);
+        return system_.retrieve_op(*op.query, op.amount, op.options, rng,
+                                   trace);
+      },
+      [this](const RetrieveResult& r, const Meteorograph::OpTrace& trace) {
+        system_.record_retrieve(r, trace);
+      });
+}
+
+std::vector<LocateResult> BatchEngine::locate(std::span<const LocateOp> ops) {
+  return run_read_batch<LocateResult>(
+      ops, options_.workers,
+      [this](const LocateOp& op, Rng& rng, Meteorograph::OpTrace& trace) {
+        METEO_EXPECTS(op.vector != nullptr);
+        return system_.locate_op(op.item, *op.vector, op.options, rng, trace);
+      },
+      [this](const LocateResult& r, const Meteorograph::OpTrace& trace) {
+        system_.record_locate(r, trace);
+      });
+}
+
+std::vector<SearchResult> BatchEngine::similarity_search(
+    std::span<const SearchOp> ops) {
+  return run_read_batch<SearchResult>(
+      ops, options_.workers,
+      [this](const SearchOp& op, Rng& rng, Meteorograph::OpTrace& trace) {
+        METEO_EXPECTS(!op.keywords.empty());
+        return system_.search_op(op.keywords, op.k, op.options, rng, trace);
+      },
+      [this](const SearchResult& r, const Meteorograph::OpTrace& trace) {
+        system_.record_search(r, trace);
+      });
+}
+
+std::vector<RangeSearchResult> BatchEngine::range_search(
+    std::span<const RangeSearchOp> ops) {
+  return run_read_batch<RangeSearchResult>(
+      ops, options_.workers,
+      [this](const RangeSearchOp& op, Rng& rng, Meteorograph::OpTrace& trace) {
+        return system_.range_search_op(op.attribute, op.lo, op.hi, op.options,
+                                       rng, trace);
+      },
+      [this](const RangeSearchResult& r, const Meteorograph::OpTrace& trace) {
+        system_.record_range_search(r, trace);
+      });
+}
+
+std::vector<PublishResult> BatchEngine::publish(std::span<const PublishOp> ops) {
+  system_.begin_batch();
+  BatchGuard batch(system_);
+
+  overlay::FaultHook* hook = system_.network().fault_hook();
+  const bool scoped = hook != nullptr && hook->supports_op_scopes();
+  std::size_t workers = options_.workers;
+  if (hook != nullptr && !scoped) workers = 1;
+
+  // Phase 1 — plan (source selection + main route) against the frozen
+  // snapshot, in parallel. Each op's fate stream index is saved so the
+  // commit phase resumes the same logical operation's stream.
+  std::vector<Meteorograph::PublishPlan> plans(ops.size());
+  std::vector<std::uint64_t> resume(ops.size(), 0);
+  auto plan_one = [&](std::size_t i) {
+    METEO_EXPECTS(ops[i].vector != nullptr);
+    Rng rng = substream(i);
+    ScopeGuard scope(scoped ? hook : nullptr, scope_salt(i));
+    plans[i] = system_.plan_publish(*ops[i].vector, ops[i].options, rng);
+    resume[i] = scope.close();
+  };
+  if (workers > 1 && pool_.has_value() && ops.size() > 1) {
+    pool_->parallel_for(0, ops.size(), plan_one);
+  } else {
+    for (std::size_t i = 0; i < ops.size(); ++i) plan_one(i);
+  }
+
+  // Phase 2 — commit in op-index order. Store/chain placement, replica
+  // and pointer legs, notifications and metrics all happen here, exactly
+  // as the sequential facade would have interleaved them.
+  std::vector<PublishResult> results;
+  results.reserve(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    ScopeGuard scope(scoped ? hook : nullptr, scope_salt(i), resume[i]);
+    results.push_back(
+        system_.commit_publish(ops[i].id, *ops[i].vector, plans[i]));
+  }
+  return results;
+}
+
+std::vector<WithdrawResult> BatchEngine::withdraw(
+    std::span<const WithdrawOp> ops) {
+  system_.begin_batch();
+  BatchGuard batch(system_);
+
+  overlay::FaultHook* hook = system_.network().fault_hook();
+  const bool scoped = hook != nullptr && hook->supports_op_scopes();
+
+  // Withdraw reads (locate) depend on every prior withdraw's erasures, so
+  // the whole batch is sequential; per-op substreams keep it replayable.
+  std::vector<WithdrawResult> results;
+  results.reserve(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    METEO_EXPECTS(ops[i].vector != nullptr);
+    Rng rng = substream(i);
+    ScopeGuard scope(scoped ? hook : nullptr, scope_salt(i));
+    results.push_back(
+        system_.withdraw_with(ops[i].item, *ops[i].vector, ops[i].options, rng));
+  }
+  return results;
+}
+
+std::vector<DepartResult> BatchEngine::depart(
+    std::span<const overlay::NodeId> nodes) {
+  system_.begin_batch();
+  BatchGuard batch(system_);
+
+  overlay::FaultHook* hook = system_.network().fault_hook();
+  const bool scoped = hook != nullptr && hook->supports_op_scopes();
+
+  // Departures change the membership itself: strictly sequential.
+  std::vector<DepartResult> results;
+  results.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    ScopeGuard scope(scoped ? hook : nullptr, scope_salt(i));
+    results.push_back(system_.depart_node(nodes[i]));
+  }
+  return results;
+}
+
+}  // namespace meteo::core

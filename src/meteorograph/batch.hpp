@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file batch.hpp
+/// Deterministic parallel batch execution over a Meteorograph system.
+///
+/// A BatchEngine runs whole vectors of operations against one system.
+/// Read-only operations (retrieve, locate, similarity_search,
+/// range_search) execute concurrently on a thread pool against the frozen
+/// overlay snapshot; mutating operations (publish, withdraw, depart)
+/// split into a parallel read phase where possible and always commit
+/// sequentially in op-index order. Every operation draws from its own
+/// splitmix64 RNG substream keyed by (batch seed, op index), and — when
+/// the attached fault hook supports per-operation fate scopes — its own
+/// message-fault substream, so results, system state, and metrics are
+/// bit-identical at any worker count (DESIGN.md §7).
+///
+/// Op structs borrow their vectors (non-owning pointers/spans): the caller
+/// keeps the workload alive for the duration of the batch call.
+///
+///   BatchEngine engine(sys, {.workers = 8, .seed = 42});
+///   std::vector<LocateOp> ops = ...;
+///   std::vector<LocateResult> results = engine.locate(ops);
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "meteorograph/meteorograph.hpp"
+
+namespace meteo::core {
+
+struct RetrieveOp {
+  const vsm::SparseVector* query = nullptr;
+  std::size_t amount = 1;
+  RetrieveOptions options;
+};
+
+struct LocateOp {
+  vsm::ItemId item = 0;
+  const vsm::SparseVector* vector = nullptr;
+  LocateOptions options;
+};
+
+struct SearchOp {
+  std::span<const vsm::KeywordId> keywords;
+  std::size_t k = 0;  ///< 0 = discover all matching items
+  SearchOptions options;
+};
+
+struct RangeSearchOp {
+  AttributeId attribute = 0;
+  double lo = 0.0;
+  double hi = 0.0;
+  RangeSearchOptions options;
+};
+
+struct PublishOp {
+  vsm::ItemId id = 0;
+  const vsm::SparseVector* vector = nullptr;
+  PublishOptions options;
+};
+
+struct WithdrawOp {
+  vsm::ItemId item = 0;
+  const vsm::SparseVector* vector = nullptr;
+  WithdrawOptions options;
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency(). The engine
+  /// may use fewer (1) when the configuration or hook is not thread-safe.
+  std::size_t workers = 0;
+  /// Root of every per-operation RNG/fault substream. Two engines with the
+  /// same seed over identical systems produce identical batches.
+  std::uint64_t seed = 0x6d657465'6f726f67ULL;
+};
+
+class BatchEngine {
+ public:
+  /// Binds to `system` for the engine's lifetime (non-owning). The pool is
+  /// created once here, not per batch.
+  explicit BatchEngine(Meteorograph& system, BatchOptions options = {});
+
+  // Read-only batches: parallel, results in op order.
+  std::vector<RetrieveResult> retrieve(std::span<const RetrieveOp> ops);
+  std::vector<LocateResult> locate(std::span<const LocateOp> ops);
+  std::vector<SearchResult> similarity_search(std::span<const SearchOp> ops);
+  std::vector<RangeSearchResult> range_search(
+      std::span<const RangeSearchOp> ops);
+
+  // Mutating batches: publish plans (routes) in parallel, then commits
+  // store/replica/pointer legs sequentially in op-index order; withdraw
+  // and depart are sequential throughout (their reads depend on prior
+  // ops' writes), still under per-op substreams.
+  std::vector<PublishResult> publish(std::span<const PublishOp> ops);
+  std::vector<WithdrawResult> withdraw(std::span<const WithdrawOp> ops);
+  std::vector<DepartResult> depart(std::span<const overlay::NodeId> nodes);
+
+  /// Configured worker count after the 0 = hardware default resolved.
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return options_.workers;
+  }
+
+ private:
+  /// Ends the batch bracket on every exit path, including exceptions
+  /// rethrown from pool workers. A member of BatchEngine so Meteorograph's
+  /// friendship covers the private end_batch() call.
+  struct BatchGuard {
+    explicit BatchGuard(Meteorograph& sys) : system(sys) {}
+    ~BatchGuard() { system.end_batch(); }
+    BatchGuard(const BatchGuard&) = delete;
+    BatchGuard& operator=(const BatchGuard&) = delete;
+    Meteorograph& system;
+  };
+
+  /// Independent RNG stream for op `i`: identical regardless of which
+  /// worker runs the op or in what order.
+  [[nodiscard]] Rng substream(std::size_t i) const noexcept {
+    return Rng(splitmix64(options_.seed + 0x9e3779b97f4a7c15ULL * (i + 1)));
+  }
+  /// Fault-fate substream selector for op `i` (distinct from the RNG
+  /// stream so fates and draws never correlate).
+  [[nodiscard]] std::uint64_t scope_salt(std::size_t i) const noexcept {
+    return splitmix64(options_.seed ^ (0xbf58476d1ce4e5b9ULL * (i + 1)));
+  }
+
+  template <typename Result, typename Op, typename Exec, typename Record>
+  std::vector<Result> run_read_batch(std::span<const Op> ops,
+                                     std::size_t workers, Exec&& exec,
+                                     Record&& record);
+
+  Meteorograph& system_;
+  BatchOptions options_;
+  std::optional<ThreadPool> pool_;  // engaged only when workers > 1
+};
+
+}  // namespace meteo::core

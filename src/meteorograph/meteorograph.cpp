@@ -84,6 +84,12 @@ void Meteorograph::begin_operation() {
   sync_node_data();
 }
 
+void Meteorograph::begin_batch() {
+  METEO_EXPECTS(!batch_in_flight_);
+  begin_operation();  // crashes land once, at the batch boundary
+  batch_in_flight_ = true;
+}
+
 void Meteorograph::record_fault_stats(const overlay::HopStats& stats) {
   // Created lazily so fault-free runs keep a fault-free metrics map
   // (byte-identical to a run without any hook attached).

@@ -8,8 +8,11 @@
 /// configured load-balance mode), the fitted naming scheme (Eq. 5 + Eq. 6),
 /// hot-region statistics, the per-node stores (items, replicas, directory
 /// pointers), and the bootstrap sample used by the first-hop optimization.
-/// Every operation returns its exact cost in hops and messages so the
-/// benches can regenerate the paper's figures.
+/// Every operation returns its exact cost in hops and messages (the shared
+/// OpCost base) plus explicit degradation flags (the shared Degradation
+/// base) so the benches can regenerate the paper's figures. Per-operation
+/// knobs travel in small options structs built for designated
+/// initializers.
 ///
 /// Typical use:
 ///
@@ -18,6 +21,15 @@
 ///   sys.publish(id, vector);              // Fig. 2 _publish
 ///   auto r = sys.retrieve(query, 10);     // Fig. 2 _retrieve
 ///   auto s = sys.similarity_search(keywords, 10);  // §3.5 two-phase
+///   auto l = sys.locate(id, vector, {.walk_limit = 16});
+///
+/// Batched execution (DESIGN.md §7): wrap the system in a
+/// core::BatchEngine (meteorograph/batch.hpp) to run whole vectors of
+/// operations across a thread pool with bit-identical results at any
+/// worker count:
+///
+///   BatchEngine engine(sys, {.workers = 8});
+///   auto results = engine.retrieve(ops);  // ops: span<const RetrieveOp>
 
 #include <algorithm>
 #include <cstdint>
@@ -42,20 +54,46 @@
 
 namespace meteo::core {
 
-struct PublishResult {
+/// Shared hop/message accounting, inherited by every operation result.
+/// `route_hops` counts greedy-routing messages ("Closest" series of
+/// Fig. 9); `walk_hops` counts neighbor-walk steps ("Neighbors" series).
+/// Results with extra traffic classes (PublishResult, SearchResult)
+/// shadow total_messages() with their richer sum.
+struct OpCost {
+  std::size_t route_hops = 0;
+  std::size_t walk_hops = 0;
+  [[nodiscard]] std::size_t total_hops() const noexcept {
+    return route_hops + walk_hops;
+  }
+  [[nodiscard]] std::size_t total_messages() const noexcept {
+    return route_hops + walk_hops;
+  }
+};
+
+/// Shared fault-degradation flags, inherited by every operation result.
+/// All three stay false on perfect links; which flag an operation sets is
+/// documented per result struct.
+struct Degradation {
+  /// Message loss cut the operation short; the result may be incomplete.
+  bool partial = false;
+  /// The operation finished but some side effect was lost (e.g. a publish
+  /// whose replica or pointer placement legs never arrived).
+  bool degraded = false;
+  /// Message loss ended the search before the target was ruled out; a
+  /// negative answer may be a false negative.
+  bool fault_blocked = false;
+};
+
+struct PublishResult : OpCost, Degradation {
   bool success = false;
   /// The node the publish request routed to (closest to the item's key).
   overlay::NodeId home = overlay::kInvalidNode;
   /// Where the item finally landed after any overflow chaining.
   overlay::NodeId stored_at = overlay::kInvalidNode;
-  std::size_t route_hops = 0;      ///< request routing (== messages)
   std::size_t chain_hops = 0;      ///< overflow-chain forwards
   std::size_t replica_messages = 0;///< replica placement traffic
   std::size_t pointer_messages = 0;///< directory-pointer publication
   std::size_t notify_messages = 0; ///< subscription deliveries triggered
-  /// Message loss degraded the publish: the primary may be mis-homed, or
-  /// replica/pointer placement legs were lost. Never set on perfect links.
-  bool degraded = false;
   std::size_t replicas_missed = 0;  ///< replica homes never reached
   bool pointer_missed = false;      ///< directory pointer publication lost
   [[nodiscard]] std::size_t total_messages() const noexcept {
@@ -64,34 +102,17 @@ struct PublishResult {
   }
 };
 
-struct RetrieveResult {
+struct RetrieveResult : OpCost, Degradation {
   std::vector<vsm::ScoredItem> items;  ///< cosine-ranked, descending
-  std::size_t route_hops = 0;
-  std::size_t walk_hops = 0;
   std::size_t nodes_visited = 0;
-  /// Explicit degradation instead of silent success: message loss cut the
-  /// operation short of the requested amount. items_missed is the
-  /// shortfall. Never set on perfect links.
-  bool partial = false;
-  std::size_t items_missed = 0;
-  [[nodiscard]] std::size_t total_messages() const noexcept {
-    return route_hops + walk_hops;
-  }
+  std::size_t items_missed = 0;  ///< shortfall vs. the requested amount
 };
 
-struct LocateResult {
+struct LocateResult : OpCost, Degradation {
   bool found = false;
   overlay::NodeId node = overlay::kInvalidNode;
   /// True when the hit was a replica rather than the primary copy.
   bool via_replica = false;
-  std::size_t route_hops = 0;  ///< "Closest" series of Fig. 9
-  std::size_t walk_hops = 0;   ///< "Neighbors" series of Fig. 9
-  /// Message loss ended the search before the item was ruled out; a
-  /// negative `found` may be a false negative. Never set on perfect links.
-  bool fault_blocked = false;
-  [[nodiscard]] std::size_t total_hops() const noexcept {
-    return route_hops + walk_hops;
-  }
 };
 
 // --- notifications (§6 future work) -----------------------------------------
@@ -118,16 +139,9 @@ struct Notification {
   friend bool operator==(const Notification&, const Notification&) = default;
 };
 
-struct SubscribeResult {
+struct SubscribeResult : OpCost, Degradation {
   SubscriptionId id = 0;
   std::size_t planted_nodes = 0;  ///< directory nodes holding a copy
-  std::size_t route_hops = 0;
-  std::size_t walk_hops = 0;
-  /// Message loss stopped planting before `horizon` copies were placed.
-  bool partial = false;
-  [[nodiscard]] std::size_t total_messages() const noexcept {
-    return route_hops + walk_hops;
-  }
 };
 
 struct DepartResult {
@@ -146,9 +160,8 @@ struct WithdrawResult {
   std::size_t messages = 0;
 };
 
-struct RangePublishResult {
+struct RangePublishResult : OpCost {
   overlay::NodeId node = overlay::kInvalidNode;
-  std::size_t route_hops = 0;
 };
 
 /// One (value, item) hit of a range search, in ascending value order.
@@ -159,34 +172,55 @@ struct RangeMatch {
   friend bool operator==(const RangeMatch&, const RangeMatch&) = default;
 };
 
-struct RangeSearchResult {
+struct RangeSearchResult : OpCost, Degradation {
   std::vector<RangeMatch> matches;
-  std::size_t route_hops = 0;
-  std::size_t walk_hops = 0;
   std::size_t nodes_visited = 0;
-  /// Message loss truncated the range scan; matches may be incomplete.
-  bool partial = false;
-  [[nodiscard]] std::size_t total_messages() const noexcept {
-    return route_hops + walk_hops;
-  }
 };
 
-struct SearchResult {
+struct SearchResult : OpCost, Degradation {
   std::vector<vsm::ItemId> items;
   /// Hops spent on the lookup that discovered items[i] (0 when the item
   /// was found directly on a directory node) — Fig. 10(a)'s metric.
   std::vector<std::size_t> discovery_hops;
-  std::size_t route_hops = 0;        ///< reaching the directory region
-  std::size_t walk_hops = 0;         ///< directory-space neighbor steps
   std::size_t lookup_messages = 0;   ///< pointer-chasing traffic
   std::size_t nodes_visited = 0;     ///< directory nodes scanned
-  /// Message loss lost pointer lookups or truncated the directory walk;
-  /// the result set may be incomplete. Never set on perfect links.
-  bool partial = false;
   std::size_t lookups_failed = 0;  ///< pointer chases lost to faults
   [[nodiscard]] std::size_t total_messages() const noexcept {
     return route_hops + walk_hops + lookup_messages;
   }
+};
+
+// --- per-operation options ---------------------------------------------------
+// Built for designated initializers: sys.locate(id, v, {.walk_limit = 16}).
+// `from` always defaults to a uniformly random alive node.
+
+struct PublishOptions {
+  std::optional<overlay::NodeId> from = std::nullopt;
+};
+
+struct RetrieveOptions {
+  std::optional<overlay::NodeId> from = std::nullopt;
+};
+
+struct WithdrawOptions {
+  std::optional<overlay::NodeId> from = std::nullopt;
+};
+
+struct LocateOptions {
+  std::optional<overlay::NodeId> from = std::nullopt;
+  std::size_t walk_limit = 0;  ///< 0 = config default (whole ring)
+};
+
+struct SearchOptions {
+  std::optional<overlay::NodeId> from = std::nullopt;
+};
+
+struct RangeSearchOptions {
+  std::optional<overlay::NodeId> from = std::nullopt;
+};
+
+struct SubscribeOptions {
+  std::size_t horizon = 8;  ///< consecutive directory nodes to plant on
 };
 
 class Meteorograph {
@@ -208,14 +242,13 @@ class Meteorograph {
 
   // --- operations ----------------------------------------------------------
   /// Publishes an item (Fig. 2 _publish + §3.5.2 pointer + §3.6 replicas).
-  /// `from` defaults to a uniformly random alive node.
   PublishResult publish(vsm::ItemId id, const vsm::SparseVector& vector,
-                        std::optional<overlay::NodeId> from = std::nullopt);
+                        const PublishOptions& options = {});
 
   /// Fig. 2 _retrieve: route to the query's key, then walk closest
   /// neighbors until `amount` items with positive similarity are gathered.
   RetrieveResult retrieve(const vsm::SparseVector& query, std::size_t amount,
-                          std::optional<overlay::NodeId> from = std::nullopt);
+                          const RetrieveOptions& options = {});
 
   /// Graceful departure: the node hands its stored state (items, replicas,
   /// directory pointers, subscriptions, attribute records) to the nodes
@@ -229,21 +262,20 @@ class Meteorograph {
   /// over the current closest homes (churn may have stranded copies
   /// elsewhere; soft state expires with its host).
   WithdrawResult withdraw(vsm::ItemId id, const vsm::SparseVector& vector,
-                          std::optional<overlay::NodeId> from = std::nullopt);
+                          const WithdrawOptions& options = {});
 
   /// Routes toward a specific published item and walks neighbors until a
-  /// node holding it (primary or replica) is found. walk_limit 0 = config
-  /// default (whole ring). Used by Fig. 9 and the §4.3 availability study.
+  /// node holding it (primary or replica) is found. Used by Fig. 9 and
+  /// the §4.3 availability study.
   LocateResult locate(vsm::ItemId id, const vsm::SparseVector& vector,
-                      std::optional<overlay::NodeId> from = std::nullopt,
-                      std::size_t walk_limit = 0);
+                      const LocateOptions& options = {});
 
   /// §3.5 two-phase similarity search over directory pointers, starting at
   /// the first-hop key when the sample has a match. k = 0 means "discover
   /// all matching items" (walks the entire pointer space).
   SearchResult similarity_search(std::span<const vsm::KeywordId> keywords,
                                  std::size_t k,
-                                 std::optional<overlay::NodeId> from = std::nullopt);
+                                 const SearchOptions& options = {});
 
   // --- range search (§6 future work) ---------------------------------------
   /// Registers a numeric attribute (e.g. memory size) over [lo, hi]; its
@@ -253,15 +285,15 @@ class Meteorograph {
 
   /// Publishes an (attribute, value) record for an item to the node
   /// responsible for the value's key.
-  RangePublishResult publish_attribute(
-      vsm::ItemId id, AttributeId attribute, double value,
-      std::optional<overlay::NodeId> from = std::nullopt);
+  RangePublishResult publish_attribute(vsm::ItemId id, AttributeId attribute,
+                                       double value,
+                                       const PublishOptions& options = {});
 
   /// All items whose `attribute` value lies in [lo, hi], ascending by
   /// value: one O(log N) route plus a successor walk across the range.
   [[nodiscard]] RangeSearchResult range_search(
       AttributeId attribute, double lo, double hi,
-      std::optional<overlay::NodeId> from = std::nullopt);
+      const RangeSearchOptions& options = {});
 
   [[nodiscard]] const AttributeRegistry& attributes() const noexcept {
     return attributes_;
@@ -269,13 +301,13 @@ class Meteorograph {
 
   // --- notifications (§6 future work) ---------------------------------------
   /// Plants a standing interest in the directory space: copies of the
-  /// subscription live on `horizon` consecutive directory nodes starting
-  /// at the query's first-hop key, where matching items' pointers will be
-  /// published. Future matching publishes push a Notification to
+  /// subscription live on `options.horizon` consecutive directory nodes
+  /// starting at the query's first-hop key, where matching items' pointers
+  /// will be published. Future matching publishes push a Notification to
   /// `subscriber`'s inbox.
   SubscribeResult subscribe(std::span<const vsm::KeywordId> keywords,
                             overlay::NodeId subscriber,
-                            std::size_t horizon = 8);
+                            const SubscribeOptions& options = {});
 
   /// Removes every planted copy; false if the id is unknown.
   bool unsubscribe(SubscriptionId id);
@@ -288,9 +320,19 @@ class Meteorograph {
   /// Attaches a message-level fault injector (e.g. sim::FaultPlan) to the
   /// overlay. Every routed message then passes through it; crashes it
   /// schedules are applied to the membership at the next operation
-  /// boundary. Non-owning; nullptr detaches.
-  void set_fault_hook(overlay::FaultHook* hook) noexcept {
+  /// boundary. Non-owning; nullptr detaches. Returns false — leaving the
+  /// current hook untouched — while a BatchEngine batch is in flight:
+  /// swapping fault fates mid-stream would make in-flight operations
+  /// depend on worker timing.
+  bool set_fault_hook(overlay::FaultHook* hook) noexcept {
+    if (batch_in_flight_) return false;
     overlay_.set_fault_hook(hook);
+    return true;
+  }
+
+  /// True between BatchEngine::*() entry and exit.
+  [[nodiscard]] bool batch_in_flight() const noexcept {
+    return batch_in_flight_;
   }
 
   // --- introspection --------------------------------------------------------
@@ -319,6 +361,8 @@ class Meteorograph {
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
 
  private:
+  friend class BatchEngine;
+
   struct NodeData {
     AngleStore items;
     std::unordered_map<vsm::ItemId, vsm::SparseVector> replicas;
@@ -343,6 +387,65 @@ class Meteorograph {
   /// (`retry.count`, `timeout.count`, `reroute.count`, `fault.timeout_cost`).
   void record_fault_stats(const overlay::HopStats& stats);
 
+  /// Per-operation hop accounting captured by the const op cores. The
+  /// batch engine holds one OpTrace per operation (a private shard — no
+  /// locking) and folds them into the metric registry in op-index order,
+  /// which keeps OnlineStats' float accumulation deterministic.
+  struct OpTrace {
+    overlay::HopStats route;
+    overlay::HopStats walk;
+  };
+
+  /// The parallelizable half of publish: source selection + the main
+  /// route. Everything that touches node state (store/chain, replicas,
+  /// pointer, notifications) lives in commit_publish.
+  struct PublishPlan {
+    overlay::Key raw = 0;
+    overlay::Key key = 0;
+    overlay::NodeId source = overlay::kInvalidNode;
+    overlay::RouteResult route;
+  };
+
+  // Read-only operation cores. No membership changes, no metric-registry
+  // writes, no facade-RNG draws: safe to run concurrently against the
+  // frozen overlay snapshot with a caller-owned RNG substream.
+  RetrieveResult retrieve_op(const vsm::SparseVector& query,
+                             std::size_t amount,
+                             const RetrieveOptions& options, Rng& rng,
+                             OpTrace& trace) const;
+  LocateResult locate_op(vsm::ItemId id, const vsm::SparseVector& vector,
+                         const LocateOptions& options, Rng& rng,
+                         OpTrace& trace) const;
+  SearchResult search_op(std::span<const vsm::KeywordId> keywords,
+                         std::size_t k, const SearchOptions& options, Rng& rng,
+                         OpTrace& trace) const;
+  RangeSearchResult range_search_op(AttributeId attribute, double lo,
+                                    double hi,
+                                    const RangeSearchOptions& options,
+                                    Rng& rng, OpTrace& trace) const;
+
+  // Deterministic metric folds — reproduce the exact recording sequence
+  // the sequential facade calls would have produced.
+  void record_retrieve(const RetrieveResult& r, const OpTrace& trace);
+  void record_locate(const LocateResult& r, const OpTrace& trace);
+  void record_search(const SearchResult& r, const OpTrace& trace);
+  void record_range_search(const RangeSearchResult& r, const OpTrace& trace);
+
+  // Mutating split for batched publish: plan in parallel (const), commit
+  // sequentially in op-index order.
+  PublishPlan plan_publish(const vsm::SparseVector& vector,
+                           const PublishOptions& options, Rng& rng) const;
+  PublishResult commit_publish(vsm::ItemId id, const vsm::SparseVector& vector,
+                               const PublishPlan& plan);
+  WithdrawResult withdraw_with(vsm::ItemId id, const vsm::SparseVector& vector,
+                               const WithdrawOptions& options, Rng& rng);
+
+  /// Batch bracket used by BatchEngine: begin applies due crashes once for
+  /// the whole batch and freezes the membership snapshot; set_fault_hook
+  /// is rejected in between. \pre no batch already in flight
+  void begin_batch();
+  void end_batch() noexcept { batch_in_flight_ = false; }
+
   /// Publish hook: fires notifications for subscriptions on the node that
   /// received the item's directory pointer. Returns delivery messages.
   std::size_t deliver_notifications(overlay::NodeId pointer_node,
@@ -363,6 +466,7 @@ class Meteorograph {
   std::vector<NodeData> node_data_;
   std::vector<std::size_t> node_capacity_;  // parallel to node_data_
   sim::MetricRegistry metrics_;
+  bool batch_in_flight_ = false;
   SubscriptionId next_subscription_ = 1;
   std::unordered_map<SubscriptionId, std::vector<overlay::NodeId>>
       subscription_homes_;

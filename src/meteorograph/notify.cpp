@@ -19,7 +19,8 @@ namespace meteo::core {
 
 SubscribeResult Meteorograph::subscribe(
     std::span<const vsm::KeywordId> keywords, overlay::NodeId subscriber,
-    std::size_t horizon) {
+    const SubscribeOptions& options) {
+  const std::size_t horizon = options.horizon;
   METEO_EXPECTS(!keywords.empty());
   METEO_EXPECTS(horizon >= 1);
   METEO_EXPECTS(subscriber < overlay_.size());

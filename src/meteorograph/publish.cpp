@@ -18,33 +18,38 @@ std::vector<vsm::KeywordId> keyword_list(const vsm::SparseVector& v) {
 
 }  // namespace
 
-PublishResult Meteorograph::publish(vsm::ItemId id,
-                                    const vsm::SparseVector& vector,
-                                    std::optional<overlay::NodeId> from) {
+Meteorograph::PublishPlan Meteorograph::plan_publish(
+    const vsm::SparseVector& vector, const PublishOptions& options,
+    Rng& rng) const {
   METEO_EXPECTS(!vector.empty());
-  begin_operation();
 
-  PublishResult result;
-  overlay::HopStats fault_stats;
-  const overlay::Key raw = naming_.raw_key(vector);
-  const overlay::Key key = naming_.balanced_key(vector);
+  PublishPlan plan;
+  plan.raw = naming_.raw_key(vector);
+  plan.key = naming_.balanced_key(vector);
 
   // Step 1-2 (Fig. 2): route the publish request to the node whose key is
   // closest to the item's hash key.
-  const overlay::NodeId source = from.value_or(overlay_.random_alive(rng_));
-  const overlay::RouteResult route = overlay_.route(source, key);
-  result.home = route.destination;
-  result.route_hops = route.hops;
-  fault_stats += route.stats;
+  plan.source = options.from.value_or(overlay_.random_alive(rng));
+  plan.route = overlay_.route(plan.source, plan.key);
+  return plan;
+}
+
+PublishResult Meteorograph::commit_publish(vsm::ItemId id,
+                                           const vsm::SparseVector& vector,
+                                           const PublishPlan& plan) {
+  PublishResult result;
+  overlay::HopStats fault_stats = plan.route.stats;
+  result.home = plan.route.destination;
+  result.route_hops = plan.route.hops;
   // A blocked publish route still stores at the closest *reachable* node,
   // but the item may be mis-homed relative to its key: flag it.
-  result.degraded = route.blocked;
+  result.degraded = plan.route.blocked;
 
   // Step 3: store, overflow-chaining through closest neighbors when full.
   // The displaced item always moves toward the side of the band it belongs
   // to, which keeps the global angle order intact.
-  StoredEntry entry{id, raw, vector};
-  overlay::NodeId cur = route.destination;
+  StoredEntry entry{id, plan.raw, vector};
+  overlay::NodeId cur = plan.route.destination;
   const std::size_t hop_budget =
       config_.publish_hop_limit > 0
           ? config_.publish_hop_limit
@@ -89,7 +94,7 @@ PublishResult Meteorograph::publish(vsm::ItemId id,
   if (config_.replicas > 1) {
     std::size_t placed = 0;
     for (const overlay::NodeId home :
-         overlay_.closest_nodes(key, config_.replicas)) {
+         overlay_.closest_nodes(plan.key, config_.replicas)) {
       if (home == result.home) continue;
       const overlay::RouteResult leg =
           overlay_.route(result.home, overlay_.key_of(home));
@@ -108,7 +113,7 @@ PublishResult Meteorograph::publish(vsm::ItemId id,
   // §3.5.2: publish the directory pointer at the item's *raw* key, where
   // pointers of similar items aggregate.
   if (config_.directory_pointers) {
-    const overlay::RouteResult leg = overlay_.route(result.home, raw);
+    const overlay::RouteResult leg = overlay_.route(result.home, plan.raw);
     fault_stats += leg.stats;
     result.pointer_messages = leg.hops;
     if (leg.blocked) {
@@ -119,7 +124,7 @@ PublishResult Meteorograph::publish(vsm::ItemId id,
       result.degraded = true;
     } else {
       node_data_[leg.destination].directory.push_back(
-          DirectoryPointer{id, key, keyword_list(vector)});
+          DirectoryPointer{id, plan.key, keyword_list(vector)});
       // §6 notifications: standing interests planted on this directory node
       // fire as the pointer arrives.
       result.notify_messages =
@@ -142,15 +147,25 @@ PublishResult Meteorograph::publish(vsm::ItemId id,
   return result;
 }
 
-WithdrawResult Meteorograph::withdraw(vsm::ItemId id,
-                                      const vsm::SparseVector& vector,
-                                      std::optional<overlay::NodeId> from) {
-  METEO_EXPECTS(!vector.empty());
+PublishResult Meteorograph::publish(vsm::ItemId id,
+                                    const vsm::SparseVector& vector,
+                                    const PublishOptions& options) {
   begin_operation();
+  return commit_publish(id, vector, plan_publish(vector, options, rng_));
+}
+
+WithdrawResult Meteorograph::withdraw_with(vsm::ItemId id,
+                                           const vsm::SparseVector& vector,
+                                           const WithdrawOptions& options,
+                                           Rng& rng) {
+  METEO_EXPECTS(!vector.empty());
 
   WithdrawResult result;
   // Primary copy: find it the same way a query would, then erase.
-  const LocateResult located = locate(id, vector, from);
+  OpTrace locate_trace;
+  const LocateResult located =
+      locate_op(id, vector, {.from = options.from}, rng, locate_trace);
+  record_locate(located, locate_trace);
   result.messages += located.route_hops + located.walk_hops;
   if (located.found && !located.via_replica) {
     node_data_[located.node].items.erase(id);
@@ -197,6 +212,13 @@ WithdrawResult Meteorograph::withdraw(vsm::ItemId id,
   ++metrics_.counter("withdraw.count");
   metrics_.counter("withdraw.messages") += result.messages;
   return result;
+}
+
+WithdrawResult Meteorograph::withdraw(vsm::ItemId id,
+                                      const vsm::SparseVector& vector,
+                                      const WithdrawOptions& options) {
+  begin_operation();
+  return withdraw_with(id, vector, options, rng_);
 }
 
 }  // namespace meteo::core

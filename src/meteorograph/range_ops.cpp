@@ -16,11 +16,12 @@ AttributeId Meteorograph::register_attribute(double lo, double hi,
 
 RangePublishResult Meteorograph::publish_attribute(
     vsm::ItemId id, AttributeId attribute, double value,
-    std::optional<overlay::NodeId> from) {
+    const PublishOptions& options) {
   begin_operation();
   const AttributeSpace& space = attributes_.space(attribute);
   const overlay::Key key = space.key_of(value);
-  const overlay::NodeId source = from.value_or(overlay_.random_alive(rng_));
+  const overlay::NodeId source =
+      options.from.value_or(overlay_.random_alive(rng_));
   const overlay::RouteResult route = overlay_.route(source, key);
 
   RangePublishResult result;
@@ -34,19 +35,19 @@ RangePublishResult Meteorograph::publish_attribute(
   return result;
 }
 
-RangeSearchResult Meteorograph::range_search(
+RangeSearchResult Meteorograph::range_search_op(
     AttributeId attribute, double lo, double hi,
-    std::optional<overlay::NodeId> from) {
+    const RangeSearchOptions& options, Rng& rng, OpTrace& trace) const {
   METEO_EXPECTS(lo <= hi);
-  begin_operation();
 
   RangeSearchResult result;
-  overlay::HopStats fault_stats;
+  overlay::HopStats& fault_stats = trace.route;
   const AttributeSpace& space = attributes_.space(attribute);
   const overlay::Key key_lo = space.key_of(lo);
   const overlay::Key key_hi = space.key_of(hi);
 
-  const overlay::NodeId source = from.value_or(overlay_.random_alive(rng_));
+  const overlay::NodeId source =
+      options.from.value_or(overlay_.random_alive(rng));
   const overlay::RouteResult route = overlay_.route(source, key_lo);
   result.route_hops = route.hops;
   fault_stats += route.stats;
@@ -94,10 +95,25 @@ RangeSearchResult Meteorograph::range_search(
               return a.item < b.item;
             });
 
-  record_fault_stats(fault_stats);
+  return result;
+}
+
+void Meteorograph::record_range_search(const RangeSearchResult& result,
+                                       const OpTrace& trace) {
+  record_fault_stats(trace.route);
   ++metrics_.counter("range.search.count");
   metrics_.counter("range.search.messages") += result.total_messages();
   if (result.partial) ++metrics_.counter("range.search.partial");
+}
+
+RangeSearchResult Meteorograph::range_search(AttributeId attribute, double lo,
+                                             double hi,
+                                             const RangeSearchOptions& options) {
+  begin_operation();
+  OpTrace trace;
+  const RangeSearchResult result =
+      range_search_op(attribute, lo, hi, options, rng_, trace);
+  record_range_search(result, trace);
   return result;
 }
 

@@ -7,16 +7,17 @@
 
 namespace meteo::core {
 
-RetrieveResult Meteorograph::retrieve(const vsm::SparseVector& query,
-                                      std::size_t amount,
-                                      std::optional<overlay::NodeId> from) {
+RetrieveResult Meteorograph::retrieve_op(const vsm::SparseVector& query,
+                                         std::size_t amount,
+                                         const RetrieveOptions& options,
+                                         Rng& rng, OpTrace& trace) const {
   METEO_EXPECTS(!query.empty());
   METEO_EXPECTS(amount > 0);
-  begin_operation();
 
   RetrieveResult result;
   const overlay::Key key = naming_.balanced_key(query);
-  const overlay::NodeId source = from.value_or(overlay_.random_alive(rng_));
+  const overlay::NodeId source =
+      options.from.value_or(overlay_.random_alive(rng));
   const overlay::RouteResult route = overlay_.route(source, key);
   result.route_hops = route.hops;
 
@@ -73,8 +74,15 @@ RetrieveResult Meteorograph::retrieve(const vsm::SparseVector& query,
               return a.id < b.id;
             });
 
-  record_fault_stats(route.stats);
-  record_fault_stats(walk.stats());
+  trace.route = route.stats;
+  trace.walk = walk.stats();
+  return result;
+}
+
+void Meteorograph::record_retrieve(const RetrieveResult& result,
+                                   const OpTrace& trace) {
+  record_fault_stats(trace.route);
+  record_fault_stats(trace.walk);
   ++metrics_.counter("retrieve.count");
   metrics_.counter("retrieve.messages") += result.total_messages();
   metrics_.distribution("retrieve.route_hops")
@@ -86,22 +94,32 @@ RetrieveResult Meteorograph::retrieve(const vsm::SparseVector& query,
     metrics_.distribution("retrieve.items_missed")
         .add(static_cast<double>(result.items_missed));
   }
+}
+
+RetrieveResult Meteorograph::retrieve(const vsm::SparseVector& query,
+                                      std::size_t amount,
+                                      const RetrieveOptions& options) {
+  begin_operation();
+  OpTrace trace;
+  const RetrieveResult result = retrieve_op(query, amount, options, rng_, trace);
+  record_retrieve(result, trace);
   return result;
 }
 
-LocateResult Meteorograph::locate(vsm::ItemId id,
-                                  const vsm::SparseVector& vector,
-                                  std::optional<overlay::NodeId> from,
-                                  std::size_t walk_limit) {
+LocateResult Meteorograph::locate_op(vsm::ItemId id,
+                                     const vsm::SparseVector& vector,
+                                     const LocateOptions& options, Rng& rng,
+                                     OpTrace& trace) const {
   METEO_EXPECTS(!vector.empty());
-  begin_operation();
 
   LocateResult result;
   const overlay::Key key = naming_.balanced_key(vector);
-  const overlay::NodeId source = from.value_or(overlay_.random_alive(rng_));
+  const overlay::NodeId source =
+      options.from.value_or(overlay_.random_alive(rng));
   const overlay::RouteResult route = overlay_.route(source, key);
   result.route_hops = route.hops;
 
+  std::size_t walk_limit = options.walk_limit;
   if (walk_limit == 0) {
     walk_limit = config_.max_walk_nodes > 0 ? config_.max_walk_nodes
                                             : overlay_.alive_count();
@@ -129,14 +147,30 @@ LocateResult Meteorograph::locate(vsm::ItemId id,
   result.walk_hops = walk.hops();
   result.fault_blocked = !result.found && (route.blocked || walk.faulted());
 
-  record_fault_stats(route.stats);
-  record_fault_stats(walk.stats());
+  trace.route = route.stats;
+  trace.walk = walk.stats();
+  return result;
+}
+
+void Meteorograph::record_locate(const LocateResult& result,
+                                 const OpTrace& trace) {
+  record_fault_stats(trace.route);
+  record_fault_stats(trace.walk);
   ++metrics_.counter("locate.count");
   if (result.found) ++metrics_.counter("locate.found");
   metrics_.distribution("locate.route_hops")
       .add(static_cast<double>(result.route_hops));
   metrics_.distribution("locate.walk_hops")
       .add(static_cast<double>(result.walk_hops));
+}
+
+LocateResult Meteorograph::locate(vsm::ItemId id,
+                                  const vsm::SparseVector& vector,
+                                  const LocateOptions& options) {
+  begin_operation();
+  OpTrace trace;
+  const LocateResult result = locate_op(id, vector, options, rng_, trace);
+  record_locate(result, trace);
   return result;
 }
 

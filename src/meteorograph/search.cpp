@@ -15,11 +15,11 @@ constexpr std::size_t kLookupSpillLimit = 16;
 
 }  // namespace
 
-SearchResult Meteorograph::similarity_search(
-    std::span<const vsm::KeywordId> keywords, std::size_t k,
-    std::optional<overlay::NodeId> from) {
+SearchResult Meteorograph::search_op(std::span<const vsm::KeywordId> keywords,
+                                     std::size_t k,
+                                     const SearchOptions& options, Rng& rng,
+                                     OpTrace& trace) const {
   METEO_EXPECTS(!keywords.empty());
-  begin_operation();
 
   std::vector<vsm::KeywordId> query(keywords.begin(), keywords.end());
   std::sort(query.begin(), query.end());
@@ -34,10 +34,12 @@ SearchResult Meteorograph::similarity_search(
   const overlay::Key start_key =
       first_hop_.smallest_matching_key(query).value_or(fallback);
 
-  const overlay::NodeId source = from.value_or(overlay_.random_alive(rng_));
+  const overlay::NodeId source =
+      options.from.value_or(overlay_.random_alive(rng));
   const overlay::RouteResult route = overlay_.route(source, start_key);
   result.route_hops = route.hops;
-  overlay::HopStats fault_stats = route.stats;
+  overlay::HopStats& fault_stats = trace.route;
+  fault_stats = route.stats;
   if (route.blocked) result.partial = true;
 
   std::unordered_set<vsm::ItemId> seen;
@@ -112,7 +114,12 @@ SearchResult Meteorograph::similarity_search(
   // pointer regions entirely — only a fully satisfied k excuses it.
   if (walk.faulted() && !satisfied()) result.partial = true;
 
-  record_fault_stats(fault_stats);
+  return result;
+}
+
+void Meteorograph::record_search(const SearchResult& result,
+                                 const OpTrace& trace) {
+  record_fault_stats(trace.route);
   ++metrics_.counter("search.count");
   metrics_.counter("search.messages") += result.total_messages();
   metrics_.distribution("search.items")
@@ -122,6 +129,15 @@ SearchResult Meteorograph::similarity_search(
     metrics_.distribution("search.lookups_failed")
         .add(static_cast<double>(result.lookups_failed));
   }
+}
+
+SearchResult Meteorograph::similarity_search(
+    std::span<const vsm::KeywordId> keywords, std::size_t k,
+    const SearchOptions& options) {
+  begin_operation();
+  OpTrace trace;
+  const SearchResult result = search_op(keywords, k, options, rng_, trace);
+  record_search(result, trace);
   return result;
 }
 

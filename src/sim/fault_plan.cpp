@@ -4,6 +4,8 @@
 
 namespace meteo::sim {
 
+thread_local FaultPlan::OpScope FaultPlan::scope_;
+
 FaultPlan::FaultPlan(FaultPlanConfig config, std::uint64_t seed)
     : config_(config), seed_(seed) {
   METEO_EXPECTS(config_.drop_rate >= 0.0 && config_.drop_rate <= 1.0);
@@ -16,7 +18,7 @@ FaultPlan::FaultPlan(FaultPlanConfig config, std::uint64_t seed)
 }
 
 void FaultPlan::add_event(NodeEvent event) {
-  METEO_EXPECTS(event.at >= messages_);
+  METEO_EXPECTS(event.at >= messages_seen());
   // Keep the schedule sorted by trigger count; equal triggers fire in
   // insertion order (stable upper_bound insert).
   const auto it = std::upper_bound(
@@ -40,7 +42,7 @@ void FaultPlan::resume_at(std::size_t at_message, overlay::NodeId node) {
 
 void FaultPlan::fire_due_events() {
   while (next_event_ < schedule_.size() &&
-         schedule_[next_event_].at <= messages_) {
+         schedule_[next_event_].at <= messages_seen()) {
     const NodeEvent& e = schedule_[next_event_];
     switch (e.kind) {
       case NodeEvent::Kind::kCrash:
@@ -78,24 +80,66 @@ overlay::MessageFate FaultPlan::decide(std::uint64_t index) const {
 
 overlay::MessageFate FaultPlan::on_message(
     const overlay::MessageContext& ctx) {
-  (void)ctx;  // fate depends only on the global transmission index
+  (void)ctx;  // fate depends only on the transmission index
+  if (scope_.active) {
+    // Scoped mode: fates come from the (salt, in-scope index) substream,
+    // tallies stay thread-private until end_op_scope. Scheduled events do
+    // not fire here — the batch engine applies them at batch boundaries.
+    const overlay::MessageFate fate =
+        decide(splitmix64(scope_.salt) + scope_.index);
+    ++scope_.index;
+    ++scope_.messages;
+    switch (fate) {
+      case overlay::MessageFate::kDrop:
+        ++scope_.dropped;
+        break;
+      case overlay::MessageFate::kDelay:
+        ++scope_.delayed;
+        break;
+      case overlay::MessageFate::kDuplicate:
+        ++scope_.duplicated;
+        break;
+      case overlay::MessageFate::kDeliver:
+        break;
+    }
+    return fate;
+  }
   fire_due_events();
-  const overlay::MessageFate fate = decide(messages_);
-  ++messages_;
+  const overlay::MessageFate fate =
+      decide(messages_.load(std::memory_order_relaxed));
+  messages_.fetch_add(1, std::memory_order_relaxed);
   switch (fate) {
     case overlay::MessageFate::kDrop:
-      ++dropped_;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
       break;
     case overlay::MessageFate::kDelay:
-      ++delayed_;
+      delayed_.fetch_add(1, std::memory_order_relaxed);
       break;
     case overlay::MessageFate::kDuplicate:
-      ++duplicated_;
+      duplicated_.fetch_add(1, std::memory_order_relaxed);
       break;
     case overlay::MessageFate::kDeliver:
       break;
   }
   return fate;
+}
+
+void FaultPlan::begin_op_scope(std::uint64_t salt,
+                               std::uint64_t first_message) {
+  scope_ = OpScope{};
+  scope_.active = true;
+  scope_.salt = salt;
+  scope_.index = first_message;
+}
+
+std::uint64_t FaultPlan::end_op_scope() {
+  messages_.fetch_add(scope_.messages, std::memory_order_relaxed);
+  dropped_.fetch_add(scope_.dropped, std::memory_order_relaxed);
+  delayed_.fetch_add(scope_.delayed, std::memory_order_relaxed);
+  duplicated_.fetch_add(scope_.duplicated, std::memory_order_relaxed);
+  const std::uint64_t next = scope_.index;
+  scope_ = OpScope{};
+  return next;
 }
 
 bool FaultPlan::is_stalled(overlay::NodeId node) const {

@@ -17,6 +17,7 @@
 /// schedule the plan is a no-op: behaviour is identical to running without
 /// a hook.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -59,14 +60,33 @@ class FaultPlan final : public overlay::FaultHook {
   [[nodiscard]] bool is_stalled(overlay::NodeId node) const override;
   std::vector<overlay::NodeId> take_due_crashes() override;
 
+  // --- batched execution (per-operation fate scopes) -------------------------
+  /// Inside a scope, fates come from the (seed, salt, in-scope index)
+  /// substream on the calling thread; totals fold in at end_op_scope so
+  /// they are order-independent sums. Scheduled node events do NOT fire
+  /// mid-scope — the batch engine applies them at batch boundaries via
+  /// take_due_crashes().
+  [[nodiscard]] bool supports_op_scopes() const override { return true; }
+  void begin_op_scope(std::uint64_t salt,
+                      std::uint64_t first_message = 0) override;
+  std::uint64_t end_op_scope() override;
+
   // --- introspection ---------------------------------------------------------
   [[nodiscard]] const FaultPlanConfig& config() const noexcept {
     return config_;
   }
-  [[nodiscard]] std::size_t messages_seen() const noexcept { return messages_; }
-  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
-  [[nodiscard]] std::size_t delayed() const noexcept { return delayed_; }
-  [[nodiscard]] std::size_t duplicated() const noexcept { return duplicated_; }
+  [[nodiscard]] std::size_t messages_seen() const noexcept {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t delayed() const noexcept {
+    return delayed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t duplicated() const noexcept {
+    return duplicated_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct NodeEvent {
@@ -76,22 +96,38 @@ class FaultPlan final : public overlay::FaultHook {
     Kind kind;
   };
 
+  /// Per-thread scope state while a batch engine drives this plan. One
+  /// thread works one operation at a time, so a single slot suffices; the
+  /// tallies are private to the thread until end_op_scope folds them into
+  /// the atomic totals.
+  struct OpScope {
+    bool active = false;
+    std::uint64_t salt = 0;
+    std::uint64_t index = 0;
+    std::size_t messages = 0;
+    std::size_t dropped = 0;
+    std::size_t delayed = 0;
+    std::size_t duplicated = 0;
+  };
+
   /// Pure fate of transmission `index` under this seed.
   [[nodiscard]] overlay::MessageFate decide(std::uint64_t index) const;
   /// Applies every scheduled event with at <= messages_seen().
   void fire_due_events();
   void add_event(NodeEvent event);
 
+  static thread_local OpScope scope_;
+
   FaultPlanConfig config_;
   std::uint64_t seed_;
-  std::size_t messages_ = 0;
+  std::atomic<std::size_t> messages_ = 0;
   std::vector<NodeEvent> schedule_;  // sorted by `at`, stable
   std::size_t next_event_ = 0;
   std::vector<overlay::NodeId> stalled_;
   std::vector<overlay::NodeId> due_crashes_;
-  std::size_t dropped_ = 0;
-  std::size_t delayed_ = 0;
-  std::size_t duplicated_ = 0;
+  std::atomic<std::size_t> dropped_ = 0;
+  std::atomic<std::size_t> delayed_ = 0;
+  std::atomic<std::size_t> duplicated_ = 0;
 };
 
 }  // namespace meteo::sim

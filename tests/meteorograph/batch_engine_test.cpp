@@ -1,0 +1,315 @@
+#include "meteorograph/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/fault_plan.hpp"
+#include "workload/trace.hpp"
+
+namespace meteo::core {
+namespace {
+
+struct TestWorkload {
+  workload::Trace trace;
+  std::vector<double> weights;
+  std::vector<vsm::SparseVector> vectors;  // all items, index = ItemId
+  std::vector<vsm::SparseVector> sample;
+};
+
+TestWorkload make_workload(std::size_t items, std::uint64_t seed) {
+  workload::TraceConfig cfg;
+  cfg.num_items = items;
+  cfg.num_keywords = 2000;
+  cfg.mean_basket = 10.0;
+  cfg.max_basket = 100;
+  workload::Trace trace = workload::synthesize_trace(cfg, seed);
+  std::vector<double> weights =
+      trace.keyword_weights(workload::WeightScheme::kIdf);
+  std::vector<vsm::SparseVector> vectors;
+  vectors.reserve(items);
+  for (std::size_t i = 0; i < items; ++i) {
+    vectors.push_back(trace.vector_of(i, weights));
+  }
+  std::vector<vsm::SparseVector> sample;
+  for (std::size_t i = 0; i < items; i += 37) sample.push_back(vectors[i]);
+  return TestWorkload{std::move(trace), std::move(weights),
+                      std::move(vectors), std::move(sample)};
+}
+
+SystemConfig small_config(std::size_t nodes = 60) {
+  SystemConfig cfg;
+  cfg.node_count = nodes;
+  cfg.dimension = 2000;
+  cfg.load_balance = LoadBalanceMode::kUnusedHashSpace;
+  return cfg;
+}
+
+Meteorograph make_published_system(const TestWorkload& wl,
+                                   std::uint64_t seed) {
+  Meteorograph sys(small_config(), wl.sample, seed);
+  for (vsm::ItemId id = 0; id < wl.vectors.size(); ++id) {
+    EXPECT_TRUE(sys.publish(id, wl.vectors[id]).success);
+  }
+  return sys;
+}
+
+/// Byte-exact digest of the whole metric registry: counter values plus
+/// every distribution's (count, sum, mean, min, max) printed as hexfloats.
+std::string metric_fingerprint(const sim::MetricRegistry& metrics) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  for (const auto& [name, value] : metrics.counters()) {
+    out << name << '=' << value << ';';
+  }
+  for (const auto& [name, stats] : metrics.distributions()) {
+    out << name << '=' << stats.count() << ',' << stats.sum() << ','
+        << stats.mean() << ',' << stats.min() << ',' << stats.max() << ';';
+  }
+  return out.str();
+}
+
+std::vector<LocateOp> locate_ops(const TestWorkload& wl) {
+  std::vector<LocateOp> ops;
+  for (vsm::ItemId id = 0; id < wl.vectors.size(); ++id) {
+    ops.push_back(LocateOp{id, &wl.vectors[id], {}});
+  }
+  return ops;
+}
+
+void expect_equal(const LocateResult& a, const LocateResult& b,
+                  std::size_t i) {
+  EXPECT_EQ(a.found, b.found) << "op " << i;
+  EXPECT_EQ(a.node, b.node) << "op " << i;
+  EXPECT_EQ(a.via_replica, b.via_replica) << "op " << i;
+  EXPECT_EQ(a.route_hops, b.route_hops) << "op " << i;
+  EXPECT_EQ(a.walk_hops, b.walk_hops) << "op " << i;
+  EXPECT_EQ(a.fault_blocked, b.fault_blocked) << "op " << i;
+}
+
+void expect_equal(const RetrieveResult& a, const RetrieveResult& b,
+                  std::size_t i) {
+  ASSERT_EQ(a.items.size(), b.items.size()) << "op " << i;
+  for (std::size_t j = 0; j < a.items.size(); ++j) {
+    EXPECT_EQ(a.items[j].id, b.items[j].id) << "op " << i;
+    EXPECT_EQ(a.items[j].score, b.items[j].score) << "op " << i;
+  }
+  EXPECT_EQ(a.route_hops, b.route_hops) << "op " << i;
+  EXPECT_EQ(a.walk_hops, b.walk_hops) << "op " << i;
+  EXPECT_EQ(a.nodes_visited, b.nodes_visited) << "op " << i;
+  EXPECT_EQ(a.partial, b.partial) << "op " << i;
+  EXPECT_EQ(a.items_missed, b.items_missed) << "op " << i;
+}
+
+void expect_equal(const PublishResult& a, const PublishResult& b,
+                  std::size_t i) {
+  EXPECT_EQ(a.success, b.success) << "op " << i;
+  EXPECT_EQ(a.home, b.home) << "op " << i;
+  EXPECT_EQ(a.stored_at, b.stored_at) << "op " << i;
+  EXPECT_EQ(a.route_hops, b.route_hops) << "op " << i;
+  EXPECT_EQ(a.chain_hops, b.chain_hops) << "op " << i;
+  EXPECT_EQ(a.replica_messages, b.replica_messages) << "op " << i;
+  EXPECT_EQ(a.pointer_messages, b.pointer_messages) << "op " << i;
+  EXPECT_EQ(a.degraded, b.degraded) << "op " << i;
+}
+
+// --- determinism: 1 worker vs N workers ------------------------------------
+
+TEST(BatchDeterminism, LocateBatchIdenticalAcrossWorkerCounts) {
+  const TestWorkload wl = make_workload(150, 11);
+  Meteorograph sys1 = make_published_system(wl, 11);
+  Meteorograph sys4 = make_published_system(wl, 11);
+
+  const std::vector<LocateOp> ops = locate_ops(wl);
+  BatchEngine engine1(sys1, {.workers = 1, .seed = 7});
+  BatchEngine engine4(sys4, {.workers = 4, .seed = 7});
+  const auto r1 = engine1.locate(ops);
+  const auto r4 = engine4.locate(ops);
+
+  ASSERT_EQ(r1.size(), r4.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) expect_equal(r1[i], r4[i], i);
+  EXPECT_EQ(metric_fingerprint(sys1.metrics()),
+            metric_fingerprint(sys4.metrics()));
+}
+
+TEST(BatchDeterminism, RetrieveAndSearchBatchesIdenticalAcrossWorkerCounts) {
+  const TestWorkload wl = make_workload(120, 12);
+  Meteorograph sys1 = make_published_system(wl, 12);
+  Meteorograph sys4 = make_published_system(wl, 12);
+
+  std::vector<RetrieveOp> retrieves;
+  for (vsm::ItemId id = 0; id < 60; ++id) {
+    retrieves.push_back(RetrieveOp{&wl.vectors[id], 5, {}});
+  }
+  std::vector<std::vector<vsm::KeywordId>> queries;
+  queries.reserve(40);  // spans into elements: no reallocation allowed
+  std::vector<SearchOp> searches;
+  for (vsm::ItemId id = 0; id < 40; ++id) {
+    queries.push_back({wl.vectors[id].entries()[0].keyword});
+    searches.push_back(SearchOp{queries.back(), 4, {}});
+  }
+
+  BatchEngine engine1(sys1, {.workers = 1, .seed = 3});
+  BatchEngine engine4(sys4, {.workers = 4, .seed = 3});
+  const auto rr1 = engine1.retrieve(retrieves);
+  const auto rr4 = engine4.retrieve(retrieves);
+  const auto sr1 = engine1.similarity_search(searches);
+  const auto sr4 = engine4.similarity_search(searches);
+
+  ASSERT_EQ(rr1.size(), rr4.size());
+  for (std::size_t i = 0; i < rr1.size(); ++i) expect_equal(rr1[i], rr4[i], i);
+  ASSERT_EQ(sr1.size(), sr4.size());
+  for (std::size_t i = 0; i < sr1.size(); ++i) {
+    EXPECT_EQ(sr1[i].items, sr4[i].items) << "op " << i;
+    EXPECT_EQ(sr1[i].discovery_hops, sr4[i].discovery_hops) << "op " << i;
+    EXPECT_EQ(sr1[i].total_messages(), sr4[i].total_messages()) << "op " << i;
+    EXPECT_EQ(sr1[i].partial, sr4[i].partial) << "op " << i;
+  }
+  EXPECT_EQ(metric_fingerprint(sys1.metrics()),
+            metric_fingerprint(sys4.metrics()));
+}
+
+TEST(BatchDeterminism, FaultedLocateBatchIdenticalAcrossWorkerCounts) {
+  const TestWorkload wl = make_workload(150, 13);
+  Meteorograph sys1 = make_published_system(wl, 13);
+  Meteorograph sys4 = make_published_system(wl, 13);
+  sim::FaultPlan plan1({.drop_rate = 0.05}, 99);
+  sim::FaultPlan plan4({.drop_rate = 0.05}, 99);
+  ASSERT_TRUE(sys1.set_fault_hook(&plan1));
+  ASSERT_TRUE(sys4.set_fault_hook(&plan4));
+
+  const std::vector<LocateOp> ops = locate_ops(wl);
+  BatchEngine engine1(sys1, {.workers = 1, .seed = 21});
+  BatchEngine engine4(sys4, {.workers = 4, .seed = 21});
+  const auto r1 = engine1.locate(ops);
+  const auto r4 = engine4.locate(ops);
+
+  ASSERT_EQ(r1.size(), r4.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) expect_equal(r1[i], r4[i], i);
+  // Faults actually fired, and identically on both sides: totals are
+  // order-independent sums of the per-op scope tallies.
+  EXPECT_GT(plan1.dropped(), 0u);
+  EXPECT_EQ(plan1.messages_seen(), plan4.messages_seen());
+  EXPECT_EQ(plan1.dropped(), plan4.dropped());
+  EXPECT_EQ(metric_fingerprint(sys1.metrics()),
+            metric_fingerprint(sys4.metrics()));
+}
+
+TEST(BatchDeterminism, PublishBatchIdenticalAcrossWorkerCounts) {
+  const TestWorkload wl = make_workload(150, 14);
+  Meteorograph sys1(small_config(), wl.sample, 14);
+  Meteorograph sys4(small_config(), wl.sample, 14);
+
+  std::vector<PublishOp> ops;
+  for (vsm::ItemId id = 0; id < wl.vectors.size(); ++id) {
+    ops.push_back(PublishOp{id, &wl.vectors[id], {}});
+  }
+  BatchEngine engine1(sys1, {.workers = 1, .seed = 5});
+  BatchEngine engine4(sys4, {.workers = 4, .seed = 5});
+  const auto r1 = engine1.publish(ops);
+  const auto r4 = engine4.publish(ops);
+
+  ASSERT_EQ(r1.size(), r4.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) expect_equal(r1[i], r4[i], i);
+  EXPECT_EQ(sys1.stored_item_count(), sys4.stored_item_count());
+  EXPECT_EQ(sys1.node_loads(), sys4.node_loads());
+  EXPECT_EQ(metric_fingerprint(sys1.metrics()),
+            metric_fingerprint(sys4.metrics()));
+}
+
+// --- engine vs sequential facade -------------------------------------------
+
+TEST(BatchEngine, MatchesSequentialFacadeWithPinnedSource) {
+  const TestWorkload wl = make_workload(100, 15);
+  Meteorograph facade_sys = make_published_system(wl, 15);
+  Meteorograph engine_sys = make_published_system(wl, 15);
+
+  // Pinning `from` removes the only RNG draw in locate, so the engine's
+  // per-op substreams cannot diverge from the facade's shared stream.
+  const overlay::NodeId source = 0;
+  std::vector<LocateOp> ops;
+  std::vector<LocateResult> expected;
+  for (vsm::ItemId id = 0; id < wl.vectors.size(); ++id) {
+    ops.push_back(LocateOp{id, &wl.vectors[id], {.from = source}});
+    expected.push_back(facade_sys.locate(id, wl.vectors[id], {.from = source}));
+  }
+  BatchEngine engine(engine_sys, {.workers = 4});
+  const auto results = engine.locate(ops);
+
+  ASSERT_EQ(results.size(), expected.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    expect_equal(results[i], expected[i], i);
+  }
+  EXPECT_EQ(metric_fingerprint(facade_sys.metrics()),
+            metric_fingerprint(engine_sys.metrics()));
+}
+
+TEST(BatchEngine, WithdrawBatchRemovesItems) {
+  const TestWorkload wl = make_workload(80, 16);
+  Meteorograph sys = make_published_system(wl, 16);
+
+  std::vector<WithdrawOp> ops;
+  for (vsm::ItemId id = 0; id < 40; ++id) {
+    ops.push_back(WithdrawOp{id, &wl.vectors[id], {}});
+  }
+  BatchEngine engine(sys, {.workers = 4});
+  const auto results = engine.withdraw(ops);
+  ASSERT_EQ(results.size(), ops.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].removed) << "op " << i;
+  }
+  EXPECT_EQ(sys.stored_item_count(), wl.vectors.size() - ops.size());
+}
+
+// --- fault-hook guard (regression: attach mid-batch) -----------------------
+
+/// Tries to re-attach a hook from inside the batch's own message path —
+/// exactly the call set_fault_hook must reject while a batch runs.
+class ReattachingHook final : public overlay::FaultHook {
+ public:
+  explicit ReattachingHook(Meteorograph& sys) : sys_(sys) {}
+
+  overlay::MessageFate on_message(const overlay::MessageContext&) override {
+    ++calls_;
+    if (sys_.batch_in_flight() && sys_.set_fault_hook(nullptr)) {
+      detached_mid_batch_ = true;  // the guard failed
+    }
+    return overlay::MessageFate::kDeliver;
+  }
+  [[nodiscard]] bool is_stalled(overlay::NodeId) const override {
+    return false;
+  }
+
+  [[nodiscard]] std::size_t calls() const noexcept { return calls_; }
+  [[nodiscard]] bool detached_mid_batch() const noexcept {
+    return detached_mid_batch_;
+  }
+
+ private:
+  Meteorograph& sys_;
+  std::size_t calls_ = 0;
+  bool detached_mid_batch_ = false;
+};
+
+TEST(BatchEngine, SetFaultHookRejectedMidBatch) {
+  const TestWorkload wl = make_workload(60, 17);
+  Meteorograph sys = make_published_system(wl, 17);
+  ReattachingHook hook(sys);
+  ASSERT_TRUE(sys.set_fault_hook(&hook));
+
+  const std::vector<LocateOp> ops = locate_ops(wl);
+  BatchEngine engine(sys, {.workers = 4});
+  (void)engine.locate(ops);
+
+  EXPECT_GT(hook.calls(), 0u);
+  EXPECT_FALSE(hook.detached_mid_batch());
+  // The hook survived the batch, and detaching works again afterwards.
+  EXPECT_EQ(sys.network().fault_hook(), &hook);
+  EXPECT_FALSE(sys.batch_in_flight());
+  EXPECT_TRUE(sys.set_fault_hook(nullptr));
+}
+
+}  // namespace
+}  // namespace meteo::core

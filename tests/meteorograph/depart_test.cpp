@@ -87,7 +87,8 @@ TEST_F(DepartFixture, SearchStaysCompleteAfterDepartures) {
 TEST_F(DepartFixture, SubscriptionsSurviveDirectoryNodeDeparture) {
   const overlay::NodeId me = sys_->network().alive_nodes().back();
   (void)sys_->subscribe(
-      std::vector<vsm::KeywordId>{vectors_[0].entries()[0].keyword}, me, 500);
+      std::vector<vsm::KeywordId>{vectors_[0].entries()[0].keyword}, me,
+      {.horizon = 500});
   // Depart several nodes; subscription copies re-plant elsewhere.
   for (int round = 0; round < 10; ++round) {
     overlay::NodeId victim = sys_->network().random_alive(sys_->rng());

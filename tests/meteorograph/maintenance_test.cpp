@@ -114,14 +114,14 @@ TEST_F(MaintFixture, RestoresAvailabilityAfterChurn) {
   sys_->network().repair();
   std::size_t alive_before = 0;
   for (vsm::ItemId id = 0; id < 200; ++id) {
-    if (sys_->locate(id, vectors_[id], std::nullopt, 8).found) ++alive_before;
+    if (sys_->locate(id, vectors_[id], {.walk_limit = 8}).found) ++alive_before;
   }
   EXPECT_LT(alive_before, 200u);
   // The owners republish: everything is reachable again.
   (void)maint.run_once();
   std::size_t alive_after = 0;
   for (vsm::ItemId id = 0; id < 200; ++id) {
-    if (sys_->locate(id, vectors_[id], std::nullopt, 8).found) ++alive_after;
+    if (sys_->locate(id, vectors_[id], {.walk_limit = 8}).found) ++alive_after;
   }
   EXPECT_EQ(alive_after, 200u);
 }

@@ -264,7 +264,7 @@ TEST(Meteorograph, ReplicationSurvivesPrimaryFailure) {
   sys.network().repair();
   std::size_t found = 0;
   for (vsm::ItemId id = 0; id < 200; ++id) {
-    const LocateResult r = sys.locate(id, wl.vectors[id], std::nullopt, 16);
+    const LocateResult r = sys.locate(id, wl.vectors[id], {.walk_limit = 16});
     if (r.found) {
       ++found;
       EXPECT_TRUE(r.via_replica || sys.network().is_alive(r.node));
@@ -286,7 +286,7 @@ TEST(Meteorograph, NoReplicasLosesItemsOnFailure) {
   sys.network().repair();
   std::size_t found = 0;
   for (vsm::ItemId id = 0; id < 200; ++id) {
-    if (sys.locate(id, wl.vectors[id], std::nullopt, 8).found) ++found;
+    if (sys.locate(id, wl.vectors[id], {.walk_limit = 8}).found) ++found;
   }
   // Roughly half the items died with their hosts.
   EXPECT_LT(found, 160u);

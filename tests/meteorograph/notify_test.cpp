@@ -40,7 +40,7 @@ TEST_F(NotifyFixture, SubscriberReceivesMatchingPublishes) {
   const overlay::NodeId me = sys_->network().alive_nodes().front();
   const std::vector<vsm::KeywordId> interest = {0};  // most popular keyword
   const SubscribeResult sub =
-      sys_->subscribe(interest, me, /*horizon=*/1000);  // cover everything
+      sys_->subscribe(interest, me, {.horizon = 1000});  // cover everything
   EXPECT_GT(sub.planted_nodes, 0u);
 
   std::size_t expected = 0;
@@ -67,7 +67,7 @@ TEST_F(NotifyFixture, NonMatchingPublishesDoNotNotify) {
     if (v.contains(799)) unused = false;
   }
   if (!unused) GTEST_SKIP() << "keyword 799 happens to be used";
-  (void)sys_->subscribe(interest, me, 1000);
+  (void)sys_->subscribe(interest, me, {.horizon = 1000});
   for (vsm::ItemId id = 0; id < 100; ++id) {
     (void)sys_->publish(id, vectors_[id]);
   }
@@ -76,7 +76,7 @@ TEST_F(NotifyFixture, NonMatchingPublishesDoNotNotify) {
 
 TEST_F(NotifyFixture, TakeNotificationsDrains) {
   const overlay::NodeId me = sys_->network().alive_nodes().front();
-  (void)sys_->subscribe(std::vector<vsm::KeywordId>{0}, me, 1000);
+  (void)sys_->subscribe(std::vector<vsm::KeywordId>{0}, me, {.horizon = 1000});
   for (vsm::ItemId id = 0; id < 200; ++id) {
     (void)sys_->publish(id, vectors_[id]);
   }
@@ -88,7 +88,7 @@ TEST_F(NotifyFixture, TakeNotificationsDrains) {
 TEST_F(NotifyFixture, UnsubscribeStopsDeliveries) {
   const overlay::NodeId me = sys_->network().alive_nodes().front();
   const SubscribeResult sub =
-      sys_->subscribe(std::vector<vsm::KeywordId>{0}, me, 1000);
+      sys_->subscribe(std::vector<vsm::KeywordId>{0}, me, {.horizon = 1000});
   EXPECT_TRUE(sys_->unsubscribe(sub.id));
   EXPECT_FALSE(sys_->unsubscribe(sub.id));  // idempotence check
   for (vsm::ItemId id = 0; id < 200; ++id) {
@@ -102,9 +102,9 @@ TEST_F(NotifyFixture, MultipleSubscribersAreIndependent) {
   const overlay::NodeId a = nodes[0];
   const overlay::NodeId b = nodes[1];
   const SubscribeResult sa =
-      sys_->subscribe(std::vector<vsm::KeywordId>{0}, a, 1000);
+      sys_->subscribe(std::vector<vsm::KeywordId>{0}, a, {.horizon = 1000});
   const SubscribeResult sb =
-      sys_->subscribe(std::vector<vsm::KeywordId>{1}, b, 1000);
+      sys_->subscribe(std::vector<vsm::KeywordId>{1}, b, {.horizon = 1000});
   EXPECT_NE(sa.id, sb.id);
   for (vsm::ItemId id = 0; id < vectors_.size(); ++id) {
     (void)sys_->publish(id, vectors_[id]);
@@ -130,7 +130,7 @@ TEST_F(NotifyFixture, ConjunctiveSubscriptionMatchesAllKeywords) {
     }
   }
   ASSERT_EQ(interest.size(), 2u);
-  (void)sys_->subscribe(interest, me, 1000);
+  (void)sys_->subscribe(interest, me, {.horizon = 1000});
   std::size_t expected = 0;
   for (vsm::ItemId id = 0; id < vectors_.size(); ++id) {
     (void)sys_->publish(id, vectors_[id]);
@@ -145,7 +145,7 @@ TEST_F(NotifyFixture, ConjunctiveSubscriptionMatchesAllKeywords) {
 TEST_F(NotifyFixture, LimitedHorizonIsBestEffort) {
   const overlay::NodeId me = sys_->network().alive_nodes().front();
   const SubscribeResult sub =
-      sys_->subscribe(std::vector<vsm::KeywordId>{0}, me, /*horizon=*/2);
+      sys_->subscribe(std::vector<vsm::KeywordId>{0}, me, {.horizon = 2});
   EXPECT_LE(sub.planted_nodes, 2u);
   std::size_t matching = 0;
   for (vsm::ItemId id = 0; id < vectors_.size(); ++id) {
@@ -158,7 +158,7 @@ TEST_F(NotifyFixture, LimitedHorizonIsBestEffort) {
 
 TEST_F(NotifyFixture, NotificationCostIsAccounted) {
   const overlay::NodeId me = sys_->network().alive_nodes().front();
-  (void)sys_->subscribe(std::vector<vsm::KeywordId>{0}, me, 1000);
+  (void)sys_->subscribe(std::vector<vsm::KeywordId>{0}, me, {.horizon = 1000});
   std::size_t notify_msgs = 0;
   for (vsm::ItemId id = 0; id < 100; ++id) {
     notify_msgs += sys_->publish(id, vectors_[id]).notify_messages;

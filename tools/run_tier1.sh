@@ -10,12 +10,17 @@
 # Environment:
 #   METEO_SANITIZE  sanitizer list passed to CMake (default
 #                   "address,undefined"; set to "" to disable)
+#   METEO_TSAN      set to 0 to skip the ThreadSanitizer pass over the
+#                   batch-engine determinism tests (default: run it; TSan
+#                   and ASan cannot share a build tree, hence the second
+#                   ${build_dir}-tsan configuration)
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 build_dir="${1:-build-tier1}"
 sanitize="${METEO_SANITIZE-address,undefined}"
+tsan="${METEO_TSAN-1}"
 
 cmake -B "$build_dir" -S . \
   -DMETEO_SANITIZE="$sanitize" \
@@ -23,3 +28,13 @@ cmake -B "$build_dir" -S . \
   -DMETEO_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" -L tier1 --output-on-failure -j "$(nproc)"
+
+if [[ "$tsan" != 0 ]]; then
+  cmake -B "${build_dir}-tsan" -S . \
+    -DMETEO_SANITIZE=thread \
+    -DMETEO_BUILD_BENCH=OFF \
+    -DMETEO_BUILD_EXAMPLES=OFF
+  cmake --build "${build_dir}-tsan" -j "$(nproc)" --target meteo_batch_tests
+  "${build_dir}-tsan/tests/meteo_batch_tests" \
+    --gtest_filter='BatchDeterminism.*:BatchEngine.*'
+fi
