@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "obs/names.hpp"
 #include "sim/churn.hpp"
 #include "sim/fault_plan.hpp"
 
@@ -53,6 +54,10 @@ int main(int argc, char** argv) {
         flags, wl, core::LoadBalanceMode::kUnusedHashSpacePlusHotRegions,
         flags.nodes, 0, replica_counts[rc], fault_retries);
     (void)bench::publish_all(sys, wl);
+    // Tracing covers the faulted query phase: retries, timeouts, and
+    // reroutes show up as events inside each locate span.
+    obs::TraceLog trace_log;
+    bench::maybe_attach_tracer(sys, trace_log, flags);
 
     // Message loss applies to the query phase only: the corpus goes in over
     // clean links so every configuration starts from the same stored state,
@@ -89,11 +94,15 @@ int main(int argc, char** argv) {
                             static_cast<double>(flags.queries);
     }
     sys.set_fault_hook(nullptr);
-    faults.add_row({std::to_string(replica_counts[rc]),
-                    std::to_string(sys.metrics().counter_value("retry.count")),
-                    std::to_string(sys.metrics().counter_value("timeout.count")),
-                    std::to_string(
-                        sys.metrics().counter_value("reroute.count"))});
+    namespace names = obs::names;
+    faults.add_row(
+        {std::to_string(replica_counts[rc]),
+         std::to_string(sys.metrics().counter_total(names::kFaultRetries)),
+         std::to_string(sys.metrics().counter_total(names::kFaultTimeouts)),
+         std::to_string(sys.metrics().counter_total(names::kFaultReroutes))});
+    bench::export_observability(
+        sys, trace_log, flags,
+        "avail-r" + std::to_string(replica_counts[rc]));
   }
 
   for (std::size_t f = 0; f < std::size(fractions); ++f) {

@@ -44,6 +44,10 @@ int main(int argc, char** argv) {
       flags, wl, core::LoadBalanceMode::kUnusedHashSpacePlusHotRegions, nodes,
       cap);
   (void)bench::publish_all(sys, wl);
+  // Tracing covers the measured search batches (a) and (b), not the
+  // corpus load and not the timing sweep below.
+  obs::TraceLog trace_log;
+  bench::maybe_attach_tracer(sys, trace_log, flags);
   core::BatchEngine engine(sys, {.seed = flags.seed});
 
   // The n-th popular keyword among those matching fewer items than nodes.
@@ -154,6 +158,9 @@ int main(int argc, char** argv) {
          TextTable::num((1.0 + static_cast<double>(ks[i]) / c) * logn, 4)});
   }
   bench::emit(part_b, flags.csv);
+
+  bench::export_observability(sys, trace_log, flags, "fig10");
+  sys.set_tracer(nullptr);  // keep the timing sweep trace-free
 
   // ---- batch throughput sweep --------------------------------------------
   if (!cli.get("batch-json").empty()) {

@@ -8,10 +8,12 @@
 /// throughput into BENCH_batch.json.
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "bench/harness.hpp"
 #include "common/stats.hpp"
+#include "obs/names.hpp"
 
 int main(int argc, char** argv) {
   using namespace meteo;
@@ -62,6 +64,19 @@ int main(int argc, char** argv) {
     return ops;
   };
 
+  // Mode slug for --trace-out / --metrics-out file tags.
+  auto mode_slug = [](core::LoadBalanceMode mode) {
+    switch (mode) {
+      case core::LoadBalanceMode::kNone:
+        return "none";
+      case core::LoadBalanceMode::kUnusedHashSpace:
+        return "uhs";
+      case core::LoadBalanceMode::kUnusedHashSpacePlusHotRegions:
+        return "uhs_hot";
+    }
+    return "?";
+  };
+
   TextTable table({"N", "None", "Unused Hash Space",
                    "Unused Hash Space + Hot Regions", "log4(N)"});
   for (const std::size_t n : node_counts) {
@@ -71,12 +86,27 @@ int main(int argc, char** argv) {
     for (const core::LoadBalanceMode mode : modes) {
       core::Meteorograph sys = bench::build_system(flags, wl, mode, n);
       (void)bench::publish_all(sys, wl);
+      // Tracing covers the measured locate batch, not the corpus load.
+      obs::TraceLog trace_log;
+      bench::maybe_attach_tracer(sys, trace_log, flags);
       core::BatchEngine engine(sys, {.seed = flags.seed ^ n});
-      OnlineStats hops;
-      for (const core::LocateResult& r : engine.locate(ops)) {
-        hops.add(static_cast<double>(r.total_hops()));
-      }
-      row.push_back(TextTable::num(hops.mean(), 4));
+      (void)engine.locate(ops);
+      // The printed mean comes from the exported metrics themselves: the
+      // op.route_hops/op.walk_hops histograms for op=locate. Hop counts
+      // are small integers, so the sums are exact and a reader re-deriving
+      // the figure from a --metrics-out dump reproduces it bit-for-bit.
+      namespace names = obs::names;
+      const obs::Labels locate_labels{{names::kLabelOp, "locate"}};
+      const obs::HistogramData* route =
+          sys.metrics().find_histogram(names::kOpRouteHops, locate_labels);
+      const obs::HistogramData* walk =
+          sys.metrics().find_histogram(names::kOpWalkHops, locate_labels);
+      const double mean =
+          (route->sum + walk->sum) / static_cast<double>(route->count);
+      row.push_back(TextTable::num(mean, 4));
+      bench::export_observability(
+          sys, trace_log, flags,
+          "fig7-n" + std::to_string(n) + "-" + mode_slug(mode));
     }
     row.push_back(
         TextTable::num(std::log(static_cast<double>(n)) / std::log(4.0), 4));

@@ -38,7 +38,15 @@ int main(int argc, char** argv) {
   for (const core::LoadBalanceMode mode : modes) {
     core::Meteorograph sys =
         bench::build_system(flags, wl, mode, flags.nodes);
+    // Tracing the publish phase shows route + overflow-chain legs per item.
+    obs::TraceLog trace_log;
+    bench::maybe_attach_tracer(sys, trace_log, flags);
     (void)bench::publish_all(sys, wl);
+    std::string slug = bench::mode_name(mode);
+    for (char& ch : slug) {
+      if (ch == ' ' || ch == '+') ch = '_';
+    }
+    bench::export_observability(sys, trace_log, flags, "fig8-" + slug);
     std::vector<double> ratios;
     for (const std::size_t load : sys.node_loads()) {
       ratios.push_back(static_cast<double>(load) / c);

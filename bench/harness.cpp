@@ -20,6 +20,10 @@ void add_common_flags(CliParser& cli) {
   cli.add_bool("paper-scale", false,
                "full paper workload (2760K items, 100K queries)");
   cli.add_bool("csv", false, "emit CSV instead of aligned tables");
+  cli.add_flag("trace-out", "",
+               "write per-op span traces as chrome://tracing JSON");
+  cli.add_flag("metrics-out", "",
+               "write the metric registry (.csv suffix = CSV, else JSON)");
 }
 
 ExperimentFlags read_common_flags(const CliParser& cli) {
@@ -33,6 +37,8 @@ ExperimentFlags read_common_flags(const CliParser& cli) {
   flags.weights = cli.get("weights") == "binary"
                       ? workload::WeightScheme::kBinary
                       : workload::WeightScheme::kIdf;
+  flags.trace_out = cli.get("trace-out");
+  flags.metrics_out = cli.get("metrics-out");
   if (cli.get_bool("paper-scale")) {
     flags.items = 2'760'000;
     flags.keywords = 89'000;
@@ -126,6 +132,53 @@ void emit(const TextTable& table, bool csv) {
 void banner(const std::string& title, bool csv) {
   if (csv) return;
   std::printf("=== %s ===\n\n", title.c_str());
+}
+
+void maybe_attach_tracer(core::Meteorograph& sys, obs::TraceLog& log,
+                         const ExperimentFlags& flags) {
+  if (!flags.trace_out.empty()) sys.set_tracer(&log);
+}
+
+namespace {
+
+/// "dir/metrics.json" + "fig7" -> "dir/metrics-fig7.json".
+std::string with_tag(const std::string& path, const std::string& tag) {
+  if (tag.empty()) return path;
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + "-" + tag;
+  }
+  return path.substr(0, dot) + "-" + tag + path.substr(dot);
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+void export_observability(const core::Meteorograph& sys,
+                          const obs::TraceLog& log,
+                          const ExperimentFlags& flags,
+                          const std::string& tag) {
+  if (!flags.metrics_out.empty()) {
+    const std::string path = with_tag(flags.metrics_out, tag);
+    const std::string body = ends_with(path, ".csv")
+                                 ? obs::metrics_to_csv(sys.metrics())
+                                 : obs::metrics_to_json(sys.metrics());
+    if (obs::write_file(path, body)) {
+      std::fprintf(stderr, "metrics written to %s\n", path.c_str());
+    }
+  }
+  if (!flags.trace_out.empty()) {
+    const std::string path = with_tag(flags.trace_out, tag);
+    if (obs::write_file(path, obs::trace_to_chrome_json(log))) {
+      std::fprintf(stderr, "trace written to %s (%zu spans)\n", path.c_str(),
+                   log.spans().size());
+    }
+  }
 }
 
 std::vector<vsm::KeywordId> popular_keywords(const workload::Trace& trace,

@@ -19,6 +19,8 @@
 #include "common/table.hpp"
 #include "meteorograph/batch.hpp"
 #include "meteorograph/meteorograph.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "workload/trace.hpp"
 
 namespace meteo::bench {
@@ -31,6 +33,8 @@ struct ExperimentFlags {
   std::uint64_t seed = 1;
   bool csv = false;
   workload::WeightScheme weights = workload::WeightScheme::kIdf;
+  std::string trace_out;    ///< chrome-trace JSON path; empty = tracing off
+  std::string metrics_out;  ///< metric dump path (.csv -> CSV, else JSON)
 };
 
 /// Declares the shared flags on `cli`. Call before cli.parse().
@@ -84,6 +88,23 @@ void banner(const std::string& title, bool csv);
 /// most `max_df` (0 = unbounded). Returns keyword ids, most popular first.
 [[nodiscard]] std::vector<vsm::KeywordId> popular_keywords(
     const workload::Trace& trace, std::size_t count, std::uint64_t max_df);
+
+// --- observability export (--trace-out / --metrics-out) ---------------------
+
+/// Attaches `log` as `sys`'s tracer iff --trace-out was given. Call before
+/// the measured operations; `log` must outlive them.
+void maybe_attach_tracer(core::Meteorograph& sys, obs::TraceLog& log,
+                         const ExperimentFlags& flags);
+
+/// Writes the system's metric registry (and, when tracing was attached,
+/// the span log as chrome://tracing JSON) to the paths in `flags`. `tag`
+/// is inserted before the extension ("m.json" + "fig7" -> "m-fig7.json")
+/// so one bench binary can dump several experiments without clobbering.
+/// Empty paths are skipped; does nothing when neither flag was given.
+void export_observability(const core::Meteorograph& sys,
+                          const obs::TraceLog& log,
+                          const ExperimentFlags& flags,
+                          const std::string& tag = "");
 
 // --- batch throughput (BENCH_batch.json) -----------------------------------
 

@@ -81,8 +81,9 @@ std::vector<Result> BatchEngine::run_read_batch(std::span<const Op> ops,
     for (std::size_t i = 0; i < ops.size(); ++i) run_one(i);
   }
 
-  // Metric fold in op-index order: OnlineStats accumulation is
-  // float-order-sensitive, so the order must not depend on workers.
+  // Metric-and-trace fold in op-index order: histogram accumulation is
+  // float-order-sensitive and spans are appended to the trace log here,
+  // so the order must not depend on workers (commit-order merge).
   for (std::size_t i = 0; i < ops.size(); ++i) record(results[i], traces[i]);
   return results;
 }
@@ -99,7 +100,7 @@ std::vector<RetrieveResult> BatchEngine::retrieve(
         return system_.retrieve_op(*op.query, op.amount, op.options, rng,
                                    trace);
       },
-      [this](const RetrieveResult& r, const Meteorograph::OpTrace& trace) {
+      [this](const RetrieveResult& r, Meteorograph::OpTrace& trace) {
         system_.record_retrieve(r, trace);
       });
 }
@@ -111,7 +112,7 @@ std::vector<LocateResult> BatchEngine::locate(std::span<const LocateOp> ops) {
         METEO_EXPECTS(op.vector != nullptr);
         return system_.locate_op(op.item, *op.vector, op.options, rng, trace);
       },
-      [this](const LocateResult& r, const Meteorograph::OpTrace& trace) {
+      [this](const LocateResult& r, Meteorograph::OpTrace& trace) {
         system_.record_locate(r, trace);
       });
 }
@@ -124,7 +125,7 @@ std::vector<SearchResult> BatchEngine::similarity_search(
         METEO_EXPECTS(!op.keywords.empty());
         return system_.search_op(op.keywords, op.k, op.options, rng, trace);
       },
-      [this](const SearchResult& r, const Meteorograph::OpTrace& trace) {
+      [this](const SearchResult& r, Meteorograph::OpTrace& trace) {
         system_.record_search(r, trace);
       });
 }
@@ -137,7 +138,7 @@ std::vector<RangeSearchResult> BatchEngine::range_search(
         return system_.range_search_op(op.attribute, op.lo, op.hi, op.options,
                                        rng, trace);
       },
-      [this](const RangeSearchResult& r, const Meteorograph::OpTrace& trace) {
+      [this](const RangeSearchResult& r, Meteorograph::OpTrace& trace) {
         system_.record_range_search(r, trace);
       });
 }

@@ -16,6 +16,12 @@ DepartResult Meteorograph::depart_node(overlay::NodeId node) {
   METEO_EXPECTS(overlay_.alive_count() > 1);
   begin_operation();
 
+  obs::SpanRecorder span;
+  if (tracer_ != nullptr) {
+    // Capture the leaver's key before leave() forgets it.
+    span.open(obs::OpKind::kDepart, node, overlay_.key_of(node));
+  }
+
   DepartResult result;
   // Take the node's state, then leave the overlay so routing and
   // closest-key decisions already reflect the departure when re-homing.
@@ -109,8 +115,9 @@ DepartResult Meteorograph::depart_node(overlay::NodeId node) {
     }
   }
 
-  ++metrics_.counter("depart.count");
-  metrics_.counter("depart.messages") += result.messages;
+  ++op_count(obs::OpKind::kDepart, "ok");
+  op_messages(obs::OpKind::kDepart) += result.messages;
+  if (tracer_ != nullptr) span.finish("ok", *tracer_);
   return result;
 }
 

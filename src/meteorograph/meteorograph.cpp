@@ -1,13 +1,23 @@
 #include "meteorograph/meteorograph.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <optional>
 
 #include "common/assert.hpp"
 #include "common/zipf.hpp"
+#include "obs/names.hpp"
 #include "vsm/absolute_angle.hpp"
 
 namespace meteo::core {
+
+const char* outcome_label(const Degradation& d) noexcept {
+  // Severity order: a blocked op is also partial; report the worst flag.
+  if (d.fault_blocked) return "blocked";
+  if (d.partial) return "partial";
+  if (d.degraded) return "degraded";
+  return "ok";
+}
 
 namespace {
 
@@ -77,27 +87,109 @@ void Meteorograph::begin_operation() {
       // originate operations from.
       if (overlay_.is_alive(node) && overlay_.alive_count() > 1) {
         overlay_.fail(node);
-        ++metrics_.counter("fault.crashes_applied");
+        ++metrics_.counter(obs::names::kFaultCrashesApplied);
       }
     }
   }
   sync_node_data();
+  // Membership gauge: refreshed at every operation boundary (O(1)).
+  metrics_.gauge(obs::names::kAliveNodes)
+      .set(static_cast<double>(overlay_.alive_count()));
 }
 
 void Meteorograph::begin_batch() {
   METEO_EXPECTS(!batch_in_flight_);
   begin_operation();  // crashes land once, at the batch boundary
+  // Storage gauge: O(total nodes) to compute, so snapshotted only at
+  // batch barriers, never per op (DESIGN.md §8).
+  metrics_.gauge(obs::names::kStoredItems)
+      .set(static_cast<double>(stored_item_count()));
   batch_in_flight_ = true;
 }
 
-void Meteorograph::record_fault_stats(const overlay::HopStats& stats) {
-  // Created lazily so fault-free runs keep a fault-free metrics map
-  // (byte-identical to a run without any hook attached).
-  if (stats.retries != 0) metrics_.counter("retry.count") += stats.retries;
-  if (stats.timeouts != 0) metrics_.counter("timeout.count") += stats.timeouts;
-  if (stats.reroutes != 0) metrics_.counter("reroute.count") += stats.reroutes;
+// Per-OpKind handle caches. The registry guarantees handles stay valid
+// across reset() and later registrations (DESIGN.md §8), so each (name,
+// labels) pair is resolved once per Meteorograph and the hot record_*
+// paths touch no strings, vectors, or map lookups afterwards.
+
+obs::Counter& Meteorograph::op_count(obs::OpKind op, const char* outcome) {
+  OpSeries& series = op_series_[static_cast<std::size_t>(op)];
+  for (OpSeries::OutcomeCounter& entry : series.count) {
+    if (std::strcmp(entry.label, outcome) == 0) return entry.counter;
+  }
+  series.count.push_back(
+      {outcome, metrics_.counter(obs::names::kOpCount,
+                                 {{obs::names::kLabelOp, obs::to_string(op)},
+                                  {obs::names::kLabelOutcome, outcome}})});
+  return series.count.back().counter;
+}
+
+obs::Counter& Meteorograph::op_messages(obs::OpKind op) {
+  OpSeries& series = op_series_[static_cast<std::size_t>(op)];
+  if (!series.messages.has_value()) {
+    series.messages.emplace(metrics_.counter(
+        obs::names::kOpMessages, {{obs::names::kLabelOp, obs::to_string(op)}}));
+  }
+  return *series.messages;
+}
+
+obs::Histogram& Meteorograph::op_route_hops(obs::OpKind op) {
+  OpSeries& series = op_series_[static_cast<std::size_t>(op)];
+  if (!series.route_hops.has_value()) {
+    series.route_hops.emplace(metrics_.histogram(
+        obs::names::kOpRouteHops, obs::hop_buckets(),
+        {{obs::names::kLabelOp, obs::to_string(op)}}));
+  }
+  return *series.route_hops;
+}
+
+obs::Histogram& Meteorograph::op_walk_hops(obs::OpKind op) {
+  OpSeries& series = op_series_[static_cast<std::size_t>(op)];
+  if (!series.walk_hops.has_value()) {
+    series.walk_hops.emplace(metrics_.histogram(
+        obs::names::kOpWalkHops, obs::hop_buckets(),
+        {{obs::names::kLabelOp, obs::to_string(op)}}));
+  }
+  return *series.walk_hops;
+}
+
+void Meteorograph::record_fault_stats(obs::OpKind op,
+                                      const overlay::HopStats& stats) {
+  // Series are created lazily — on the first *nonzero* stat — so
+  // fault-free runs keep a fault-free metrics map (byte-identical to a
+  // run without any hook attached).
+  OpSeries& series = op_series_[static_cast<std::size_t>(op)];
+  if (stats.retries != 0) {
+    if (!series.fault_retries.has_value()) {
+      series.fault_retries.emplace(metrics_.counter(
+          obs::names::kFaultRetries,
+          {{obs::names::kLabelOp, obs::to_string(op)}}));
+    }
+    *series.fault_retries += stats.retries;
+  }
+  if (stats.timeouts != 0) {
+    if (!series.fault_timeouts.has_value()) {
+      series.fault_timeouts.emplace(metrics_.counter(
+          obs::names::kFaultTimeouts,
+          {{obs::names::kLabelOp, obs::to_string(op)}}));
+    }
+    *series.fault_timeouts += stats.timeouts;
+  }
+  if (stats.reroutes != 0) {
+    if (!series.fault_reroutes.has_value()) {
+      series.fault_reroutes.emplace(metrics_.counter(
+          obs::names::kFaultReroutes,
+          {{obs::names::kLabelOp, obs::to_string(op)}}));
+    }
+    *series.fault_reroutes += stats.reroutes;
+  }
   if (stats.timeout_cost != 0.0) {
-    metrics_.distribution("fault.timeout_cost").add(stats.timeout_cost);
+    if (!series.fault_timeout_cost.has_value()) {
+      series.fault_timeout_cost.emplace(metrics_.histogram(
+          obs::names::kFaultTimeoutCost, obs::cost_buckets(),
+          {{obs::names::kLabelOp, obs::to_string(op)}}));
+    }
+    series.fault_timeout_cost->observe(stats.timeout_cost);
   }
 }
 

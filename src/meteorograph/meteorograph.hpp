@@ -32,6 +32,7 @@
 ///   auto results = engine.retrieve(ops);  // ops: span<const RetrieveOp>
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -47,8 +48,9 @@
 #include "meteorograph/naming.hpp"
 #include "meteorograph/range_search.hpp"
 #include "meteorograph/storage.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "overlay/overlay.hpp"
-#include "sim/metrics.hpp"
 #include "vsm/sparse_vector.hpp"
 #include "vsm/types.hpp"
 
@@ -83,6 +85,10 @@ struct Degradation {
   /// negative answer may be a false negative.
   bool fault_blocked = false;
 };
+
+/// The `outcome` metric-label value for a result's degradation flags:
+/// "blocked", "partial", "degraded", or "ok" (docs/OBSERVABILITY.md).
+[[nodiscard]] const char* outcome_label(const Degradation& d) noexcept;
 
 struct PublishResult : OpCost, Degradation {
   bool success = false;
@@ -335,6 +341,21 @@ class Meteorograph {
     return batch_in_flight_;
   }
 
+  // --- observability ---------------------------------------------------------
+  /// Attaches a span/event trace log (docs/OBSERVABILITY.md). Every
+  /// subsequent operation opens a span and records its hops, retries,
+  /// timeouts, reroutes, and fault verdicts; spans land in `log` in
+  /// commit order. Non-owning; nullptr detaches (the default — with no
+  /// log attached the op path pays a single branch). Returns false —
+  /// leaving the current log untouched — while a batch is in flight, for
+  /// the same reason as set_fault_hook.
+  bool set_tracer(obs::TraceLog* log) noexcept {
+    if (batch_in_flight_) return false;
+    tracer_ = log;
+    return true;
+  }
+  [[nodiscard]] obs::TraceLog* tracer() const noexcept { return tracer_; }
+
   // --- introspection --------------------------------------------------------
   [[nodiscard]] overlay::Overlay& network() noexcept { return overlay_; }
   [[nodiscard]] const overlay::Overlay& network() const noexcept {
@@ -348,7 +369,10 @@ class Meteorograph {
   [[nodiscard]] const FirstHopIndex& first_hop() const noexcept {
     return first_hop_;
   }
-  [[nodiscard]] sim::MetricRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] obs::MetricRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::MetricRegistry& metrics() const noexcept {
+    return metrics_;
+  }
 
   /// Primary-item count per alive node (Fig. 8's load metric).
   [[nodiscard]] std::vector<std::size_t> node_loads() const;
@@ -384,26 +408,60 @@ class Meteorograph {
   void begin_operation();
 
   /// Folds an operation's retry/timeout/reroute costs into the registry
-  /// (`retry.count`, `timeout.count`, `reroute.count`, `fault.timeout_cost`).
-  void record_fault_stats(const overlay::HopStats& stats);
+  /// (`fault.retries`, `fault.timeouts`, `fault.reroutes`,
+  /// `fault.timeout_cost`, all labelled with the op kind).
+  void record_fault_stats(obs::OpKind op, const overlay::HopStats& stats);
+
+  /// Cached handles into metrics_ for the per-op series. Handles are
+  /// stable for the registry's lifetime — reset() zeroes cells in place
+  /// — so the find-or-create cost (label-set and bucket-vector
+  /// allocation plus the map walk) is paid once per series, never per
+  /// operation. Everything is still created lazily, on first nonzero
+  /// use, so dump contents are unchanged (ordered-map export does not
+  /// depend on creation order) and fault-free runs keep fault-free maps.
+  struct OpSeries {
+    struct OutcomeCounter {
+      const char* label = nullptr;  ///< outcome_label() literal
+      obs::Counter counter;
+    };
+    std::vector<OutcomeCounter> count;         ///< op.count{op,outcome}
+    std::optional<obs::Counter> messages;      ///< op.messages{op}
+    std::optional<obs::Histogram> route_hops;  ///< op.route_hops{op}
+    std::optional<obs::Histogram> walk_hops;   ///< op.walk_hops{op}
+    std::optional<obs::Counter> fault_retries;
+    std::optional<obs::Counter> fault_timeouts;
+    std::optional<obs::Counter> fault_reroutes;
+    std::optional<obs::Histogram> fault_timeout_cost;
+  };
+  obs::Counter& op_count(obs::OpKind op, const char* outcome);
+  obs::Counter& op_messages(obs::OpKind op);
+  obs::Histogram& op_route_hops(obs::OpKind op);
+  obs::Histogram& op_walk_hops(obs::OpKind op);
 
   /// Per-operation hop accounting captured by the const op cores. The
   /// batch engine holds one OpTrace per operation (a private shard — no
   /// locking) and folds them into the metric registry in op-index order,
-  /// which keeps OnlineStats' float accumulation deterministic.
+  /// which keeps metric accumulation deterministic. The span recorder
+  /// rides along: events are buffered here per op and committed to the
+  /// shared TraceLog by record_* in the same op-index order, so traces
+  /// are bit-identical at any worker count (DESIGN.md §8).
   struct OpTrace {
     overlay::HopStats route;
     overlay::HopStats walk;
+    obs::SpanRecorder span;
   };
 
   /// The parallelizable half of publish: source selection + the main
   /// route. Everything that touches node state (store/chain, replicas,
-  /// pointer, notifications) lives in commit_publish.
+  /// pointer, notifications) lives in commit_publish. The span opened by
+  /// plan_publish travels in the plan so one publish is one span across
+  /// the plan/commit split.
   struct PublishPlan {
     overlay::Key raw = 0;
     overlay::Key key = 0;
     overlay::NodeId source = overlay::kInvalidNode;
     overlay::RouteResult route;
+    obs::SpanRecorder span;
   };
 
   // Read-only operation cores. No membership changes, no metric-registry
@@ -425,18 +483,20 @@ class Meteorograph {
                                     Rng& rng, OpTrace& trace) const;
 
   // Deterministic metric folds — reproduce the exact recording sequence
-  // the sequential facade calls would have produced.
-  void record_retrieve(const RetrieveResult& r, const OpTrace& trace);
-  void record_locate(const LocateResult& r, const OpTrace& trace);
-  void record_search(const SearchResult& r, const OpTrace& trace);
-  void record_range_search(const RangeSearchResult& r, const OpTrace& trace);
+  // the sequential facade calls would have produced. OpTrace is mutable:
+  // the fold also commits the op's span into the trace log.
+  void record_retrieve(const RetrieveResult& r, OpTrace& trace);
+  void record_locate(const LocateResult& r, OpTrace& trace);
+  void record_search(const SearchResult& r, OpTrace& trace);
+  void record_range_search(const RangeSearchResult& r, OpTrace& trace);
 
   // Mutating split for batched publish: plan in parallel (const), commit
-  // sequentially in op-index order.
+  // sequentially in op-index order. The plan is mutable in commit: its
+  // span accumulates the commit legs' events and is finished there.
   PublishPlan plan_publish(const vsm::SparseVector& vector,
                            const PublishOptions& options, Rng& rng) const;
   PublishResult commit_publish(vsm::ItemId id, const vsm::SparseVector& vector,
-                               const PublishPlan& plan);
+                               PublishPlan& plan);
   WithdrawResult withdraw_with(vsm::ItemId id, const vsm::SparseVector& vector,
                                const WithdrawOptions& options, Rng& rng);
 
@@ -448,9 +508,11 @@ class Meteorograph {
 
   /// Publish hook: fires notifications for subscriptions on the node that
   /// received the item's directory pointer. Returns delivery messages.
+  /// Delivery-leg events ride the publishing op's span via `rec`.
   std::size_t deliver_notifications(overlay::NodeId pointer_node,
                                     vsm::ItemId item,
-                                    const vsm::SparseVector& vector);
+                                    const vsm::SparseVector& vector,
+                                    obs::SpanRecorder* rec);
 
   /// Walk iterator state: expands outward from a start node, alternating
   /// sides by key distance.
@@ -465,7 +527,14 @@ class Meteorograph {
   AttributeRegistry attributes_;
   std::vector<NodeData> node_data_;
   std::vector<std::size_t> node_capacity_;  // parallel to node_data_
-  sim::MetricRegistry metrics_;
+  obs::MetricRegistry metrics_;
+  static constexpr std::size_t kOpKinds = 9;  // obs::OpKind cardinality
+  std::array<OpSeries, kOpKinds> op_series_;
+  std::optional<obs::Counter> locate_found_;
+  std::optional<obs::Histogram> publish_chain_hops_;
+  std::optional<obs::Histogram> search_items_;
+  /// Span/event sink; nullptr = tracing off (the default).
+  obs::TraceLog* tracer_ = nullptr;
   bool batch_in_flight_ = false;
   SubscriptionId next_subscription_ = 1;
   std::unordered_map<SubscriptionId, std::vector<overlay::NodeId>>

@@ -14,8 +14,13 @@
 #include "common/assert.hpp"
 #include "meteorograph/meteorograph.hpp"
 #include "meteorograph/walk.hpp"
+#include "obs/names.hpp"
 
 namespace meteo::core {
+
+namespace {
+namespace names = obs::names;
+}  // namespace
 
 SubscribeResult Meteorograph::subscribe(
     std::span<const vsm::KeywordId> keywords, overlay::NodeId subscriber,
@@ -38,12 +43,17 @@ SubscribeResult Meteorograph::subscribe(
   const overlay::Key start_key =
       first_hop_.smallest_matching_key(sorted).value_or(fallback);
 
-  const overlay::RouteResult route = overlay_.route(subscriber, start_key);
+  obs::SpanRecorder span;
+  if (tracer_ != nullptr) {
+    span.open(obs::OpKind::kSubscribe, subscriber, start_key);
+  }
+  obs::SpanRecorder* const rec = span.active() ? &span : nullptr;
+  const overlay::RouteResult route = overlay_.route(subscriber, start_key, rec);
   result.route_hops = route.hops;
 
   const Subscription subscription{result.id, std::move(sorted), subscriber};
   std::vector<overlay::NodeId> homes;
-  NeighborWalk walk(overlay_, route.destination, start_key);
+  NeighborWalk walk(overlay_, route.destination, start_key, rec);
   while (homes.size() < horizon) {
     node_data_[walk.current()].subscriptions.push_back(subscription);
     homes.push_back(walk.current());
@@ -55,10 +65,15 @@ SubscribeResult Meteorograph::subscribe(
       result.planted_nodes < horizon && (route.blocked || walk.faulted());
   subscription_homes_.emplace(result.id, std::move(homes));
 
-  record_fault_stats(route.stats);
-  record_fault_stats(walk.stats());
-  ++metrics_.counter("notify.subscribe.count");
-  metrics_.counter("notify.subscribe.messages") += result.total_messages();
+  record_fault_stats(obs::OpKind::kSubscribe, route.stats);
+  record_fault_stats(obs::OpKind::kSubscribe, walk.stats());
+  ++op_count(obs::OpKind::kSubscribe, outcome_label(result));
+  op_messages(obs::OpKind::kSubscribe) += result.total_messages();
+  op_route_hops(obs::OpKind::kSubscribe)
+      .observe(static_cast<double>(result.route_hops));
+  op_walk_hops(obs::OpKind::kSubscribe)
+      .observe(static_cast<double>(result.walk_hops));
+  if (tracer_ != nullptr) span.finish(outcome_label(result), *tracer_);
   return result;
 }
 
@@ -83,25 +98,29 @@ std::vector<Notification> Meteorograph::take_notifications(
   return out;
 }
 
-std::size_t Meteorograph::deliver_notifications(
-    overlay::NodeId pointer_node, vsm::ItemId item,
-    const vsm::SparseVector& vector) {
+std::size_t Meteorograph::deliver_notifications(overlay::NodeId pointer_node,
+                                                vsm::ItemId item,
+                                                const vsm::SparseVector& vector,
+                                                obs::SpanRecorder* rec) {
   std::size_t messages = 0;
   for (const Subscription& s : node_data_[pointer_node].subscriptions) {
     if (!s.matches(vector)) continue;
     if (!overlay_.is_alive(s.subscriber)) continue;
+    if (rec != nullptr) rec->set_leg_key(overlay_.key_of(s.subscriber));
     const overlay::RouteResult leg =
-        overlay_.route(pointer_node, overlay_.key_of(s.subscriber));
-    record_fault_stats(leg.stats);
+        overlay_.route(pointer_node, overlay_.key_of(s.subscriber), rec);
+    // Delivery legs ride the publishing op: their fault costs are labelled
+    // op=publish, and their events land in the publish span.
+    record_fault_stats(obs::OpKind::kPublish, leg.stats);
     messages += std::max<std::size_t>(leg.hops, 1);
     if (leg.blocked) {
       // The notification died en route (notifications are best-effort
       // soft state; the subscriber misses this match).
-      ++metrics_.counter("notify.lost");
+      ++metrics_.counter(names::kNotifyLost);
       continue;
     }
     node_data_[s.subscriber].inbox.push_back(Notification{s.id, item});
-    ++metrics_.counter("notify.delivered");
+    ++metrics_.counter(names::kNotifyDelivered);
   }
   return messages;
 }

@@ -4,10 +4,13 @@
 #include "common/assert.hpp"
 #include "meteorograph/meteorograph.hpp"
 #include "meteorograph/walk.hpp"
+#include "obs/names.hpp"
 
 namespace meteo::core {
 
 namespace {
+
+namespace names = obs::names;
 
 std::vector<vsm::KeywordId> keyword_list(const vsm::SparseVector& v) {
   std::vector<vsm::KeywordId> out;
@@ -30,14 +33,19 @@ Meteorograph::PublishPlan Meteorograph::plan_publish(
   // Step 1-2 (Fig. 2): route the publish request to the node whose key is
   // closest to the item's hash key.
   plan.source = options.from.value_or(overlay_.random_alive(rng));
-  plan.route = overlay_.route(plan.source, plan.key);
+  if (tracer_ != nullptr) {
+    plan.span.open(obs::OpKind::kPublish, plan.source, plan.key);
+  }
+  plan.route = overlay_.route(plan.source, plan.key,
+                              plan.span.active() ? &plan.span : nullptr);
   return plan;
 }
 
 PublishResult Meteorograph::commit_publish(vsm::ItemId id,
                                            const vsm::SparseVector& vector,
-                                           const PublishPlan& plan) {
+                                           PublishPlan& plan) {
   PublishResult result;
+  obs::SpanRecorder* const rec = plan.span.active() ? &plan.span : nullptr;
   overlay::HopStats fault_stats = plan.route.stats;
   result.home = plan.route.destination;
   result.route_hops = plan.route.hops;
@@ -76,14 +84,18 @@ PublishResult Meteorograph::commit_publish(vsm::ItemId id,
     }
     if (next == overlay::kInvalidNode) break;  // single-node overlay, full
     entry = std::move(evicted.entry);
+    if (rec != nullptr) {
+      rec->event(obs::EventKind::kChainHop, cur, next, result.chain_hops);
+    }
     cur = next;
     ++result.chain_hops;
     if (result.chain_hops >= hop_budget) break;  // hop count exhausted
   }
 
   if (!result.success) {
-    record_fault_stats(fault_stats);
-    ++metrics_.counter("publish.failures");
+    record_fault_stats(obs::OpKind::kPublish, fault_stats);
+    ++op_count(obs::OpKind::kPublish, "failed");
+    if (tracer_ != nullptr) plan.span.finish("failed", *tracer_);
     return result;
   }
 
@@ -96,8 +108,9 @@ PublishResult Meteorograph::commit_publish(vsm::ItemId id,
     for (const overlay::NodeId home :
          overlay_.closest_nodes(plan.key, config_.replicas)) {
       if (home == result.home) continue;
+      if (rec != nullptr) rec->set_leg_key(overlay_.key_of(home));
       const overlay::RouteResult leg =
-          overlay_.route(result.home, overlay_.key_of(home));
+          overlay_.route(result.home, overlay_.key_of(home), rec);
       fault_stats += leg.stats;
       result.replica_messages += std::max<std::size_t>(leg.hops, 1);
       if (leg.blocked) {
@@ -113,7 +126,8 @@ PublishResult Meteorograph::commit_publish(vsm::ItemId id,
   // §3.5.2: publish the directory pointer at the item's *raw* key, where
   // pointers of similar items aggregate.
   if (config_.directory_pointers) {
-    const overlay::RouteResult leg = overlay_.route(result.home, plan.raw);
+    if (rec != nullptr) rec->set_leg_key(plan.raw);
+    const overlay::RouteResult leg = overlay_.route(result.home, plan.raw, rec);
     fault_stats += leg.stats;
     result.pointer_messages = leg.hops;
     if (leg.blocked) {
@@ -128,22 +142,25 @@ PublishResult Meteorograph::commit_publish(vsm::ItemId id,
       // §6 notifications: standing interests planted on this directory node
       // fire as the pointer arrives.
       result.notify_messages =
-          deliver_notifications(leg.destination, id, vector);
+          deliver_notifications(leg.destination, id, vector, rec);
     }
   }
 
-  record_fault_stats(fault_stats);
-  ++metrics_.counter("publish.count");
-  metrics_.counter("publish.messages") += result.total_messages();
-  metrics_.distribution("publish.route_hops")
-      .add(static_cast<double>(result.route_hops));
-  metrics_.distribution("publish.chain_hops")
-      .add(static_cast<double>(result.chain_hops));
-  if (result.degraded) {
-    ++metrics_.counter("publish.degraded");
-    metrics_.distribution("publish.replicas_missed")
-        .add(static_cast<double>(result.replicas_missed));
+  record_fault_stats(obs::OpKind::kPublish, fault_stats);
+  ++op_count(obs::OpKind::kPublish, outcome_label(result));
+  op_messages(obs::OpKind::kPublish) += result.total_messages();
+  op_route_hops(obs::OpKind::kPublish)
+      .observe(static_cast<double>(result.route_hops));
+  if (!publish_chain_hops_.has_value()) {
+    publish_chain_hops_.emplace(
+        metrics_.histogram(names::kPublishChainHops, obs::hop_buckets()));
   }
+  publish_chain_hops_->observe(static_cast<double>(result.chain_hops));
+  if (result.degraded) {
+    metrics_.histogram(names::kPublishReplicasMissed, obs::count_buckets())
+        .observe(static_cast<double>(result.replicas_missed));
+  }
+  if (tracer_ != nullptr) plan.span.finish(outcome_label(result), *tracer_);
   return result;
 }
 
@@ -151,7 +168,8 @@ PublishResult Meteorograph::publish(vsm::ItemId id,
                                     const vsm::SparseVector& vector,
                                     const PublishOptions& options) {
   begin_operation();
-  return commit_publish(id, vector, plan_publish(vector, options, rng_));
+  PublishPlan plan = plan_publish(vector, options, rng_);
+  return commit_publish(id, vector, plan);
 }
 
 WithdrawResult Meteorograph::withdraw_with(vsm::ItemId id,
@@ -161,6 +179,17 @@ WithdrawResult Meteorograph::withdraw_with(vsm::ItemId id,
   METEO_EXPECTS(!vector.empty());
 
   WithdrawResult result;
+  const overlay::Key key = naming_.balanced_key(vector);
+  // The withdraw span covers the directory-pointer cleanup below; the
+  // embedded locate opens (and commits) its own nested span first, so a
+  // traced withdraw appears as a locate span followed by a withdraw span.
+  obs::SpanRecorder span;
+  if (tracer_ != nullptr) {
+    span.open(obs::OpKind::kWithdraw,
+              options.from.value_or(overlay::kInvalidNode), key);
+  }
+  obs::SpanRecorder* const rec = span.active() ? &span : nullptr;
+
   // Primary copy: find it the same way a query would, then erase.
   OpTrace locate_trace;
   const LocateResult located =
@@ -178,7 +207,6 @@ WithdrawResult Meteorograph::withdraw_with(vsm::ItemId id,
   // Replicas at the key's current closest homes (best-effort: the homes
   // at publish time; churn may have moved them, in which case the copies
   // expire with their hosts).
-  const overlay::Key key = naming_.balanced_key(vector);
   for (const overlay::NodeId home :
        overlay_.closest_nodes(key, config_.replicas + 4)) {
     if (node_data_[home].replicas.erase(id) > 0) {
@@ -192,7 +220,8 @@ WithdrawResult Meteorograph::withdraw_with(vsm::ItemId id,
   if (config_.directory_pointers && overlay_.alive_count() > 0) {
     const overlay::Key raw = naming_.raw_key(vector);
     const overlay::NodeId start = overlay_.closest_alive(raw);
-    NeighborWalk walk(overlay_, start, raw);
+    if (rec != nullptr) rec->set_leg_key(raw);
+    NeighborWalk walk(overlay_, start, raw, rec);
     for (int step = 0; step < 8; ++step) {
       auto& dir = node_data_[walk.current()].directory;
       const auto it = std::find_if(
@@ -206,11 +235,14 @@ WithdrawResult Meteorograph::withdraw_with(vsm::ItemId id,
       if (!walk.advance()) break;
       ++result.messages;
     }
-    record_fault_stats(walk.stats());
+    record_fault_stats(obs::OpKind::kWithdraw, walk.stats());
   }
 
-  ++metrics_.counter("withdraw.count");
-  metrics_.counter("withdraw.messages") += result.messages;
+  ++op_count(obs::OpKind::kWithdraw, result.removed ? "ok" : "failed");
+  op_messages(obs::OpKind::kWithdraw) += result.messages;
+  if (tracer_ != nullptr) {
+    span.finish(result.removed ? "ok" : "failed", *tracer_);
+  }
   return result;
 }
 

@@ -22,16 +22,22 @@ RangePublishResult Meteorograph::publish_attribute(
   const overlay::Key key = space.key_of(value);
   const overlay::NodeId source =
       options.from.value_or(overlay_.random_alive(rng_));
-  const overlay::RouteResult route = overlay_.route(source, key);
+  obs::SpanRecorder span;
+  if (tracer_ != nullptr) span.open(obs::OpKind::kRangePublish, source, key);
+  const overlay::RouteResult route =
+      overlay_.route(source, key, span.active() ? &span : nullptr);
 
   RangePublishResult result;
   result.node = route.destination;
   result.route_hops = route.hops;
   node_data_[route.destination].attributes[attribute].emplace(value, id);
 
-  record_fault_stats(route.stats);
-  ++metrics_.counter("range.publish.count");
-  metrics_.counter("range.publish.messages") += route.hops;
+  record_fault_stats(obs::OpKind::kRangePublish, route.stats);
+  ++op_count(obs::OpKind::kRangePublish, "ok");
+  op_messages(obs::OpKind::kRangePublish) += route.hops;
+  op_route_hops(obs::OpKind::kRangePublish)
+      .observe(static_cast<double>(route.hops));
+  if (tracer_ != nullptr) span.finish("ok", *tracer_);
   return result;
 }
 
@@ -48,7 +54,11 @@ RangeSearchResult Meteorograph::range_search_op(
 
   const overlay::NodeId source =
       options.from.value_or(overlay_.random_alive(rng));
-  const overlay::RouteResult route = overlay_.route(source, key_lo);
+  if (tracer_ != nullptr) {
+    trace.span.open(obs::OpKind::kRangeSearch, source, key_lo);
+  }
+  obs::SpanRecorder* const rec = trace.span.active() ? &trace.span : nullptr;
+  const overlay::RouteResult route = overlay_.route(source, key_lo, rec);
   result.route_hops = route.hops;
   fault_stats += route.stats;
   if (route.blocked) result.partial = true;
@@ -60,7 +70,10 @@ RangeSearchResult Meteorograph::range_search_op(
   overlay::NodeId cur = route.destination;
   if (const overlay::NodeId pred = overlay_.predecessor(cur);
       pred != overlay::kInvalidNode) {
-    if (overlay_.deliver(cur, pred, fault_stats)) {
+    if (overlay_.deliver(cur, pred, fault_stats, rec)) {
+      if (rec != nullptr) {
+        rec->event(obs::EventKind::kWalkHop, cur, pred, result.walk_hops);
+      }
       cur = pred;
       ++result.walk_hops;
     } else {
@@ -72,18 +85,21 @@ RangeSearchResult Meteorograph::range_search_op(
     ++result.nodes_visited;
     const auto& per_node = node_data_[cur].attributes;
     if (const auto it = per_node.find(attribute); it != per_node.end()) {
-      for (auto rec = it->second.lower_bound(lo);
-           rec != it->second.end() && rec->first <= hi; ++rec) {
-        result.matches.push_back(RangeMatch{rec->first, rec->second});
+      for (auto match = it->second.lower_bound(lo);
+           match != it->second.end() && match->first <= hi; ++match) {
+        result.matches.push_back(RangeMatch{match->first, match->second});
       }
     }
     if (past_hi) break;
     if (overlay_.key_of(cur) > key_hi) past_hi = true;  // one-node margin
     const overlay::NodeId next = overlay_.successor(cur);
     if (next == overlay::kInvalidNode) break;
-    if (!overlay_.deliver(cur, next, fault_stats)) {
+    if (!overlay_.deliver(cur, next, fault_stats, rec)) {
       if (!past_hi) result.partial = true;  // the rest of the range is cut off
       break;
+    }
+    if (rec != nullptr) {
+      rec->event(obs::EventKind::kWalkHop, cur, next, result.walk_hops);
     }
     cur = next;
     ++result.walk_hops;
@@ -99,11 +115,15 @@ RangeSearchResult Meteorograph::range_search_op(
 }
 
 void Meteorograph::record_range_search(const RangeSearchResult& result,
-                                       const OpTrace& trace) {
-  record_fault_stats(trace.route);
-  ++metrics_.counter("range.search.count");
-  metrics_.counter("range.search.messages") += result.total_messages();
-  if (result.partial) ++metrics_.counter("range.search.partial");
+                                       OpTrace& trace) {
+  record_fault_stats(obs::OpKind::kRangeSearch, trace.route);
+  ++op_count(obs::OpKind::kRangeSearch, outcome_label(result));
+  op_messages(obs::OpKind::kRangeSearch) += result.total_messages();
+  op_route_hops(obs::OpKind::kRangeSearch)
+      .observe(static_cast<double>(result.route_hops));
+  op_walk_hops(obs::OpKind::kRangeSearch)
+      .observe(static_cast<double>(result.walk_hops));
+  if (tracer_ != nullptr) trace.span.finish(outcome_label(result), *tracer_);
 }
 
 RangeSearchResult Meteorograph::range_search(AttributeId attribute, double lo,

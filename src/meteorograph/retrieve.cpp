@@ -4,8 +4,13 @@
 #include "common/assert.hpp"
 #include "meteorograph/meteorograph.hpp"
 #include "meteorograph/walk.hpp"
+#include "obs/names.hpp"
 
 namespace meteo::core {
+
+namespace {
+namespace names = obs::names;
+}  // namespace
 
 RetrieveResult Meteorograph::retrieve_op(const vsm::SparseVector& query,
                                          std::size_t amount,
@@ -18,7 +23,9 @@ RetrieveResult Meteorograph::retrieve_op(const vsm::SparseVector& query,
   const overlay::Key key = naming_.balanced_key(query);
   const overlay::NodeId source =
       options.from.value_or(overlay_.random_alive(rng));
-  const overlay::RouteResult route = overlay_.route(source, key);
+  if (tracer_ != nullptr) trace.span.open(obs::OpKind::kRetrieve, source, key);
+  obs::SpanRecorder* const rec = trace.span.active() ? &trace.span : nullptr;
+  const overlay::RouteResult route = overlay_.route(source, key, rec);
   result.route_hops = route.hops;
 
   // Fig. 2 _retrieve: harvest locally, then consult closest neighbors
@@ -26,7 +33,7 @@ RetrieveResult Meteorograph::retrieve_op(const vsm::SparseVector& query,
   const std::size_t walk_limit = config_.max_walk_nodes > 0
                                      ? config_.max_walk_nodes
                                      : overlay_.alive_count();
-  NeighborWalk walk(overlay_, route.destination, key);
+  NeighborWalk walk(overlay_, route.destination, key, rec);
   std::size_t remaining = amount;
   std::unordered_set<vsm::ItemId> seen;
   while (true) {
@@ -80,20 +87,20 @@ RetrieveResult Meteorograph::retrieve_op(const vsm::SparseVector& query,
 }
 
 void Meteorograph::record_retrieve(const RetrieveResult& result,
-                                   const OpTrace& trace) {
-  record_fault_stats(trace.route);
-  record_fault_stats(trace.walk);
-  ++metrics_.counter("retrieve.count");
-  metrics_.counter("retrieve.messages") += result.total_messages();
-  metrics_.distribution("retrieve.route_hops")
-      .add(static_cast<double>(result.route_hops));
-  metrics_.distribution("retrieve.walk_hops")
-      .add(static_cast<double>(result.walk_hops));
+                                   OpTrace& trace) {
+  record_fault_stats(obs::OpKind::kRetrieve, trace.route);
+  record_fault_stats(obs::OpKind::kRetrieve, trace.walk);
+  ++op_count(obs::OpKind::kRetrieve, outcome_label(result));
+  op_messages(obs::OpKind::kRetrieve) += result.total_messages();
+  op_route_hops(obs::OpKind::kRetrieve)
+      .observe(static_cast<double>(result.route_hops));
+  op_walk_hops(obs::OpKind::kRetrieve)
+      .observe(static_cast<double>(result.walk_hops));
   if (result.partial) {
-    ++metrics_.counter("retrieve.partial");
-    metrics_.distribution("retrieve.items_missed")
-        .add(static_cast<double>(result.items_missed));
+    metrics_.histogram(names::kRetrieveItemsMissed, obs::count_buckets())
+        .observe(static_cast<double>(result.items_missed));
   }
+  if (tracer_ != nullptr) trace.span.finish(outcome_label(result), *tracer_);
 }
 
 RetrieveResult Meteorograph::retrieve(const vsm::SparseVector& query,
@@ -116,7 +123,9 @@ LocateResult Meteorograph::locate_op(vsm::ItemId id,
   const overlay::Key key = naming_.balanced_key(vector);
   const overlay::NodeId source =
       options.from.value_or(overlay_.random_alive(rng));
-  const overlay::RouteResult route = overlay_.route(source, key);
+  if (tracer_ != nullptr) trace.span.open(obs::OpKind::kLocate, source, key);
+  obs::SpanRecorder* const rec = trace.span.active() ? &trace.span : nullptr;
+  const overlay::RouteResult route = overlay_.route(source, key, rec);
   result.route_hops = route.hops;
 
   std::size_t walk_limit = options.walk_limit;
@@ -125,7 +134,7 @@ LocateResult Meteorograph::locate_op(vsm::ItemId id,
                                             : overlay_.alive_count();
   }
 
-  NeighborWalk walk(overlay_, route.destination, key);
+  NeighborWalk walk(overlay_, route.destination, key, rec);
   std::size_t visited = 0;
   while (true) {
     const overlay::NodeId cur = walk.current();
@@ -152,16 +161,22 @@ LocateResult Meteorograph::locate_op(vsm::ItemId id,
   return result;
 }
 
-void Meteorograph::record_locate(const LocateResult& result,
-                                 const OpTrace& trace) {
-  record_fault_stats(trace.route);
-  record_fault_stats(trace.walk);
-  ++metrics_.counter("locate.count");
-  if (result.found) ++metrics_.counter("locate.found");
-  metrics_.distribution("locate.route_hops")
-      .add(static_cast<double>(result.route_hops));
-  metrics_.distribution("locate.walk_hops")
-      .add(static_cast<double>(result.walk_hops));
+void Meteorograph::record_locate(const LocateResult& result, OpTrace& trace) {
+  record_fault_stats(obs::OpKind::kLocate, trace.route);
+  record_fault_stats(obs::OpKind::kLocate, trace.walk);
+  ++op_count(obs::OpKind::kLocate, outcome_label(result));
+  op_messages(obs::OpKind::kLocate) += result.total_messages();
+  if (result.found) {
+    if (!locate_found_.has_value()) {
+      locate_found_.emplace(metrics_.counter(names::kLocateFound));
+    }
+    ++*locate_found_;
+  }
+  op_route_hops(obs::OpKind::kLocate)
+      .observe(static_cast<double>(result.route_hops));
+  op_walk_hops(obs::OpKind::kLocate)
+      .observe(static_cast<double>(result.walk_hops));
+  if (tracer_ != nullptr) trace.span.finish(outcome_label(result), *tracer_);
 }
 
 LocateResult Meteorograph::locate(vsm::ItemId id,

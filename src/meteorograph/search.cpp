@@ -4,10 +4,13 @@
 #include "common/assert.hpp"
 #include "meteorograph/meteorograph.hpp"
 #include "meteorograph/walk.hpp"
+#include "obs/names.hpp"
 
 namespace meteo::core {
 
 namespace {
+
+namespace names = obs::names;
 
 /// Spill distance: an item displaced by overflow chaining sits a few nodes
 /// from its key's home; lookups walk at most this many extra neighbors.
@@ -36,7 +39,11 @@ SearchResult Meteorograph::search_op(std::span<const vsm::KeywordId> keywords,
 
   const overlay::NodeId source =
       options.from.value_or(overlay_.random_alive(rng));
-  const overlay::RouteResult route = overlay_.route(source, start_key);
+  if (tracer_ != nullptr) {
+    trace.span.open(obs::OpKind::kSimilaritySearch, source, start_key);
+  }
+  obs::SpanRecorder* const rec = trace.span.active() ? &trace.span : nullptr;
+  const overlay::RouteResult route = overlay_.route(source, start_key, rec);
   result.route_hops = route.hops;
   overlay::HopStats& fault_stats = trace.route;
   fault_stats = route.stats;
@@ -57,15 +64,18 @@ SearchResult Meteorograph::search_op(std::span<const vsm::KeywordId> keywords,
   // lookup whose request dies en route is counted as failed instead of
   // silently returning nothing.
   auto chase = [&](overlay::NodeId origin, const DirectoryPointer& pointer) {
-    const overlay::RouteResult leg = overlay_.route(origin, pointer.item_key);
+    if (rec != nullptr) rec->set_leg_key(pointer.item_key);
+    const overlay::RouteResult leg =
+        overlay_.route(origin, pointer.item_key, rec);
     fault_stats += leg.stats;
     result.lookup_messages += leg.hops + 1;  // request legs + reply
     if (leg.blocked) {
       ++result.lookups_failed;
       result.partial = true;
+      if (rec != nullptr) rec->set_leg_key(start_key);
       return;
     }
-    NeighborWalk spill(overlay_, leg.destination, pointer.item_key);
+    NeighborWalk spill(overlay_, leg.destination, pointer.item_key, rec);
     bool found_target = false;
     while (true) {
       const NodeData& data = node_data_[spill.current()];
@@ -79,13 +89,14 @@ SearchResult Meteorograph::search_op(std::span<const vsm::KeywordId> keywords,
     }
     fault_stats += spill.stats();
     if (spill.faulted() && !found_target) result.partial = true;
+    if (rec != nullptr) rec->set_leg_key(start_key);
   };
 
   // Walk the directory (raw-key) space outward from the start node.
   const std::size_t walk_limit = config_.max_walk_nodes > 0
                                      ? config_.max_walk_nodes
                                      : overlay_.alive_count();
-  NeighborWalk walk(overlay_, route.destination, start_key);
+  NeighborWalk walk(overlay_, route.destination, start_key, rec);
   while (true) {
     const overlay::NodeId cur = walk.current();
     const NodeData& data = node_data_[cur];
@@ -117,18 +128,23 @@ SearchResult Meteorograph::search_op(std::span<const vsm::KeywordId> keywords,
   return result;
 }
 
-void Meteorograph::record_search(const SearchResult& result,
-                                 const OpTrace& trace) {
-  record_fault_stats(trace.route);
-  ++metrics_.counter("search.count");
-  metrics_.counter("search.messages") += result.total_messages();
-  metrics_.distribution("search.items")
-      .add(static_cast<double>(result.items.size()));
-  if (result.partial) {
-    ++metrics_.counter("search.partial");
-    metrics_.distribution("search.lookups_failed")
-        .add(static_cast<double>(result.lookups_failed));
+void Meteorograph::record_search(const SearchResult& result, OpTrace& trace) {
+  record_fault_stats(obs::OpKind::kSimilaritySearch, trace.route);
+  ++op_count(obs::OpKind::kSimilaritySearch, outcome_label(result));
+  op_messages(obs::OpKind::kSimilaritySearch) += result.total_messages();
+  op_route_hops(obs::OpKind::kSimilaritySearch)
+      .observe(static_cast<double>(result.route_hops));
+  op_walk_hops(obs::OpKind::kSimilaritySearch)
+      .observe(static_cast<double>(result.walk_hops));
+  if (!search_items_.has_value()) {
+    search_items_.emplace(
+        metrics_.histogram(names::kSearchItems, obs::count_buckets()));
   }
+  search_items_->observe(static_cast<double>(result.items.size()));
+  if (result.lookups_failed != 0) {
+    metrics_.counter(names::kSearchLookupsFailed) += result.lookups_failed;
+  }
+  if (tracer_ != nullptr) trace.span.finish(outcome_label(result), *tracer_);
 }
 
 SearchResult Meteorograph::similarity_search(

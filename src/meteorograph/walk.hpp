@@ -18,9 +18,16 @@ namespace meteo::core {
 
 class NeighborWalk {
  public:
+  /// `rec` (optional) receives one kWalkHop event per advance plus the
+  /// per-message fault events from deliver().
   NeighborWalk(const overlay::Overlay& net, overlay::NodeId start,
-               overlay::Key target)
-      : net_(net), target_(target), current_(start), low_(start), high_(start) {}
+               overlay::Key target, obs::SpanRecorder* rec = nullptr)
+      : net_(net),
+        rec_(rec),
+        target_(target),
+        current_(start),
+        low_(start),
+        high_(start) {}
 
   [[nodiscard]] overlay::NodeId current() const noexcept { return current_; }
   [[nodiscard]] std::size_t hops() const noexcept { return hops_; }
@@ -52,12 +59,15 @@ class NeighborWalk {
         take_down = down != overlay::kInvalidNode;
       }
       const overlay::NodeId next = take_down ? down : up;
-      if (!net_.deliver(current_, next, stats_)) {
+      if (!net_.deliver(current_, next, stats_, rec_)) {
         // Lost past recovery: the linear walk cannot step over the silent
         // neighbor, so this direction is done; try the other one.
         faulted_ = true;
         (take_down ? low_blocked_ : high_blocked_) = true;
         continue;
+      }
+      if (rec_ != nullptr) {
+        rec_->event(obs::EventKind::kWalkHop, current_, next, hops_);
       }
       if (take_down) {
         low_ = next;
@@ -72,6 +82,7 @@ class NeighborWalk {
 
  private:
   const overlay::Overlay& net_;
+  obs::SpanRecorder* rec_ = nullptr;
   overlay::Key target_;
   overlay::NodeId current_;
   overlay::NodeId low_;   // lowest-key node visited

@@ -1,0 +1,213 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace meteo::obs {
+
+namespace {
+
+/// Minimal JSON string escaping; metric names and label values are plain
+/// identifiers, but the exporter must not produce invalid JSON for any
+/// input.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_labels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const Label& label : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(label.first);
+    out += "\":\"";
+    out += json_escape(label.second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string format_u64(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+/// One CSV row. Fields here never contain commas or quotes (names and
+/// labels are identifier-like, values are numbers), so no quoting layer.
+void csv_row(std::string& out, const char* type, const MetricKey& key,
+             const std::string& field, const std::string& value) {
+  out += type;
+  out += ',';
+  out += key.name;
+  out += ',';
+  out += format_labels(key.labels);
+  out += ',';
+  out += field;
+  out += ',';
+  out += value;
+  out += '\n';
+}
+
+std::string bucket_field(double upper_bound) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "le_%g", upper_bound);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string metrics_to_json(const MetricRegistry& registry) {
+  std::string out = "{\n\"counters\": [";
+  bool first = true;
+  for (const auto& [key, value] : registry.counters()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\":\"" + json_escape(key.name) +
+           "\",\"labels\":" + json_labels(key.labels) +
+           ",\"value\":" + format_u64(value) + "}";
+  }
+  out += "\n],\n\"gauges\": [";
+  first = true;
+  for (const auto& [key, value] : registry.gauges()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\":\"" + json_escape(key.name) +
+           "\",\"labels\":" + json_labels(key.labels) +
+           ",\"value\":" + format_double(value) + "}";
+  }
+  out += "\n],\n\"histograms\": [";
+  first = true;
+  for (const auto& [key, data] : registry.histograms()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\":\"" + json_escape(key.name) +
+           "\",\"labels\":" + json_labels(key.labels) +
+           ",\"count\":" + format_u64(data.count) +
+           ",\"sum\":" + format_double(data.sum) +
+           ",\"min\":" + format_double(data.min()) +
+           ",\"max\":" + format_double(data.max()) + ",\"buckets\":[";
+    for (std::size_t i = 0; i < data.buckets.size(); ++i) {
+      if (i != 0) out += ',';
+      out += "{\"le\":";
+      if (i < data.upper_bounds.size()) {
+        out += format_double(data.upper_bounds[i]);
+      } else {
+        out += "\"+inf\"";
+      }
+      out += ",\"count\":" + format_u64(data.buckets[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+std::string metrics_to_csv(const MetricRegistry& registry) {
+  std::string out = "type,name,labels,field,value\n";
+  for (const auto& [key, value] : registry.counters()) {
+    csv_row(out, "counter", key, "value", format_u64(value));
+  }
+  for (const auto& [key, value] : registry.gauges()) {
+    csv_row(out, "gauge", key, "value", format_double(value));
+  }
+  for (const auto& [key, data] : registry.histograms()) {
+    csv_row(out, "histogram", key, "count", format_u64(data.count));
+    csv_row(out, "histogram", key, "sum", format_double(data.sum));
+    csv_row(out, "histogram", key, "min", format_double(data.min()));
+    csv_row(out, "histogram", key, "max", format_double(data.max()));
+    for (std::size_t i = 0; i < data.buckets.size(); ++i) {
+      const std::string field = i < data.upper_bounds.size()
+                                    ? bucket_field(data.upper_bounds[i])
+                                    : std::string("le_inf");
+      csv_row(out, "histogram", key, field, format_u64(data.buckets[i]));
+    }
+  }
+  return out;
+}
+
+std::string trace_to_chrome_json(const TraceLog& log) {
+  // Spans have logical, per-span timestamps; lay them out sequentially on
+  // one synthetic timeline (span i starts where span i-1 ended) so the
+  // dump is a single ordered track in chrome://tracing / Perfetto.
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  std::uint64_t base = 0;
+  for (const Span& span : log.spans()) {
+    const std::uint64_t duration =
+        static_cast<std::uint64_t>(span.events.size()) + 2;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    out += to_string(span.op);
+    out += "\",\"cat\":\"op\",\"ph\":\"X\",\"ts\":" + format_u64(base) +
+           ",\"dur\":" + format_u64(duration) +
+           ",\"pid\":1,\"tid\":1,\"args\":{\"span\":" + format_u64(span.id) +
+           ",\"source\":" + format_u64(span.source) +
+           ",\"key\":" + format_u64(span.key) + ",\"outcome\":\"" +
+           json_escape(span.outcome) + "\"}}";
+    for (const TraceEvent& event : span.events) {
+      out += ",\n{\"name\":\"";
+      out += to_string(event.kind);
+      out += "\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" +
+             format_u64(base + 1 + event.ts) +
+             ",\"pid\":1,\"tid\":1,\"args\":{\"span\":" + format_u64(span.id) +
+             ",\"from\":" + format_u64(event.from) +
+             ",\"to\":" + format_u64(event.to) +
+             ",\"key\":" + format_u64(event.key) +
+             ",\"detail\":" + format_u64(event.detail) +
+             ",\"cost\":" + format_double(event.cost) + "}}";
+    }
+    base += duration;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "obs: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace meteo::obs

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file export.hpp
+/// Deterministic serialisers for the metric registry and trace log.
+///
+/// Formats (documented with worked examples in docs/OBSERVABILITY.md):
+///  - metrics_to_json: one JSON object with "counters" / "gauges" /
+///    "histograms" arrays, one series per line.
+///  - metrics_to_csv: flat rows `type,name,labels,field,value`.
+///  - trace_to_chrome_json: Chrome trace_event format ("X" complete
+///    events for spans, "i" instants for hop/fault events) loadable in
+///    chrome://tracing or Perfetto.
+///
+/// All three are byte-deterministic for equal inputs: series iterate in
+/// map (sorted-key) order, spans in commit order, and doubles print via
+/// "%.17g" so values round-trip exactly.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace meteo::obs {
+
+[[nodiscard]] std::string metrics_to_json(const MetricRegistry& registry);
+[[nodiscard]] std::string metrics_to_csv(const MetricRegistry& registry);
+[[nodiscard]] std::string trace_to_chrome_json(const TraceLog& log);
+
+/// Serialise a double with "%.17g" (shortest text that round-trips).
+[[nodiscard]] std::string format_double(double value);
+
+/// Write `contents` to `path`, truncating. Returns false (and leaves a
+/// message on stderr) on failure.
+bool write_file(const std::string& path, const std::string& contents);
+
+}  // namespace meteo::obs

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file labels.hpp
+/// Metric label sets.
+///
+/// A label is a (key, value) pair of short strings; a label set
+/// distinguishes series under one metric name ("op.count{op=retrieve,
+/// outcome=partial}"). Label sets are normalised — sorted by key — at the
+/// registry boundary so the same logical set always addresses the same
+/// series regardless of construction order.
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace meteo::obs {
+
+/// One metric label: (key, value).
+using Label = std::pair<std::string, std::string>;
+
+/// A set of labels. Stored sorted by key (then value); duplicates of the
+/// same key are a caller bug and are rejected by the registry.
+using Labels = std::vector<Label>;
+
+/// Sort a label set into canonical order.
+[[nodiscard]] inline Labels normalized(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+/// "k1=v1;k2=v2" — the flat form used by the CSV exporter and by humans
+/// grepping dumps. Empty label sets format as the empty string.
+[[nodiscard]] std::string format_labels(const Labels& labels);
+
+}  // namespace meteo::obs

@@ -1,0 +1,160 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace meteo::obs {
+
+namespace {
+
+/// Keys within a label set must be unique (after normalisation,
+/// duplicates are adjacent).
+[[nodiscard]] bool keys_unique(const Labels& labels) {
+  return std::adjacent_find(labels.begin(), labels.end(),
+                            [](const Label& a, const Label& b) {
+                              return a.first == b.first;
+                            }) == labels.end();
+}
+
+[[nodiscard]] bool strictly_increasing(const std::vector<double>& bounds) {
+  return std::adjacent_find(bounds.begin(), bounds.end(),
+                            [](double a, double b) { return a >= b; }) ==
+         bounds.end();
+}
+
+/// True when `series` carries every label of `subset`.
+[[nodiscard]] bool contains_labels(const Labels& series, const Labels& subset) {
+  for (const Label& want : subset) {
+    if (std::find(series.begin(), series.end(), want) == series.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename Map>
+[[nodiscard]] auto find_series(const Map& map, std::string_view name,
+                               const Labels& labels) -> decltype(&map.begin()->second) {
+  const auto it = map.find(MetricKey{std::string(name), normalized(labels)});
+  return it == map.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+std::string format_labels(const Labels& labels) {
+  std::string out;
+  for (const Label& label : labels) {
+    if (!out.empty()) out += ';';
+    out += label.first;
+    out += '=';
+    out += label.second;
+  }
+  return out;
+}
+
+void HistogramData::observe(double value) {
+  const auto it =
+      std::lower_bound(upper_bounds.begin(), upper_bounds.end(), value);
+  const auto index = static_cast<std::size_t>(it - upper_bounds.begin());
+  ++buckets[index];
+  ++count;
+  sum += value;
+  if (count == 1 || value < min_) min_ = value;
+  if (count == 1 || value > max_) max_ = value;
+}
+
+void HistogramData::reset_values() {
+  std::fill(buckets.begin(), buckets.end(), std::uint64_t{0});
+  count = 0;
+  sum = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+Counter MetricRegistry::counter(std::string name, Labels labels) {
+  labels = normalized(std::move(labels));
+  METEO_EXPECTS(keys_unique(labels));
+  auto [it, inserted] = counters_.try_emplace(
+      MetricKey{std::move(name), std::move(labels)}, std::uint64_t{0});
+  (void)inserted;
+  return Counter(&it->second);
+}
+
+Gauge MetricRegistry::gauge(std::string name, Labels labels) {
+  labels = normalized(std::move(labels));
+  METEO_EXPECTS(keys_unique(labels));
+  auto [it, inserted] =
+      gauges_.try_emplace(MetricKey{std::move(name), std::move(labels)}, 0.0);
+  (void)inserted;
+  return Gauge(&it->second);
+}
+
+Histogram MetricRegistry::histogram(std::string name,
+                                    std::vector<double> upper_bounds,
+                                    Labels labels) {
+  labels = normalized(std::move(labels));
+  METEO_EXPECTS(keys_unique(labels));
+  METEO_EXPECTS(strictly_increasing(upper_bounds));
+  auto [it, inserted] = histograms_.try_emplace(
+      MetricKey{std::move(name), std::move(labels)});
+  if (inserted) {
+    it->second.upper_bounds = std::move(upper_bounds);
+    it->second.buckets.assign(it->second.upper_bounds.size() + 1, 0);
+  } else {
+    // A series' bucket layout is fixed at creation; asking again with a
+    // different layout is a schema bug, not a runtime condition.
+    METEO_EXPECTS(it->second.upper_bounds == upper_bounds);
+  }
+  return Histogram(&it->second);
+}
+
+std::uint64_t MetricRegistry::counter_value(std::string_view name,
+                                            const Labels& labels) const {
+  const std::uint64_t* cell = find_series(counters_, name, labels);
+  return cell == nullptr ? 0 : *cell;
+}
+
+double MetricRegistry::gauge_value(std::string_view name,
+                                   const Labels& labels) const {
+  const double* cell = find_series(gauges_, name, labels);
+  return cell == nullptr ? 0.0 : *cell;
+}
+
+const HistogramData* MetricRegistry::find_histogram(std::string_view name,
+                                                    const Labels& labels) const {
+  return find_series(histograms_, name, labels);
+}
+
+std::uint64_t MetricRegistry::counter_total(std::string_view name) const {
+  return counter_total(name, Labels{});
+}
+
+std::uint64_t MetricRegistry::counter_total(std::string_view name,
+                                            const Labels& subset) const {
+  std::uint64_t total = 0;
+  // Series sharing a name are contiguous in the ordered map.
+  for (auto it = counters_.lower_bound(MetricKey{std::string(name), {}});
+       it != counters_.end() && it->first.name == name; ++it) {
+    if (contains_labels(it->first.labels, subset)) total += it->second;
+  }
+  return total;
+}
+
+void MetricRegistry::reset() {
+  for (auto& [key, value] : counters_) value = 0;
+  for (auto& [key, value] : gauges_) value = 0.0;
+  for (auto& [key, data] : histograms_) data.reset_values();
+}
+
+std::vector<double> hop_buckets() {
+  return {0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32, 48, 64, 96, 128};
+}
+
+std::vector<double> cost_buckets() {
+  return {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+}
+
+std::vector<double> count_buckets() {
+  return {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384};
+}
+
+}  // namespace meteo::obs

@@ -1,0 +1,34 @@
+#include "obs/trace.hpp"
+
+namespace meteo::obs {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kPublish: return "publish";
+    case OpKind::kRetrieve: return "retrieve";
+    case OpKind::kLocate: return "locate";
+    case OpKind::kSimilaritySearch: return "search";
+    case OpKind::kRangePublish: return "range_publish";
+    case OpKind::kRangeSearch: return "range_search";
+    case OpKind::kWithdraw: return "withdraw";
+    case OpKind::kSubscribe: return "subscribe";
+    case OpKind::kDepart: return "depart";
+  }
+  return "unknown";
+}
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRouteHop: return "route_hop";
+    case EventKind::kWalkHop: return "walk_hop";
+    case EventKind::kChainHop: return "chain_hop";
+    case EventKind::kFaultVerdict: return "fault_verdict";
+    case EventKind::kTimeout: return "timeout";
+    case EventKind::kRetry: return "retry";
+    case EventKind::kBackoff: return "backoff";
+    case EventKind::kReroute: return "reroute";
+  }
+  return "unknown";
+}
+
+}  // namespace meteo::obs

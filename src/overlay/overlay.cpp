@@ -11,7 +11,8 @@ Overlay::Overlay(OverlayConfig config) : config_(config) {
   METEO_EXPECTS(config_.retry.backoff >= 1.0);
 }
 
-bool Overlay::deliver(NodeId from, NodeId to, HopStats& stats) const {
+bool Overlay::deliver(NodeId from, NodeId to, HopStats& stats,
+                      obs::SpanRecorder* rec) const {
   ++stats.messages;
   if (fault_hook_ == nullptr) return true;
 
@@ -20,6 +21,10 @@ bool Overlay::deliver(NodeId from, NodeId to, HopStats& stats) const {
     if (attempt > 0) ++stats.messages;  // the retransmission
     const MessageFate fate =
         fault_hook_->on_message(MessageContext{from, to, attempt});
+    if (rec != nullptr) {
+      rec->event(obs::EventKind::kFaultVerdict, from, to,
+                 static_cast<std::uint64_t>(fate));
+    }
     const bool lost =
         fate == MessageFate::kDrop || fault_hook_->is_stalled(to);
     if (!lost) {
@@ -28,6 +33,9 @@ bool Overlay::deliver(NodeId from, NodeId to, HopStats& stats) const {
         // wait is paid, the late arrival still completes the hop.
         ++stats.timeouts;
         stats.timeout_cost += wait;
+        if (rec != nullptr) {
+          rec->event(obs::EventKind::kTimeout, from, to, 0, wait);
+        }
       } else if (fate == MessageFate::kDuplicate) {
         ++stats.messages;  // the spurious extra copy on the wire
       }
@@ -35,9 +43,16 @@ bool Overlay::deliver(NodeId from, NodeId to, HopStats& stats) const {
     }
     ++stats.timeouts;
     stats.timeout_cost += wait;
+    if (rec != nullptr) {
+      rec->event(obs::EventKind::kTimeout, from, to, 0, wait);
+    }
     if (attempt >= config_.retry.max_retries) return false;
     ++stats.retries;
     wait *= config_.retry.backoff;
+    if (rec != nullptr) {
+      rec->event(obs::EventKind::kRetry, from, to, attempt + 1);
+      rec->event(obs::EventKind::kBackoff, from, to, 0, wait);
+    }
   }
 }
 
@@ -212,7 +227,8 @@ NodeId Overlay::successor(NodeId id) const {
   return s;
 }
 
-RouteResult Overlay::route(NodeId from, Key target) const {
+RouteResult Overlay::route(NodeId from, Key target,
+                           obs::SpanRecorder* rec) const {
   METEO_EXPECTS(is_alive(from));
   METEO_EXPECTS(target < config_.key_space);
 
@@ -249,8 +265,16 @@ RouteResult Overlay::route(NodeId from, Key target) const {
       consider(node.table.successor);
 
       if (best == cur) break;  // no (remaining) live pointer is closer
-      if (had_loss) ++result.stats.reroutes;
-      if (deliver(cur, best, result.stats)) {
+      if (had_loss) {
+        ++result.stats.reroutes;
+        if (rec != nullptr) {
+          rec->event(obs::EventKind::kReroute, cur, best);
+        }
+      }
+      if (deliver(cur, best, result.stats, rec)) {
+        if (rec != nullptr) {
+          rec->event(obs::EventKind::kRouteHop, cur, best, result.hops);
+        }
         cur = best;
         ++result.hops;
         advanced = true;

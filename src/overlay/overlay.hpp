@@ -25,6 +25,7 @@
 
 #include "common/result.hpp"
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "overlay/fault_hook.hpp"
 #include "overlay/key_space.hpp"
 #include "overlay/routing_table.hpp"
@@ -131,9 +132,11 @@ class Overlay {
   /// Greedy routing from `from` toward the node responsible for `target`.
   /// Every hop is sent through deliver(); on repeated loss the router falls
   /// back to the next-best live pointer (alternate-finger reroute) before
-  /// giving up on the step.
+  /// giving up on the step. With a recorder attached, every landed hop,
+  /// reroute, and per-message fault decision becomes a trace event.
   /// \pre is_alive(from)
-  [[nodiscard]] RouteResult route(NodeId from, Key target) const;
+  [[nodiscard]] RouteResult route(NodeId from, Key target,
+                                  obs::SpanRecorder* rec = nullptr) const;
 
   /// Attaches a message-level fault injector (non-owning; nullptr
   /// detaches). Every message subsequently passes through it.
@@ -143,8 +146,10 @@ class Overlay {
   /// One point-to-point message from `from` to `to` with the configured
   /// timeout/retry/backoff handling. Returns false when every attempt was
   /// lost (only possible with a fault hook attached). Costs are
-  /// accumulated into `stats`.
-  bool deliver(NodeId from, NodeId to, HopStats& stats) const;
+  /// accumulated into `stats`; with a recorder attached, each fault-hook
+  /// verdict, timeout, retry, and backoff becomes a trace event.
+  bool deliver(NodeId from, NodeId to, HopStats& stats,
+               obs::SpanRecorder* rec = nullptr) const;
 
   /// All alive node ids in ascending key order.
   [[nodiscard]] std::vector<NodeId> alive_nodes() const;

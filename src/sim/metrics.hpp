@@ -3,10 +3,16 @@
 /// \file metrics.hpp
 /// Named counters and distributions accumulated by experiments.
 ///
-/// Every publish/retrieve operation in the core library reports its costs
-/// (hops, messages by type) through a MetricRegistry, so each bench can
-/// print exactly the quantities the paper's figures plot. Handles returned
-/// by counter()/distribution() stay valid for the registry's lifetime.
+/// DEPRECATED for the core op path: the Meteorograph facade now reports
+/// through obs::MetricRegistry (src/obs/metrics.hpp), which adds labels,
+/// fixed-bucket histograms, and exporters. This registry remains for
+/// simple bench-local tallies.
+///
+/// Handle-lifetime caveat: references returned by counter()/distribution()
+/// stay valid only until reset() — reset() *clears the maps*, so any held
+/// reference dangles afterwards. Re-acquire handles after every reset, or
+/// use obs::MetricRegistry, whose reset() zeroes cells in place and keeps
+/// handles valid for the registry's lifetime.
 
 #include <cstdint>
 #include <map>

@@ -6,11 +6,12 @@
 
 #include <gtest/gtest.h>
 
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "meteorograph/batch.hpp"
+#include "obs/export.hpp"
+#include "obs/names.hpp"
 #include "sim/fault_plan.hpp"
 #include "workload/trace.hpp"
 
@@ -71,17 +72,8 @@ void run_stress(StressRun& run, std::size_t workers) {
   run.located = run.engine->locate(locates);
 }
 
-std::string metric_fingerprint(const sim::MetricRegistry& metrics) {
-  std::ostringstream out;
-  out << std::hexfloat;
-  for (const auto& [name, value] : metrics.counters()) {
-    out << name << '=' << value << ';';
-  }
-  for (const auto& [name, stats] : metrics.distributions()) {
-    out << name << '=' << stats.count() << ',' << stats.sum() << ','
-        << stats.mean() << ',' << stats.min() << ',' << stats.max() << ';';
-  }
-  return out.str();
+std::string metric_fingerprint(const obs::MetricRegistry& metrics) {
+  return obs::metrics_to_csv(metrics);
 }
 
 TEST(BatchStress, LossyNetworkFourWorkersMatchesSequential) {
@@ -139,7 +131,7 @@ TEST(BatchStress, LossyNetworkFourWorkersMatchesSequential) {
             metric_fingerprint(seq.sys->metrics()));
 
   // Fault/retry accounting made it into the metrics from worker threads.
-  EXPECT_GT(par.sys->metrics().counter_value("retry.count"), 0u);
+  EXPECT_GT(par.sys->metrics().counter_total(obs::names::kFaultRetries), 0u);
 }
 
 }  // namespace

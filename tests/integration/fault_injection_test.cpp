@@ -10,17 +10,20 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "meteorograph/meteorograph.hpp"
+#include "obs/export.hpp"
+#include "obs/names.hpp"
 #include "sim/fault_plan.hpp"
 #include "workload/trace.hpp"
 
 namespace meteo::core {
 namespace {
+
+namespace names = obs::names;
 
 struct FaultWorkload {
   std::vector<vsm::SparseVector> vectors;
@@ -58,22 +61,18 @@ Meteorograph make_system(std::size_t max_retries = 3) {
   return Meteorograph(cfg, fault_workload().sample, 2024);
 }
 
-/// Distribution fingerprint precise enough to catch any divergence.
-using DistSummary = std::array<double, 4>;  // count, sum, min, max
-
 struct RunSummary {
   std::size_t queries = 0;
   std::size_t full = 0;  ///< queries that came back with partial == false
   std::uint64_t digest = 0;
-  std::map<std::string, std::uint64_t> counters;
-  std::map<std::string, DistSummary> distributions;
+  std::string metrics_csv;  ///< full-registry export, byte-comparable
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t reroutes = 0;
+  std::uint64_t retrieve_partial = 0;
 
   [[nodiscard]] double success() const {
     return static_cast<double>(full) / static_cast<double>(queries);
-  }
-  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
-    const auto it = counters.find(name);
-    return it == counters.end() ? 0 : it->second;
   }
 };
 
@@ -120,12 +119,13 @@ RunSummary run_workload(double drop_rate, std::size_t max_retries,
     mix(out.digest, r.items_missed);
   }
 
-  out.counters = sys.metrics().counters();
-  for (const auto& [name, stats] : sys.metrics().distributions()) {
-    out.distributions[name] = DistSummary{static_cast<double>(stats.count()),
-                                          stats.sum(), stats.min(),
-                                          stats.max()};
-  }
+  out.metrics_csv = obs::metrics_to_csv(sys.metrics());
+  out.retries = sys.metrics().counter_total(names::kFaultRetries);
+  out.timeouts = sys.metrics().counter_total(names::kFaultTimeouts);
+  out.reroutes = sys.metrics().counter_total(names::kFaultReroutes);
+  out.retrieve_partial = sys.metrics().counter_value(
+      names::kOpCount,
+      {{names::kLabelOp, "retrieve"}, {names::kLabelOutcome, "partial"}});
   return out;
 }
 
@@ -136,11 +136,10 @@ TEST(FaultInjectionTest, ReplayIsByteIdentical) {
   const RunSummary b = run_workload(0.15, 3, true, /*faulty_publish=*/true, 5);
   EXPECT_EQ(a.digest, b.digest);
   EXPECT_EQ(a.full, b.full);
-  EXPECT_EQ(a.counters, b.counters);
-  EXPECT_EQ(a.distributions, b.distributions);
+  EXPECT_EQ(a.metrics_csv, b.metrics_csv);
   // The run was genuinely faulty, not trivially identical by inactivity.
-  EXPECT_GT(a.counter("retry.count"), 0u);
-  EXPECT_GT(a.counter("timeout.count"), 0u);
+  EXPECT_GT(a.retries, 0u);
+  EXPECT_GT(a.timeouts, 0u);
 }
 
 TEST(FaultInjectionTest, DifferentFaultSeedsDiverge) {
@@ -155,11 +154,10 @@ TEST(FaultInjectionTest, ZeroDropRateMatchesNoFaultPathExactly) {
   const RunSummary hooked = run_workload(0.0, 3, true, true, 7);
   const RunSummary bare = run_workload(0.0, 3, false, true, 7);
   EXPECT_EQ(hooked.digest, bare.digest);
-  EXPECT_EQ(hooked.counters, bare.counters);
-  EXPECT_EQ(hooked.distributions, bare.distributions);
+  EXPECT_EQ(hooked.metrics_csv, bare.metrics_csv);
   EXPECT_EQ(hooked.full, hooked.queries);  // perfect links: never partial
-  EXPECT_EQ(hooked.counter("retry.count"), 0u);
-  EXPECT_EQ(hooked.counter("retrieve.partial"), 0u);
+  EXPECT_EQ(hooked.retries, 0u);
+  EXPECT_EQ(hooked.retrieve_partial, 0u);
 }
 
 TEST(FaultInjectionTest, DegradationCurveIsMonotoneAndRetriesHold) {
@@ -168,13 +166,12 @@ TEST(FaultInjectionTest, DegradationCurveIsMonotoneAndRetriesHold) {
   // must hold >= 0.9 success at 5% drop (ISSUE acceptance bar).
   const std::array<double, 6> rates{0.0, 0.02, 0.05, 0.1, 0.2, 0.3};
   std::array<double, rates.size()> success{};
-  std::map<std::string, RunSummary> runs;
   for (std::size_t i = 0; i < rates.size(); ++i) {
     const RunSummary r =
         run_workload(rates[i], 3, true, /*faulty_publish=*/false, 11);
     success[i] = r.success();
-    // Partial results and the partial counter must agree exactly.
-    EXPECT_EQ(r.counter("retrieve.partial"),
+    // Partial results and the outcome=partial counter must agree exactly.
+    EXPECT_EQ(r.retrieve_partial,
               static_cast<std::uint64_t>(r.queries - r.full))
         << "rate " << rates[i];
   }
@@ -200,11 +197,11 @@ TEST(FaultInjectionTest, RetriesMeasurablyBeatNoRetriesAtSameDrop) {
   EXPECT_GE(on.success(), 0.9);
   EXPECT_LT(off.success(), on.success() - 0.02)
       << "retries on: " << on.success() << ", off: " << off.success();
-  EXPECT_GT(on.counter("retry.count"), 0u);
-  EXPECT_EQ(off.counter("retry.count"), 0u);
-  EXPECT_GT(off.counter("timeout.count"), 0u);
+  EXPECT_GT(on.retries, 0u);
+  EXPECT_EQ(off.retries, 0u);
+  EXPECT_GT(off.timeouts, 0u);
   // Losing a candidate forces alternate-finger reroutes in both modes.
-  EXPECT_GT(off.counter("reroute.count"), 0u);
+  EXPECT_GT(off.reroutes, 0u);
 }
 
 TEST(FaultInjectionTest, ScheduledCrashFailsOverToReplica) {

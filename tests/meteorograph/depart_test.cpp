@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "meteorograph/meteorograph.hpp"
+#include "obs/names.hpp"
 #include "workload/trace.hpp"
 
 namespace meteo::core {
@@ -121,7 +122,9 @@ TEST_F(DepartFixture, DepartCountsMessages) {
   const DepartResult r =
       sys_->depart_node(sys_->network().alive_nodes().front());
   EXPECT_GE(r.messages, r.items_transferred);
-  EXPECT_GT(sys_->metrics().counter_value("depart.count"), 0u);
+  EXPECT_GT(sys_->metrics().counter_total(obs::names::kOpCount,
+                                          {{obs::names::kLabelOp, "depart"}}),
+            0u);
 }
 
 }  // namespace

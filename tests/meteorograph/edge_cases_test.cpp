@@ -6,9 +6,15 @@
 #include <vector>
 
 #include "meteorograph/meteorograph.hpp"
+#include "obs/names.hpp"
 
 namespace meteo::core {
 namespace {
+
+std::uint64_t op_count(const Meteorograph& sys, const char* op) {
+  return sys.metrics().counter_total(obs::names::kOpCount,
+                                     {{obs::names::kLabelOp, op}});
+}
 
 vsm::SparseVector vec(std::initializer_list<vsm::KeywordId> kws) {
   return vsm::SparseVector::binary(std::vector<vsm::KeywordId>(kws));
@@ -172,11 +178,11 @@ TEST(EdgeCases, MetricsSurviveMixedOperations) {
   const std::vector<vsm::KeywordId> q = {1};
   (void)sys.similarity_search(q, 1);
   (void)sys.withdraw(1, vec({1, 2}));
-  EXPECT_EQ(sys.metrics().counter_value("publish.count"), 1u);
-  EXPECT_EQ(sys.metrics().counter_value("retrieve.count"), 1u);
-  EXPECT_GE(sys.metrics().counter_value("locate.count"), 1u);
-  EXPECT_EQ(sys.metrics().counter_value("search.count"), 1u);
-  EXPECT_EQ(sys.metrics().counter_value("withdraw.count"), 1u);
+  EXPECT_EQ(op_count(sys, "publish"), 1u);
+  EXPECT_EQ(op_count(sys, "retrieve"), 1u);
+  EXPECT_GE(op_count(sys, "locate"), 1u);
+  EXPECT_EQ(op_count(sys, "search"), 1u);
+  EXPECT_EQ(op_count(sys, "withdraw"), 1u);
 }
 
 }  // namespace

@@ -7,11 +7,19 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/names.hpp"
 #include "sim/churn.hpp"
 #include "workload/trace.hpp"
 
 namespace meteo::core {
 namespace {
+
+namespace names = obs::names;
+
+/// Total op.count across outcomes for one op, e.g. op_count(sys, "publish").
+std::uint64_t op_count(const Meteorograph& sys, const char* op) {
+  return sys.metrics().counter_total(names::kOpCount, {{names::kLabelOp, op}});
+}
 
 struct TestWorkload {
   workload::Trace trace;
@@ -156,7 +164,10 @@ TEST(Meteorograph, PublishHopLimitCanFail) {
     if (!sys.publish(id, wl.vectors[id]).success) ++failures;
   }
   EXPECT_GT(failures, 0u);
-  EXPECT_EQ(sys.metrics().counter_value("publish.failures"), failures);
+  EXPECT_EQ(sys.metrics().counter_value(names::kOpCount,
+                                        {{names::kLabelOp, "publish"},
+                                         {names::kLabelOutcome, "failed"}}),
+            failures);
 }
 
 TEST(Meteorograph, LoadBalanceModesReduceGini) {
@@ -315,9 +326,11 @@ TEST(Meteorograph, MetricsAccumulate) {
     (void)sys.publish(id, wl.vectors[id]);
   }
   (void)sys.retrieve(wl.vectors[0], 3);
-  EXPECT_EQ(sys.metrics().counter_value("publish.count"), 50u);
-  EXPECT_EQ(sys.metrics().counter_value("retrieve.count"), 1u);
-  EXPECT_GT(sys.metrics().counter_value("publish.messages"), 0u);
+  EXPECT_EQ(op_count(sys, "publish"), 50u);
+  EXPECT_EQ(op_count(sys, "retrieve"), 1u);
+  EXPECT_GT(sys.metrics().counter_value(names::kOpMessages,
+                                        {{names::kLabelOp, "publish"}}),
+            0u);
 }
 
 TEST(Meteorograph, HotRegionModeStillRoutesAndRetrieves) {

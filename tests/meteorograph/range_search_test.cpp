@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "meteorograph/meteorograph.hpp"
+#include "obs/names.hpp"
 
 namespace meteo::core {
 namespace {
@@ -156,7 +157,10 @@ TEST_F(RangeSearchEndToEnd, CostIsRoutePlusSpan) {
 
 TEST_F(RangeSearchEndToEnd, MessagesAreCounted) {
   (void)sys_.range_search(memory_, 1.0, 100.0);
-  EXPECT_GT(sys_.metrics().counter_value("range.search.count"), 0u);
+  EXPECT_GT(
+      sys_.metrics().counter_total(obs::names::kOpCount,
+                                   {{obs::names::kLabelOp, "range_search"}}),
+      0u);
 }
 
 }  // namespace

@@ -1,0 +1,133 @@
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace meteo::obs {
+namespace {
+
+/// One small registry covering all three series types, with and without
+/// labels. Label construction order is deliberately unsorted to prove
+/// the exporters see the normalised form.
+MetricRegistry golden_registry() {
+  MetricRegistry registry;
+  registry.counter("fault.retries") += 1;
+  registry.counter("op.count", {{"outcome", "ok"}, {"op", "locate"}}) += 2;
+  registry.gauge("system.alive_nodes").set(60.0);
+  Histogram h =
+      registry.histogram("op.route_hops", {1.0, 2.0, 4.0}, {{"op", "locate"}});
+  h.observe(1.0);
+  h.observe(3.0);
+  h.observe(9.0);
+  return registry;
+}
+
+/// One retrieve span with a hop and a retry, built through the recorder
+/// exactly as the op path does.
+TraceLog golden_log() {
+  TraceLog log;
+  SpanRecorder rec;
+  rec.open(OpKind::kRetrieve, 3, 42);
+  rec.event(EventKind::kRouteHop, 3, 7, 0);
+  rec.event(EventKind::kRetry, 7, 9, 1, 0.5);
+  rec.finish("ok", log);
+  return log;
+}
+
+// The golden strings below are the documented exporter formats
+// (docs/OBSERVABILITY.md). A mismatch here means the on-disk format
+// changed: update the docs and the goldens together.
+
+TEST(Export, MetricsToJsonGolden) {
+  const std::string expected =
+      "{\n"
+      "\"counters\": [\n"
+      "{\"name\":\"fault.retries\",\"labels\":{},\"value\":1},\n"
+      "{\"name\":\"op.count\",\"labels\":{\"op\":\"locate\",\"outcome\":\"ok\"},"
+      "\"value\":2}\n"
+      "],\n"
+      "\"gauges\": [\n"
+      "{\"name\":\"system.alive_nodes\",\"labels\":{},\"value\":60}\n"
+      "],\n"
+      "\"histograms\": [\n"
+      "{\"name\":\"op.route_hops\",\"labels\":{\"op\":\"locate\"},\"count\":3,"
+      "\"sum\":13,\"min\":1,\"max\":9,\"buckets\":[{\"le\":1,\"count\":1},"
+      "{\"le\":2,\"count\":0},{\"le\":4,\"count\":1},"
+      "{\"le\":\"+inf\",\"count\":1}]}\n"
+      "]\n"
+      "}\n";
+  EXPECT_EQ(metrics_to_json(golden_registry()), expected);
+}
+
+TEST(Export, MetricsToCsvGolden) {
+  const std::string expected =
+      "type,name,labels,field,value\n"
+      "counter,fault.retries,,value,1\n"
+      "counter,op.count,op=locate;outcome=ok,value,2\n"
+      "gauge,system.alive_nodes,,value,60\n"
+      "histogram,op.route_hops,op=locate,count,3\n"
+      "histogram,op.route_hops,op=locate,sum,13\n"
+      "histogram,op.route_hops,op=locate,min,1\n"
+      "histogram,op.route_hops,op=locate,max,9\n"
+      "histogram,op.route_hops,op=locate,le_1,1\n"
+      "histogram,op.route_hops,op=locate,le_2,0\n"
+      "histogram,op.route_hops,op=locate,le_4,1\n"
+      "histogram,op.route_hops,op=locate,le_inf,1\n";
+  EXPECT_EQ(metrics_to_csv(golden_registry()), expected);
+}
+
+TEST(Export, TraceToChromeJsonGolden) {
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"retrieve\",\"cat\":\"op\",\"ph\":\"X\",\"ts\":0,\"dur\":4,"
+      "\"pid\":1,\"tid\":1,\"args\":{\"span\":0,\"source\":3,\"key\":42,"
+      "\"outcome\":\"ok\"}},\n"
+      "{\"name\":\"route_hop\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\","
+      "\"ts\":1,\"pid\":1,\"tid\":1,\"args\":{\"span\":0,\"from\":3,\"to\":7,"
+      "\"key\":42,\"detail\":0,\"cost\":0}},\n"
+      "{\"name\":\"retry\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\","
+      "\"ts\":2,\"pid\":1,\"tid\":1,\"args\":{\"span\":0,\"from\":7,\"to\":9,"
+      "\"key\":42,\"detail\":1,\"cost\":0.5}}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(trace_to_chrome_json(golden_log()), expected);
+}
+
+TEST(Export, EmptyInputsStillWellFormed) {
+  const MetricRegistry registry;
+  EXPECT_EQ(metrics_to_json(registry),
+            "{\n\"counters\": [\n],\n\"gauges\": [\n],\n\"histograms\": "
+            "[\n]\n}\n");
+  EXPECT_EQ(metrics_to_csv(registry), "type,name,labels,field,value\n");
+  const TraceLog log;
+  EXPECT_EQ(trace_to_chrome_json(log),
+            "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(Export, FormatDoubleRoundTrips) {
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(1.5), "1.5");
+  // %.17g prints enough digits that parsing the text recovers the exact
+  // bit pattern (0.1 is not representable, so it gets the long form).
+  EXPECT_EQ(format_double(0.1), "0.10000000000000001");
+  for (const double value : {0.1, 1.0 / 3.0, 6.9077552789821368}) {
+    EXPECT_EQ(std::stod(format_double(value)), value);
+  }
+}
+
+TEST(Export, WriteFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "obs_export_test.txt";
+  ASSERT_TRUE(write_file(path, "hello\n"));
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "hello\n");
+}
+
+}  // namespace
+}  // namespace meteo::obs

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Documentation contract for the observability schema: every quoted string
+# in src/obs/names.hpp (metric names, label keys, label values listed in
+# the comments) must appear somewhere in docs/OBSERVABILITY.md. Run from
+# anywhere; tier-1 (tools/run_tier1.sh) fails when a metric is added to
+# the code but not documented.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+names_hpp="${repo_root}/src/obs/names.hpp"
+docs_md="${repo_root}/docs/OBSERVABILITY.md"
+
+if [[ ! -f "${names_hpp}" ]]; then
+  echo "check_observability_docs: missing ${names_hpp}" >&2
+  exit 1
+fi
+if [[ ! -f "${docs_md}" ]]; then
+  echo "check_observability_docs: missing ${docs_md}" >&2
+  exit 1
+fi
+
+# Every "quoted string" in the header, deduplicated. This covers the
+# constant values and the enumerated label values in the doc comments.
+mapfile -t names < <(grep -o '"[^"]\+"' "${names_hpp}" | tr -d '"' | sort -u)
+
+if [[ ${#names[@]} -eq 0 ]]; then
+  echo "check_observability_docs: extracted no names from ${names_hpp}" >&2
+  exit 1
+fi
+
+missing=0
+for name in "${names[@]}"; do
+  if ! grep -qF -- "${name}" "${docs_md}"; then
+    echo "check_observability_docs: '${name}' (src/obs/names.hpp) is not" \
+         "documented in docs/OBSERVABILITY.md" >&2
+    missing=1
+  fi
+done
+
+if [[ ${missing} -ne 0 ]]; then
+  echo "check_observability_docs: FAILED" >&2
+  exit 1
+fi
+echo "check_observability_docs: ok (${#names[@]} names documented)"

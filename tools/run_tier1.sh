@@ -29,12 +29,21 @@ cmake -B "$build_dir" -S . \
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" -L tier1 --output-on-failure -j "$(nproc)"
 
+# Observability gate: the trace_dump CLI must round-trip its own export
+# format, and every metric name in src/obs/names.hpp must be documented
+# in docs/OBSERVABILITY.md (docs/OBSERVABILITY.md, DESIGN.md §8).
+"$build_dir/tools/trace_dump" --selftest
+tools/check_observability_docs.sh
+
 if [[ "$tsan" != 0 ]]; then
   cmake -B "${build_dir}-tsan" -S . \
     -DMETEO_SANITIZE=thread \
     -DMETEO_BUILD_BENCH=OFF \
     -DMETEO_BUILD_EXAMPLES=OFF
-  cmake --build "${build_dir}-tsan" -j "$(nproc)" --target meteo_batch_tests
+  cmake --build "${build_dir}-tsan" -j "$(nproc)" \
+    --target meteo_batch_tests --target meteo_obs_tests
   "${build_dir}-tsan/tests/meteo_batch_tests" \
     --gtest_filter='BatchDeterminism.*:BatchEngine.*'
+  "${build_dir}-tsan/tests/meteo_obs_tests" \
+    --gtest_filter='TraceDeterminism.*'
 fi

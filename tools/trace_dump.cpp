@@ -1,0 +1,265 @@
+/// trace_dump — summarizes a Chrome trace_event JSON file produced by the
+/// observability layer (obs::trace_to_chrome_json, or any bench run with
+/// --trace-out) into per-op tables: span counts by outcome, hop totals,
+/// and fault-recovery events (retries, timeouts, backoffs, reroutes).
+///
+///   trace_dump [--csv] <trace.json>
+///   trace_dump --selftest          # in-memory build->export->parse check
+///
+/// The parser is purpose-built for the exporter's line-oriented output
+/// (one event object per line, fields in fixed order); it is not a
+/// general JSON reader. --selftest exercises the full round trip without
+/// fixture files, which is how tools/run_tier1.sh smokes this binary.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using meteo::TextTable;
+
+/// Extract `"key":"value"` from one line; nullopt when absent.
+std::optional<std::string> string_field(const std::string& line,
+                                        const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  const auto start = pos + needle.size();
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return std::nullopt;
+  return line.substr(start, end - start);
+}
+
+/// Extract numeric `"key":123` / `"key":1.5` from one line.
+std::optional<double> number_field(const std::string& line,
+                                   const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  const char* start = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double value = std::strtod(start, &end);
+  if (end == start) return std::nullopt;
+  return value;
+}
+
+struct OpSummary {
+  std::uint64_t spans = 0;
+  std::map<std::string, std::uint64_t> outcomes;
+  std::uint64_t route_hops = 0;
+  std::uint64_t walk_hops = 0;
+  std::uint64_t chain_hops = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t backoffs = 0;
+  std::uint64_t reroutes = 0;
+  std::uint64_t fault_verdicts = 0;
+  double timeout_cost = 0.0;
+
+  [[nodiscard]] std::uint64_t hops() const {
+    return route_hops + walk_hops + chain_hops;
+  }
+};
+
+using Summary = std::map<std::string, OpSummary>;
+
+/// Parse a trace_to_chrome_json dump. Events reference their owning span
+/// by id; spans always precede their events in the dump, so one forward
+/// pass resolves every event to an op name.
+std::optional<Summary> parse_trace(const std::string& json,
+                                   std::string* error) {
+  if (json.find("\"traceEvents\"") == std::string::npos) {
+    *error = "not a trace_event dump (no \"traceEvents\" key)";
+    return std::nullopt;
+  }
+  Summary summary;
+  std::map<std::uint64_t, std::string> span_op;
+  std::istringstream in(json);
+  for (std::string line; std::getline(in, line);) {
+    const auto cat = string_field(line, "cat");
+    if (!cat.has_value()) continue;  // header / footer lines
+    const auto name = string_field(line, "name");
+    const auto span = number_field(line, "span");
+    if (!name.has_value() || !span.has_value()) {
+      *error = "event line missing name/span: " + line;
+      return std::nullopt;
+    }
+    const auto span_id = static_cast<std::uint64_t>(*span);
+    if (*cat == "op") {
+      span_op[span_id] = *name;
+      OpSummary& op = summary[*name];
+      ++op.spans;
+      ++op.outcomes[string_field(line, "outcome").value_or("?")];
+    } else if (*cat == "event") {
+      const auto owner = span_op.find(span_id);
+      if (owner == span_op.end()) {
+        *error = "event references unknown span " + std::to_string(span_id);
+        return std::nullopt;
+      }
+      OpSummary& op = summary[owner->second];
+      if (*name == "route_hop") ++op.route_hops;
+      else if (*name == "walk_hop") ++op.walk_hops;
+      else if (*name == "chain_hop") ++op.chain_hops;
+      else if (*name == "retry") ++op.retries;
+      else if (*name == "backoff") ++op.backoffs;
+      else if (*name == "reroute") ++op.reroutes;
+      else if (*name == "fault_verdict") ++op.fault_verdicts;
+      else if (*name == "timeout") {
+        ++op.timeouts;
+        op.timeout_cost += number_field(line, "cost").value_or(0.0);
+      }
+    }
+  }
+  return summary;
+}
+
+std::uint64_t outcome_count(const OpSummary& op, const char* outcome) {
+  const auto it = op.outcomes.find(outcome);
+  return it == op.outcomes.end() ? 0 : it->second;
+}
+
+std::string u64(std::uint64_t v) {
+  return TextTable::integer(static_cast<long long>(v));
+}
+
+void print_summary(const Summary& summary, bool csv) {
+  TextTable spans({"op", "spans", "ok", "partial", "degraded", "blocked",
+                   "failed", "route hops", "walk hops", "chain hops",
+                   "mean hops/span"});
+  TextTable faults({"op", "retries", "timeouts", "backoffs", "reroutes",
+                    "fault verdicts", "timeout cost (s)"});
+  bool any_faults = false;
+  for (const auto& [op_name, op] : summary) {
+    spans.add_row(
+        {op_name, u64(op.spans), u64(outcome_count(op, "ok")),
+         u64(outcome_count(op, "partial")), u64(outcome_count(op, "degraded")),
+         u64(outcome_count(op, "blocked")), u64(outcome_count(op, "failed")),
+         u64(op.route_hops), u64(op.walk_hops), u64(op.chain_hops),
+         TextTable::num(op.spans == 0 ? 0.0
+                                      : static_cast<double>(op.hops()) /
+                                            static_cast<double>(op.spans),
+                        4)});
+    if (op.retries + op.timeouts + op.backoffs + op.reroutes +
+            op.fault_verdicts >
+        0) {
+      any_faults = true;
+    }
+    faults.add_row({op_name, u64(op.retries), u64(op.timeouts),
+                    u64(op.backoffs), u64(op.reroutes), u64(op.fault_verdicts),
+                    TextTable::num(op.timeout_cost, 6)});
+  }
+  if (csv) {
+    spans.print_csv(std::cout);
+  } else {
+    spans.print(std::cout);
+  }
+  if (any_faults) {
+    std::cout << '\n';
+    if (csv) {
+      faults.print_csv(std::cout);
+    } else {
+      faults.print(std::cout);
+    }
+  }
+}
+
+#define SELFTEST_CHECK(cond)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "trace_dump selftest: FAILED at %s:%d: %s\n",  \
+                   __FILE__, __LINE__, #cond);                            \
+      return 1;                                                           \
+    }                                                                     \
+  } while (false)
+
+/// Build a log through the same SpanRecorder the op path uses, export it,
+/// parse the export, and check the summary — the whole chain this tool
+/// depends on, with no fixture files.
+int run_selftest() {
+  namespace obs = meteo::obs;
+  obs::TraceLog log;
+  obs::SpanRecorder rec;
+
+  rec.open(obs::OpKind::kLocate, 1, 10);
+  rec.event(obs::EventKind::kRouteHop, 1, 2);
+  rec.event(obs::EventKind::kRouteHop, 2, 3);
+  rec.event(obs::EventKind::kFaultVerdict, 2, 3, 1);
+  rec.event(obs::EventKind::kTimeout, 2, 3, 0, 2.0);
+  rec.event(obs::EventKind::kRetry, 2, 3, 1);
+  rec.event(obs::EventKind::kWalkHop, 3, 4);
+  rec.finish("ok", log);
+
+  rec.open(obs::OpKind::kPublish, 5, 77);
+  rec.event(obs::EventKind::kChainHop, 5, 6);
+  rec.finish("degraded", log);
+
+  std::string error;
+  const auto summary = parse_trace(obs::trace_to_chrome_json(log), &error);
+  SELFTEST_CHECK(summary.has_value());
+  SELFTEST_CHECK(summary->size() == 2);
+
+  const OpSummary& locate = summary->at("locate");
+  SELFTEST_CHECK(locate.spans == 1);
+  SELFTEST_CHECK(outcome_count(locate, "ok") == 1);
+  SELFTEST_CHECK(locate.route_hops == 2);
+  SELFTEST_CHECK(locate.walk_hops == 1);
+  SELFTEST_CHECK(locate.fault_verdicts == 1);
+  SELFTEST_CHECK(locate.timeouts == 1);
+  SELFTEST_CHECK(locate.timeout_cost == 2.0);
+  SELFTEST_CHECK(locate.retries == 1);
+
+  const OpSummary& publish = summary->at("publish");
+  SELFTEST_CHECK(publish.spans == 1);
+  SELFTEST_CHECK(outcome_count(publish, "degraded") == 1);
+  SELFTEST_CHECK(publish.chain_hops == 1);
+  SELFTEST_CHECK(publish.hops() == 1);
+
+  print_summary(*summary, /*csv=*/false);
+  std::printf("trace_dump selftest: ok\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  meteo::CliParser cli;
+  cli.add_bool("csv", false, "emit CSV instead of aligned tables");
+  cli.add_bool("selftest", false,
+               "run the in-memory export/parse round trip and exit");
+  if (!cli.parse(argc, argv)) return 1;
+  if (cli.get_bool("selftest")) return run_selftest();
+  if (cli.positional().empty()) {
+    std::fprintf(stderr, "usage: trace_dump [--csv] <trace.json>\n");
+    return 1;
+  }
+
+  const std::string path = cli.positional().front();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_dump: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  std::string error;
+  const auto summary = parse_trace(buffer.str(), &error);
+  if (!summary.has_value()) {
+    std::fprintf(stderr, "trace_dump: %s\n", error.c_str());
+    return 1;
+  }
+  print_summary(*summary, cli.get_bool("csv"));
+  return 0;
+}
