@@ -13,6 +13,8 @@
 #include "meteorograph/naming.hpp"
 #include "overlay/overlay.hpp"
 #include "vsm/absolute_angle.hpp"
+#include "vsm/local_index.hpp"
+#include "vsm/naive_scan.hpp"
 #include "vsm/sparse_vector.hpp"
 #include "workload/trace.hpp"
 
@@ -102,6 +104,126 @@ void BM_AliasSample(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AliasSample);
+
+// --- node-local query engine (DESIGN.md §9) --------------------------------
+//
+// BM_LocalIndex* (inverted postings) vs BM_LocalIndexNaive* (the retained
+// naive scan from vsm/naive_scan.hpp) at store sizes {16,128,1024} and
+// query nnz {2,8,32}. tools/bench_compare.py diffs the resulting
+// BENCH_local_index.json against the committed baseline.
+
+constexpr std::size_t kIndexDims = 1024;
+constexpr std::size_t kItemNnz = 8;
+
+template <typename Index>
+Index make_index(std::size_t size) {
+  Rng rng(11);
+  Index idx;
+  for (vsm::ItemId id = 0; id < size; ++id) {
+    idx.insert(id, make_vector(rng, kItemNnz, kIndexDims));
+  }
+  return idx;
+}
+
+template <typename Index>
+void bench_index_top_k(benchmark::State& state) {
+  Rng rng(12);
+  const auto idx = make_index<Index>(static_cast<std::size_t>(state.range(0)));
+  const auto query =
+      make_vector(rng, static_cast<std::size_t>(state.range(1)), kIndexDims);
+  std::vector<vsm::ScoredItem> out;
+  for (auto _ : state) {
+    out = idx.top_k(query, 10);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+template <typename Index>
+void bench_index_match_all(benchmark::State& state) {
+  Rng rng(13);
+  const auto idx = make_index<Index>(static_cast<std::size_t>(state.range(0)));
+  const auto probe =
+      make_vector(rng, static_cast<std::size_t>(state.range(1)), kIndexDims);
+  std::vector<vsm::KeywordId> keywords;
+  for (const vsm::Entry& e : probe.entries()) keywords.push_back(e.keyword);
+  std::vector<vsm::ItemId> out;
+  for (auto _ : state) {
+    out = idx.match_all(keywords);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+template <typename Index>
+void bench_index_within_angle(benchmark::State& state) {
+  Rng rng(14);
+  const auto idx = make_index<Index>(static_cast<std::size_t>(state.range(0)));
+  const auto query =
+      make_vector(rng, static_cast<std::size_t>(state.range(1)), kIndexDims);
+  std::vector<vsm::ScoredItem> out;
+  for (auto _ : state) {
+    out = idx.within_angle(query, 1.2);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+template <typename Index>
+void bench_index_evict(benchmark::State& state) {
+  Rng rng(15);
+  auto idx = make_index<Index>(static_cast<std::size_t>(state.range(0)));
+  const auto reference =
+      make_vector(rng, static_cast<std::size_t>(state.range(1)), kIndexDims);
+  for (auto _ : state) {
+    auto evicted = idx.evict_least_similar(reference);
+    benchmark::DoNotOptimize(evicted);
+    idx.insert(evicted->id, std::move(evicted->vector));  // keep size fixed
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_LocalIndexTopK(benchmark::State& state) {
+  bench_index_top_k<vsm::LocalIndex>(state);
+}
+void BM_LocalIndexNaiveTopK(benchmark::State& state) {
+  bench_index_top_k<vsm::NaiveScanIndex>(state);
+}
+void BM_LocalIndexMatchAll(benchmark::State& state) {
+  bench_index_match_all<vsm::LocalIndex>(state);
+}
+void BM_LocalIndexNaiveMatchAll(benchmark::State& state) {
+  bench_index_match_all<vsm::NaiveScanIndex>(state);
+}
+void BM_LocalIndexWithinAngle(benchmark::State& state) {
+  bench_index_within_angle<vsm::LocalIndex>(state);
+}
+void BM_LocalIndexNaiveWithinAngle(benchmark::State& state) {
+  bench_index_within_angle<vsm::NaiveScanIndex>(state);
+}
+void BM_LocalIndexEvict(benchmark::State& state) {
+  bench_index_evict<vsm::LocalIndex>(state);
+}
+void BM_LocalIndexNaiveEvict(benchmark::State& state) {
+  bench_index_evict<vsm::NaiveScanIndex>(state);
+}
+
+void index_sizes(benchmark::internal::Benchmark* b) {
+  for (const std::int64_t size : {16, 128, 1024}) {
+    for (const std::int64_t nnz : {2, 8, 32}) {
+      b->Args({size, nnz});
+    }
+  }
+}
+
+BENCHMARK(BM_LocalIndexTopK)->Apply(index_sizes);
+BENCHMARK(BM_LocalIndexNaiveTopK)->Apply(index_sizes);
+BENCHMARK(BM_LocalIndexMatchAll)->Apply(index_sizes);
+BENCHMARK(BM_LocalIndexNaiveMatchAll)->Apply(index_sizes);
+BENCHMARK(BM_LocalIndexWithinAngle)->Apply(index_sizes);
+BENCHMARK(BM_LocalIndexNaiveWithinAngle)->Apply(index_sizes);
+BENCHMARK(BM_LocalIndexEvict)->Apply(index_sizes);
+BENCHMARK(BM_LocalIndexNaiveEvict)->Apply(index_sizes);
 
 // --- batch engine ----------------------------------------------------------
 

@@ -81,11 +81,10 @@ DepartResult Meteorograph::depart_node(overlay::NodeId node) {
   }
 
   // Directory pointers: move to the node now closest to each raw key.
-  for (DirectoryPointer& pointer : state.directory) {
+  for (DirectoryPointer& pointer : state.directory.take_all()) {
     const auto v = vsm::SparseVector::binary(pointer.keywords);
     const overlay::Key raw = naming_.raw_key(v);
-    node_data_[overlay_.closest_alive(raw)].directory.push_back(
-        std::move(pointer));
+    node_data_[overlay_.closest_alive(raw)].directory.add(std::move(pointer));
     ++result.pointers_transferred;
     ++result.messages;
   }

@@ -12,7 +12,10 @@
 /// pointer to the node holding the item.
 
 #include <algorithm>
+#include <cstddef>
 #include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "overlay/key_space.hpp"
@@ -33,6 +36,73 @@ struct DirectoryPointer {
       return std::binary_search(keywords.begin(), keywords.end(), k);
     });
   }
+};
+
+/// Keyword-indexed container for one node's directory pointers
+/// (DESIGN.md §9). Appends preserve publication order — searches chase
+/// pointers in that order, which the determinism goldens pin down — and
+/// `candidates()` returns, in the same order, the indices of pointers
+/// carrying a given keyword, so a search probes one bucket instead of
+/// scanning the node's whole directory on every visit.
+class DirectoryStore {
+ public:
+  void add(DirectoryPointer pointer) {
+    const std::size_t index = pointers_.size();
+    for (const vsm::KeywordId kw : pointer.keywords) {
+      by_keyword_[kw].push_back(index);
+    }
+    pointers_.push_back(std::move(pointer));
+  }
+
+  /// Removes the pointer for `item` (if present), keeping the relative
+  /// order of the rest. The O(pointers) reindex is confined to the
+  /// withdraw/maintenance path; searches never remove.
+  bool remove(vsm::ItemId item) {
+    const auto it = std::find_if(
+        pointers_.begin(), pointers_.end(),
+        [&](const DirectoryPointer& p) { return p.item == item; });
+    if (it == pointers_.end()) return false;
+    pointers_.erase(it);
+    reindex();
+    return true;
+  }
+
+  [[nodiscard]] const std::vector<DirectoryPointer>& all() const noexcept {
+    return pointers_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return pointers_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return pointers_.size(); }
+
+  /// Indices (in publication order) of pointers whose keyword list
+  /// contains `keyword`; empty when no pointer on this node carries it —
+  /// the common case, since pointers for a keyword cluster near the raw
+  /// keys of the vectors containing it.
+  [[nodiscard]] std::span<const std::size_t> candidates(
+      vsm::KeywordId keyword) const {
+    const auto it = by_keyword_.find(keyword);
+    if (it == by_keyword_.end()) return {};
+    return it->second;
+  }
+
+  /// Moves every pointer out (handing off to surviving nodes on depart),
+  /// leaving the store empty.
+  [[nodiscard]] std::vector<DirectoryPointer> take_all() {
+    by_keyword_.clear();
+    return std::exchange(pointers_, {});
+  }
+
+ private:
+  void reindex() {
+    by_keyword_.clear();
+    for (std::size_t i = 0; i < pointers_.size(); ++i) {
+      for (const vsm::KeywordId kw : pointers_[i].keywords) {
+        by_keyword_[kw].push_back(i);
+      }
+    }
+  }
+
+  std::vector<DirectoryPointer> pointers_;
+  std::unordered_map<vsm::KeywordId, std::vector<std::size_t>> by_keyword_;
 };
 
 }  // namespace meteo::core

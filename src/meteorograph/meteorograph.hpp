@@ -390,7 +390,7 @@ class Meteorograph {
   struct NodeData {
     AngleStore items;
     std::unordered_map<vsm::ItemId, vsm::SparseVector> replicas;
-    std::vector<DirectoryPointer> directory;
+    DirectoryStore directory;
     /// Range-search records: attribute -> (value -> items), value-sorted.
     std::map<AttributeId, std::multimap<double, vsm::ItemId>> attributes;
     /// Standing interests planted on this directory node.

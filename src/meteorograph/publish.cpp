@@ -137,7 +137,7 @@ PublishResult Meteorograph::commit_publish(vsm::ItemId id,
       result.pointer_missed = true;
       result.degraded = true;
     } else {
-      node_data_[leg.destination].directory.push_back(
+      node_data_[leg.destination].directory.add(
           DirectoryPointer{id, plan.key, keyword_list(vector)});
       // §6 notifications: standing interests planted on this directory node
       // fire as the pointer arrives.
@@ -223,12 +223,7 @@ WithdrawResult Meteorograph::withdraw_with(vsm::ItemId id,
     if (rec != nullptr) rec->set_leg_key(raw);
     NeighborWalk walk(overlay_, start, raw, rec);
     for (int step = 0; step < 8; ++step) {
-      auto& dir = node_data_[walk.current()].directory;
-      const auto it = std::find_if(
-          dir.begin(), dir.end(),
-          [&](const DirectoryPointer& p) { return p.item == id; });
-      if (it != dir.end()) {
-        dir.erase(it);
+      if (node_data_[walk.current()].directory.remove(id)) {
         result.pointer_removed = true;
         break;
       }

@@ -36,14 +36,19 @@ RetrieveResult Meteorograph::retrieve_op(const vsm::SparseVector& query,
   NeighborWalk walk(overlay_, route.destination, key, rec);
   std::size_t remaining = amount;
   std::unordered_set<vsm::ItemId> seen;
+  // One result buffer for the whole walk: the per-node top_k refills it
+  // in place, so the loop stops reallocating a vector per node visit
+  // (this op may run inside a BatchEngine worker's tight per-op loop).
+  std::vector<vsm::ScoredItem> local;
   while (true) {
     const NodeData& data = node_data_[walk.current()];
     ++result.nodes_visited;
-    const std::vector<vsm::ScoredItem> local =
-        config_.local_ranking == LocalRanking::kLsi
-            ? data.items.top_k_lsi(query, remaining, config_.lsi_rank,
-                                   config_.node_count /*stable seed*/)
-            : data.items.top_k(query, remaining);
+    if (config_.local_ranking == LocalRanking::kLsi) {
+      local = data.items.top_k_lsi(query, remaining, config_.lsi_rank,
+                                   config_.node_count /*stable seed*/);
+    } else {
+      data.items.top_k(query, remaining, local);
+    }
     for (const vsm::ScoredItem& hit : local) {
       if (hit.score <= 0.0) continue;  // no (latent) overlap: not a match
       if (!seen.insert(hit.id).second) continue;

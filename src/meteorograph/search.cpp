@@ -16,6 +16,10 @@ namespace names = obs::names;
 /// from its key's home; lookups walk at most this many extra neighbors.
 constexpr std::size_t kLookupSpillLimit = 16;
 
+/// Shared harvest result for nodes that store nothing — the common case on
+/// a large overlay, where a discover-all walk visits every node.
+const std::vector<vsm::ItemId> kEmptyHarvest;
+
 }  // namespace
 
 SearchResult Meteorograph::search_op(std::span<const vsm::KeywordId> keywords,
@@ -58,6 +62,24 @@ SearchResult Meteorograph::search_op(std::span<const vsm::KeywordId> keywords,
   };
   auto satisfied = [&] { return k > 0 && result.items.size() >= k; };
 
+  // Per-op harvest memo: pointer chases spill across overlapping neighbor
+  // bands, so the same node is often visited by several legs of one
+  // search. Stores are frozen for the op (search_op is const against the
+  // batch snapshot), so the node's match set is computed once.
+  std::unordered_map<overlay::NodeId, std::vector<vsm::ItemId>> harvested;
+  auto harvest = [&](overlay::NodeId node) -> const std::vector<vsm::ItemId>& {
+    const NodeData& data = node_data_[node];
+    if (data.items.empty()) return kEmptyHarvest;
+    const auto it = harvested.find(node);
+    if (it != harvested.end()) return it->second;
+    std::vector<vsm::ItemId> got = data.items.match_all(query);
+    // Memoize only nodes that matched: a walk visits thousands of nodes
+    // whose stores miss the query entirely, and re-running the index's
+    // early-out there is cheaper than churning map entries for them.
+    if (got.empty()) return kEmptyHarvest;
+    return harvested.emplace(node, std::move(got)).first->second;
+  };
+
   // Chase one directory pointer: route to the item's key, harvesting every
   // matching item at each visited node (the paper's k'-batched replies),
   // walking past overflow spill until the pointed-to item is found. A
@@ -79,7 +101,7 @@ SearchResult Meteorograph::search_op(std::span<const vsm::KeywordId> keywords,
     bool found_target = false;
     while (true) {
       const NodeData& data = node_data_[spill.current()];
-      for (const vsm::ItemId id : data.items.match_all(query)) {
+      for (const vsm::ItemId id : harvest(spill.current())) {
         add_item(id, leg.hops + spill.hops());
       }
       found_target = found_target || data.items.contains(pointer.item);
@@ -106,13 +128,17 @@ SearchResult Meteorograph::search_op(std::span<const vsm::KeywordId> keywords,
     // Items found on a walked node cost one marginal neighbor step (the
     // walk itself is accounted in walk_hops); items on the start node are
     // free riders of the initial route.
-    for (const vsm::ItemId id : data.items.match_all(query)) {
+    for (const vsm::ItemId id : harvest(cur)) {
       add_item(id, walk.hops() > 0 ? 1 : 0);
     }
-    // Chase matching pointers, one lookup at a time, stopping at k.
-    for (const DirectoryPointer& pointer : data.directory) {
+    // Chase matching pointers, one lookup at a time, stopping at k. A
+    // pointer matching the whole conjunction necessarily carries the
+    // query's first keyword, so only that bucket is consulted — in
+    // publication order, the same relative order the full scan used.
+    for (const std::size_t pi : data.directory.candidates(query.front())) {
       if (satisfied()) break;
-      if (seen.contains(pointer.item) || !pointer.matches(query)) continue;
+      const DirectoryPointer& pointer = data.directory.all()[pi];
+      if (!pointer.matches(query) || seen.contains(pointer.item)) continue;
       chase(cur, pointer);
     }
 

@@ -9,25 +9,26 @@ namespace meteo::core {
 void AngleStore::insert(StoredEntry entry) {
   erase(entry.id);
   const vsm::ItemId id = entry.id;
-  const overlay::Key key = entry.raw_key;
-  const auto it = by_key_.emplace(key, std::move(entry));
-  by_id_.emplace(id, it);
-  insert_order_.emplace(id, next_order_++);
+  const auto it = by_key_.emplace(entry.raw_key, id);
+  meta_.emplace(id, Meta{it, next_order_++});
+  index_.insert(id, std::move(entry.vector));
   invalidate_lsi();
 }
 
 const vsm::SparseVector* AngleStore::vector_of(vsm::ItemId id) const {
-  const auto it = by_id_.find(id);
-  if (it == by_id_.end()) return nullptr;
-  return &it->second->second.vector;
+  return index_.vector_of(id);
+}
+
+void AngleStore::detach(vsm::ItemId id) {
+  const auto it = meta_.find(id);
+  METEO_ASSERT(it != meta_.end());
+  by_key_.erase(it->second.pos);
+  meta_.erase(it);
 }
 
 bool AngleStore::erase(vsm::ItemId id) {
-  const auto it = by_id_.find(id);
-  if (it == by_id_.end()) return false;
-  by_key_.erase(it->second);
-  by_id_.erase(it);
-  insert_order_.erase(id);
+  if (!index_.erase(id)) return false;
+  detach(id);
   invalidate_lsi();
   return true;
 }
@@ -35,38 +36,27 @@ bool AngleStore::erase(vsm::ItemId id) {
 Eviction AngleStore::evict(const StoredEntry& incoming,
                            EvictionPolicy policy) {
   METEO_EXPECTS(!empty());
-  KeyMap::iterator victim;
+  vsm::ItemId victim = 0;
   switch (policy) {
     case EvictionPolicy::kFarthestAngle: {
       const auto lo = by_key_.begin();
       const auto hi = std::prev(by_key_.end());
-      const overlay::Key dist_lo = overlay::key_distance(lo->first, incoming.raw_key);
-      const overlay::Key dist_hi = overlay::key_distance(hi->first, incoming.raw_key);
-      victim = dist_lo >= dist_hi ? lo : hi;
+      const overlay::Key dist_lo =
+          overlay::key_distance(lo->first, incoming.raw_key);
+      const overlay::Key dist_hi =
+          overlay::key_distance(hi->first, incoming.raw_key);
+      victim = dist_lo >= dist_hi ? lo->second : hi->second;
       break;
     }
-    case EvictionPolicy::kLeastSimilarCosine: {
-      victim = by_key_.begin();
-      double worst = 2.0;
-      for (auto it = by_key_.begin(); it != by_key_.end(); ++it) {
-        const double score =
-            vsm::cosine_similarity(incoming.vector, it->second.vector);
-        if (score < worst ||
-            (score == worst && it->second.id < victim->second.id)) {
-          worst = score;
-          victim = it;
-        }
-      }
+    case EvictionPolicy::kLeastSimilarCosine:
+      victim = *index_.least_similar(incoming.vector);
       break;
-    }
     case EvictionPolicy::kFifo: {
-      victim = by_key_.begin();
       std::uint64_t oldest = ~std::uint64_t{0};
-      for (auto it = by_key_.begin(); it != by_key_.end(); ++it) {
-        const std::uint64_t order = insert_order_.at(it->second.id);
-        if (order < oldest) {
-          oldest = order;
-          victim = it;
+      for (const auto& [id, meta] : meta_) {
+        if (meta.order < oldest) {
+          oldest = meta.order;
+          victim = id;
         }
       }
       break;
@@ -74,12 +64,12 @@ Eviction AngleStore::evict(const StoredEntry& incoming,
   }
 
   Eviction out;
-  out.entry = std::move(victim->second);
+  out.entry.id = victim;
+  out.entry.raw_key = meta_.at(victim).pos->first;
+  out.entry.vector = std::move(index_.take(victim)->vector);
   out.side = out.entry.raw_key <= incoming.raw_key ? EvictSide::kLow
                                                    : EvictSide::kHigh;
-  by_id_.erase(out.entry.id);
-  insert_order_.erase(out.entry.id);
-  by_key_.erase(victim);
+  detach(victim);
   invalidate_lsi();
   return out;
 }
@@ -87,13 +77,13 @@ Eviction AngleStore::evict(const StoredEntry& incoming,
 std::vector<vsm::ScoredItem> AngleStore::top_k_lsi(
     const vsm::SparseVector& query, std::size_t k, std::size_t rank,
     std::uint64_t seed) const {
-  if (by_id_.empty() || k == 0) return {};
+  if (index_.empty() || k == 0) return {};
   if (!lsi_model_.has_value() || lsi_version_ != version_ ||
       lsi_rank_ != rank) {
     std::vector<vsm::StoredItem> docs;
-    docs.reserve(by_id_.size());
-    for (const auto& [key, entry] : by_key_) {
-      docs.push_back(vsm::StoredItem{entry.id, entry.vector});
+    docs.reserve(index_.size());
+    for (const auto& [key, id] : by_key_) {
+      docs.push_back(vsm::StoredItem{id, *index_.vector_of(id)});
     }
     Rng rng(seed ^ version_);
     lsi_model_.emplace(vsm::LsiModel::build(docs, rank, rng));
@@ -103,38 +93,24 @@ std::vector<vsm::ScoredItem> AngleStore::top_k_lsi(
   return lsi_model_->top_k(query, k);
 }
 
+void AngleStore::top_k(const vsm::SparseVector& query, std::size_t k,
+                       std::vector<vsm::ScoredItem>& out) const {
+  index_.top_k(query, k, out);
+}
+
 std::vector<vsm::ScoredItem> AngleStore::top_k(const vsm::SparseVector& query,
                                                std::size_t k) const {
-  std::vector<vsm::ScoredItem> scored;
-  scored.reserve(by_id_.size());
-  for (const auto& [key, entry] : by_key_) {
-    scored.push_back(
-        vsm::ScoredItem{entry.id, vsm::cosine_similarity(query, entry.vector)});
-  }
-  const std::size_t take = std::min(k, scored.size());
-  std::partial_sort(scored.begin(),
-                    scored.begin() + static_cast<std::ptrdiff_t>(take),
-                    scored.end(),
-                    [](const vsm::ScoredItem& a, const vsm::ScoredItem& b) {
-                      if (a.score != b.score) return a.score > b.score;
-                      return a.id < b.id;
-                    });
-  scored.resize(take);
-  return scored;
+  return index_.top_k(query, k);
+}
+
+void AngleStore::match_all(std::span<const vsm::KeywordId> keywords,
+                           std::vector<vsm::ItemId>& out) const {
+  index_.match_all(keywords, out);
 }
 
 std::vector<vsm::ItemId> AngleStore::match_all(
     std::span<const vsm::KeywordId> keywords) const {
-  std::vector<vsm::ItemId> out;
-  for (const auto& [key, entry] : by_key_) {
-    const bool all =
-        std::all_of(keywords.begin(), keywords.end(), [&](vsm::KeywordId k) {
-          return entry.vector.contains(k);
-        });
-    if (all) out.push_back(entry.id);
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  return index_.match_all(keywords);
 }
 
 overlay::Key AngleStore::min_raw_key() const {

@@ -9,12 +9,17 @@
 /// natural invariant: after any publish sequence every node holds a
 /// contiguous band of the global angle order (its own band plus overflow
 /// spill from neighbors).
+///
+/// The vectors themselves live in an embedded `vsm::LocalIndex` — the
+/// inverted postings engine of DESIGN.md §9 — so the similarity kernels
+/// (`top_k`, `match_all`) run sub-linearly in the store size and the
+/// key-ordered multimap only carries item ids, never a second copy of
+/// the vectors.
 
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <span>
-#include <vector>
 #include <unordered_map>
 #include <vector>
 
@@ -50,10 +55,10 @@ class AngleStore {
   /// Inserts an entry (replaces an existing item with the same id).
   void insert(StoredEntry entry);
 
-  [[nodiscard]] std::size_t size() const noexcept { return by_id_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return by_id_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return index_.empty(); }
   [[nodiscard]] bool contains(vsm::ItemId id) const noexcept {
-    return by_id_.contains(id);
+    return index_.contains(id);
   }
 
   /// The stored vector of `id`, or nullptr.
@@ -75,6 +80,10 @@ class AngleStore {
   [[nodiscard]] std::vector<vsm::ScoredItem> top_k(
       const vsm::SparseVector& query, std::size_t k) const;
 
+  /// Caller-buffer overload (clears and refills `out`, reusing capacity).
+  void top_k(const vsm::SparseVector& query, std::size_t k,
+             std::vector<vsm::ScoredItem>& out) const;
+
   /// Top-k by latent-space cosine (§3.3's LSI option). The per-node LSI
   /// model is built lazily and cached until the store mutates; `seed`
   /// makes the randomized SVD deterministic.
@@ -85,11 +94,16 @@ class AngleStore {
   /// Items containing every keyword of `keywords`, ascending id.
   [[nodiscard]] std::vector<vsm::ItemId> match_all(
       std::span<const vsm::KeywordId> keywords) const;
+  void match_all(std::span<const vsm::KeywordId> keywords,
+                 std::vector<vsm::ItemId>& out) const;
 
-  /// Iterates all entries (angle order).
+  /// Iterates all entries (angle order). The StoredEntry passed to `fn`
+  /// is a per-call temporary (its vector is copied out of the index).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [key, entry] : by_key_) fn(entry);
+    for (const auto& [key, id] : by_key_) {
+      fn(StoredEntry{id, key, *index_.vector_of(id)});
+    }
   }
 
   /// Smallest/largest raw key stored. \pre !empty()
@@ -97,13 +111,21 @@ class AngleStore {
   [[nodiscard]] overlay::Key max_raw_key() const;
 
  private:
-  using KeyMap = std::multimap<overlay::Key, StoredEntry>;
+  using KeyMap = std::multimap<overlay::Key, vsm::ItemId>;
+
+  struct Meta {
+    KeyMap::iterator pos;        ///< the item's slot in angle order
+    std::uint64_t order = 0;     ///< insertion sequence (kFifo)
+  };
 
   void invalidate_lsi() noexcept { ++version_; }
 
+  /// Removes `id` from the key map and metadata (not the vector index).
+  void detach(vsm::ItemId id);
+
   KeyMap by_key_;
-  std::unordered_map<vsm::ItemId, KeyMap::iterator> by_id_;
-  std::unordered_map<vsm::ItemId, std::uint64_t> insert_order_;
+  std::unordered_map<vsm::ItemId, Meta> meta_;
+  vsm::LocalIndex index_;  ///< owns the vectors + inverted postings
   std::uint64_t next_order_ = 0;
 
   /// LSI cache: rebuilt when the store version moves past the cached one.

@@ -33,6 +33,97 @@ TEST(LocalIndex, InsertReplacesExisting) {
   EXPECT_TRUE(idx.vector_of(1)->contains(5));
 }
 
+TEST(LocalIndex, ReplaceUpdatesPostingLists) {
+  // A replace must rewrite the inverted postings: the old terms drop out
+  // (no stale matches) and the new terms match, with scores computed from
+  // the new weights.
+  LocalIndex idx;
+  idx.insert(1, vec({0, 1}));
+  idx.insert(2, vec({0, 7}));
+  idx.insert(1, vec({5, 6}));
+
+  // Old terms of item 1 must be gone from every keyword kernel.
+  const std::vector<KeywordId> old_q = {0};
+  const auto old_hits = idx.match_all(old_q);
+  ASSERT_EQ(old_hits.size(), 1u);
+  EXPECT_EQ(old_hits[0], 2u);
+  EXPECT_TRUE(idx.match_all(std::vector<KeywordId>{1}).empty());
+  EXPECT_EQ(idx.match_any(std::vector<KeywordId>{1, 5}),
+            (std::vector<ItemId>{1}));
+
+  // New terms must match, and scoring must see the new vector.
+  const auto new_hits = idx.match_all(std::vector<KeywordId>{5, 6});
+  ASSERT_EQ(new_hits.size(), 1u);
+  EXPECT_EQ(new_hits[0], 1u);
+  const auto top = idx.top_k(vec({5, 6}), 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 1u);
+  EXPECT_NEAR(top[0].score, 1.0, 1e-12);
+}
+
+TEST(LocalIndex, ReplaceNeverReturnsStaleMatchesUnderChurn) {
+  // Repeatedly re-point a fixed set of ids at rotating keyword pairs;
+  // after every replace, a query for a keyword the item no longer has
+  // must not return it.
+  LocalIndex idx;
+  constexpr KeywordId kRound = 16;
+  for (std::uint32_t round = 0; round < 8; ++round) {
+    for (ItemId id = 0; id < 4; ++id) {
+      const auto base = static_cast<KeywordId>(
+          (round + static_cast<std::uint32_t>(id)) % kRound);
+      idx.insert(id, vec({base, static_cast<KeywordId>((base + 1) % kRound)}));
+    }
+    for (KeywordId kw = 0; kw < kRound; ++kw) {
+      for (const ItemId id : idx.match_all(std::span<const KeywordId>(&kw, 1))) {
+        EXPECT_TRUE(idx.vector_of(id)->contains(kw))
+            << "stale posting: item " << id << " keyword " << kw;
+      }
+    }
+  }
+}
+
+TEST(LocalIndex, TakeReturnsVectorAndRemoves) {
+  LocalIndex idx;
+  idx.insert(1, vec({0, 1}));
+  idx.insert(2, vec({2}));
+  const auto taken = idx.take(1);
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(taken->id, 1u);
+  EXPECT_TRUE(taken->vector.contains(0));
+  EXPECT_FALSE(idx.contains(1));
+  EXPECT_FALSE(idx.take(1).has_value());
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(LocalIndex, LeastSimilarReportsWithoutRemoving) {
+  LocalIndex idx;
+  idx.insert(1, vec({0, 1}));
+  idx.insert(2, vec({7, 8}));
+  const auto victim = idx.least_similar(vec({0, 1}));
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 2u);
+  EXPECT_EQ(idx.size(), 2u);
+}
+
+TEST(LocalIndex, CallerBufferOverloadsReuseCapacity) {
+  LocalIndex idx;
+  idx.insert(1, vec({0, 1}));
+  idx.insert(2, vec({0, 9}));
+  std::vector<ScoredItem> scored;
+  idx.top_k(vec({0, 1}), 2, scored);
+  ASSERT_EQ(scored.size(), 2u);
+  EXPECT_EQ(scored[0].id, 1u);
+  idx.top_k(vec({9}), 1, scored);  // refill in place
+  ASSERT_EQ(scored.size(), 1u);
+  EXPECT_EQ(scored[0].id, 2u);
+  std::vector<ItemId> ids;
+  const std::vector<KeywordId> q = {0};
+  idx.match_all(q, ids);
+  EXPECT_EQ(ids, (std::vector<ItemId>{1, 2}));
+  idx.within_angle(vec({0}), std::numbers::pi / 2.0, scored);
+  EXPECT_EQ(scored.size(), 2u);
+}
+
 TEST(LocalIndex, EraseExistingAndMissing) {
   LocalIndex idx;
   idx.insert(1, vec({0}));

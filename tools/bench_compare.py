@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Compare two benchmark JSON files and fail on throughput regressions.
+
+Supports both benchmark output formats this repo emits:
+
+  * the harness format (BENCH_batch.json): a top-level ``results`` array of
+    ``{"bench": ..., "workers": ..., "ops_per_second": ...}`` rows, keyed by
+    ``bench/workers``;
+  * google-benchmark JSON (BENCH_local_index.json): a top-level
+    ``benchmarks`` array keyed by ``name``, using ``items_per_second`` when
+    present and falling back to ``1 / real_time`` otherwise.
+
+A row regresses when its ops/s drops more than ``--threshold`` (default
+15%) below the baseline. Rows present in only one file are reported but
+never fail the comparison (benchmarks come and go across PRs).
+
+Exit status: 0 = no regression, 1 = at least one regression (or, with
+--selftest, a self-test failure), 2 = usage/parse error.
+
+Usage:
+  tools/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
+  tools/bench_compare.py --selftest
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """Return {key: ops_per_second} for either supported format."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    return extract_rows(data, path)
+
+
+def extract_rows(data, label):
+    rows = {}
+    if "results" in data:  # harness format
+        for row in data["results"]:
+            key = f"{row['bench']}/workers:{row['workers']}"
+            rows[key] = float(row["ops_per_second"])
+    elif "benchmarks" in data:  # google-benchmark format
+        for row in data["benchmarks"]:
+            if row.get("run_type") == "aggregate":
+                continue
+            if "items_per_second" in row:
+                ops = float(row["items_per_second"])
+            else:
+                # real_time is per-iteration in row["time_unit"]; any
+                # monotone transform works for a ratio test.
+                scale = {"ns": 1e9, "us": 1e6, "ms": 1e3, "s": 1.0}[
+                    row.get("time_unit", "ns")
+                ]
+                ops = scale / float(row["real_time"])
+            rows[row["name"]] = ops
+    else:
+        raise ValueError(f"{label}: neither 'results' nor 'benchmarks' found")
+    if not rows:
+        raise ValueError(f"{label}: no benchmark rows")
+    return rows
+
+
+def compare(baseline, current, threshold):
+    """Return (regressions, report_lines) for two {key: ops/s} maps."""
+    regressions = []
+    lines = []
+    for key in sorted(baseline):
+        if key not in current:
+            lines.append(f"  [gone]    {key} (baseline only)")
+            continue
+        base, cur = baseline[key], current[key]
+        ratio = cur / base if base > 0 else float("inf")
+        mark = "ok"
+        if ratio < 1.0 - threshold:
+            mark = "REGRESSED"
+            regressions.append(key)
+        lines.append(
+            f"  [{mark:>9}] {key}: {base:.4g} -> {cur:.4g} ops/s "
+            f"({(ratio - 1.0) * 100.0:+.1f}%)"
+        )
+    for key in sorted(set(current) - set(baseline)):
+        lines.append(f"  [new]     {key} (no baseline)")
+    return regressions, lines
+
+
+def selftest():
+    """Prove the comparator fails on an injected regression."""
+    baseline = {
+        "results": [
+            {"bench": "a", "workers": 1, "ops_per_second": 100.0},
+            {"bench": "b", "workers": 1, "ops_per_second": 50.0},
+        ]
+    }
+    # 30% drop on "a" must regress at the 15% threshold; a 10% drop on "b"
+    # must not; google-benchmark rows must parse through both ops fields.
+    injected = {
+        "results": [
+            {"bench": "a", "workers": 1, "ops_per_second": 70.0},
+            {"bench": "b", "workers": 1, "ops_per_second": 45.0},
+        ]
+    }
+    regressions, _ = compare(
+        extract_rows(baseline, "base"), extract_rows(injected, "cur"), 0.15
+    )
+    if regressions != ["a/workers:1"]:
+        print(f"selftest FAILED: expected ['a/workers:1'], got {regressions}")
+        return 1
+
+    gb_base = {
+        "benchmarks": [
+            {"name": "BM_X/8", "items_per_second": 1000.0},
+            {"name": "BM_Y/8", "real_time": 100.0, "time_unit": "ns"},
+        ]
+    }
+    gb_cur = {
+        "benchmarks": [
+            {"name": "BM_X/8", "items_per_second": 990.0},
+            {"name": "BM_Y/8", "real_time": 200.0, "time_unit": "ns"},  # 2x slower
+        ]
+    }
+    regressions, _ = compare(
+        extract_rows(gb_base, "base"), extract_rows(gb_cur, "cur"), 0.15
+    )
+    if regressions != ["BM_Y/8"]:
+        print(f"selftest FAILED: expected ['BM_Y/8'], got {regressions}")
+        return 1
+
+    # Identical files must pass.
+    regressions, _ = compare(
+        extract_rows(baseline, "base"), extract_rows(baseline, "cur"), 0.15
+    )
+    if regressions:
+        print(f"selftest FAILED: identical inputs regressed: {regressions}")
+        return 1
+    print("bench_compare selftest: ok (injected 50% regression detected)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", help="baseline JSON")
+    parser.add_argument("current", nargs="?", help="current JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="max allowed fractional ops/s drop (default 0.15)",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="verify the comparator flags an injected regression",
+    )
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+    if args.baseline is None or args.current is None:
+        parser.print_usage()
+        return 2
+
+    try:
+        baseline = load_rows(args.baseline)
+        current = load_rows(args.current)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"bench_compare: {err}", file=sys.stderr)
+        return 2
+
+    regressions, lines = compare(baseline, current, args.threshold)
+    print(f"bench_compare: {args.baseline} vs {args.current} "
+          f"(threshold {args.threshold:.0%})")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}: {', '.join(regressions)}")
+        return 1
+    print("bench_compare: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

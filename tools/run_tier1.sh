@@ -35,15 +35,26 @@ ctest --test-dir "$build_dir" -L tier1 --output-on-failure -j "$(nproc)"
 "$build_dir/tools/trace_dump" --selftest
 tools/check_observability_docs.sh
 
+# Benchmark-regression gate: the comparator must prove it can catch an
+# injected regression, then the committed batch-throughput numbers must
+# sit within 15% of the baseline snapshot (tools/baselines/).
+python3 tools/bench_compare.py --selftest
+python3 tools/bench_compare.py tools/baselines/BENCH_batch.json BENCH_batch.json
+
 if [[ "$tsan" != 0 ]]; then
   cmake -B "${build_dir}-tsan" -S . \
     -DMETEO_SANITIZE=thread \
     -DMETEO_BUILD_BENCH=OFF \
     -DMETEO_BUILD_EXAMPLES=OFF
   cmake --build "${build_dir}-tsan" -j "$(nproc)" \
-    --target meteo_batch_tests --target meteo_obs_tests
+    --target meteo_batch_tests --target meteo_obs_tests \
+    --target meteo_vsm_tests
   "${build_dir}-tsan/tests/meteo_batch_tests" \
     --gtest_filter='BatchDeterminism.*:BatchEngine.*'
   "${build_dir}-tsan/tests/meteo_obs_tests" \
     --gtest_filter='TraceDeterminism.*'
+  # The inverted index's score scratch is thread_local; concurrent const
+  # queries from BatchEngine workers must stay race-free (DESIGN.md §9).
+  "${build_dir}-tsan/tests/meteo_vsm_tests" \
+    --gtest_filter='LocalIndexOracle.*'
 fi
