@@ -76,6 +76,7 @@ std::vector<std::size_t> KeywordDht::node_loads() const {
   std::vector<std::size_t> loads;
   for (const overlay::NodeId id : overlay_.alive_nodes()) {
     std::size_t load = 0;
+    // meteo-lint: order-insensitive(integer sum of posting sizes commutes)
     for (const auto& [keyword, list] : postings_[id]) {
       load += list.size();
     }

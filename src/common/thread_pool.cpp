@@ -61,14 +61,12 @@ void ThreadPool::parallel_for_chunked(
       std::min(total, std::max<std::size_t>(1, thread_count() * 4));
   const std::size_t chunk_size = (total + chunks - 1) / chunks;
 
-  std::atomic<std::size_t> remaining{0};
+  const std::size_t launched = (total + chunk_size - 1) / chunk_size;
+  std::atomic<std::size_t> remaining{launched};
   std::exception_ptr first_error;
   std::mutex error_mutex;
   std::mutex done_mutex;
   std::condition_variable done_cv;
-
-  const std::size_t launched = (total + chunk_size - 1) / chunk_size;
-  remaining.store(launched, std::memory_order_relaxed);
 
   for (std::size_t lo = begin; lo < end; lo += chunk_size) {
     const std::size_t hi = std::min(lo + chunk_size, end);

@@ -389,7 +389,10 @@ class Meteorograph {
 
   struct NodeData {
     AngleStore items;
-    std::unordered_map<vsm::ItemId, vsm::SparseVector> replicas;
+    /// Ordered by id: retrieve harvests replicas under a result budget
+    /// and depart re-homes them, so iteration order is result-visible
+    /// (meteo-lint R1 — hash order may not feed results).
+    std::map<vsm::ItemId, vsm::SparseVector> replicas;
     DirectoryStore directory;
     /// Range-search records: attribute -> (value -> items), value-sorted.
     std::map<AttributeId, std::multimap<double, vsm::ItemId>> attributes;

@@ -53,6 +53,7 @@ Eviction AngleStore::evict(const StoredEntry& incoming,
       break;
     case EvictionPolicy::kFifo: {
       std::uint64_t oldest = ~std::uint64_t{0};
+      // meteo-lint: order-insensitive(min over unique insertion counters)
       for (const auto& [id, meta] : meta_) {
         if (meta.order < oldest) {
           oldest = meta.order;

@@ -105,17 +105,22 @@ overlay::MessageFate FaultPlan::on_message(
     return fate;
   }
   fire_due_events();
-  const overlay::MessageFate fate =
-      decide(messages_.load(std::memory_order_relaxed));
+  const overlay::MessageFate fate = decide(messages_.load(
+      // meteo-lint: relaxed(unscoped path is single-threaded; batch workers use OpScope)
+      std::memory_order_relaxed));
+  // meteo-lint: relaxed(metric total; read after join/commit barrier)
   messages_.fetch_add(1, std::memory_order_relaxed);
   switch (fate) {
     case overlay::MessageFate::kDrop:
+      // meteo-lint: relaxed(metric total; read after join/commit barrier)
       dropped_.fetch_add(1, std::memory_order_relaxed);
       break;
     case overlay::MessageFate::kDelay:
+      // meteo-lint: relaxed(metric total; read after join/commit barrier)
       delayed_.fetch_add(1, std::memory_order_relaxed);
       break;
     case overlay::MessageFate::kDuplicate:
+      // meteo-lint: relaxed(metric total; read after join/commit barrier)
       duplicated_.fetch_add(1, std::memory_order_relaxed);
       break;
     case overlay::MessageFate::kDeliver:
@@ -133,9 +138,13 @@ void FaultPlan::begin_op_scope(std::uint64_t salt,
 }
 
 std::uint64_t FaultPlan::end_op_scope() {
+  // meteo-lint: relaxed(metric total; read after join/commit barrier)
   messages_.fetch_add(scope_.messages, std::memory_order_relaxed);
+  // meteo-lint: relaxed(metric total; read after join/commit barrier)
   dropped_.fetch_add(scope_.dropped, std::memory_order_relaxed);
+  // meteo-lint: relaxed(metric total; read after join/commit barrier)
   delayed_.fetch_add(scope_.delayed, std::memory_order_relaxed);
+  // meteo-lint: relaxed(metric total; read after join/commit barrier)
   duplicated_.fetch_add(scope_.duplicated, std::memory_order_relaxed);
   const std::uint64_t next = scope_.index;
   scope_ = OpScope{};

@@ -76,15 +76,19 @@ class FaultPlan final : public overlay::FaultHook {
     return config_;
   }
   [[nodiscard]] std::size_t messages_seen() const noexcept {
+    // meteo-lint: relaxed(metric total; read after join/commit barrier)
     return messages_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t dropped() const noexcept {
+    // meteo-lint: relaxed(metric total; read after join/commit barrier)
     return dropped_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t delayed() const noexcept {
+    // meteo-lint: relaxed(metric total; read after join/commit barrier)
     return delayed_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t duplicated() const noexcept {
+    // meteo-lint: relaxed(metric total; read after join/commit barrier)
     return duplicated_.load(std::memory_order_relaxed);
   }
 

@@ -35,6 +35,7 @@ using detail::ScoreScratch;
 /// epoch. Sharing one scratch across every LocalIndex on the thread is
 /// safe because each call starts a new epoch.
 ScoreScratch& begin_scratch(std::size_t slots) {
+  // meteo-lint: scoped(epoch-stamped scratch; contents never outlive one query and never feed results across calls, DESIGN.md §9)
   thread_local ScoreScratch s;
   if (s.acc.size() < slots) {
     s.acc.resize(slots);

@@ -128,6 +128,7 @@ Trace synthesize_trace(const TraceConfig& config, std::uint64_t seed) {
       basket.insert(static_cast<vsm::KeywordId>(k - 1));
     }
 
+    // meteo-lint: order-insensitive(copied out and sorted before use)
     std::vector<vsm::KeywordId> sorted(basket.begin(), basket.end());
     std::sort(sorted.begin(), sorted.end());
     keywords.insert(keywords.end(), sorted.begin(), sorted.end());

@@ -1,0 +1,45 @@
+// meteo-lint fixture: patterns R1 must NOT fire on — ordered
+// containers, lookup-only unordered use, the find()-sentinel idiom,
+// and an annotated provably-order-insensitive fold. Not compiled.
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+std::size_t ordered_iteration() {
+  // Ordered container: iteration is deterministic. (Named distinctly
+  // from the unordered params below — the token engine resolves
+  // container kinds by name, so reusing a name across kinds in one
+  // file would blur the distinction.)
+  std::map<int, int> ranked;
+  std::size_t n = 0;
+  for (const auto& [id, score] : ranked) {
+    n += static_cast<std::size_t>(score);
+  }
+  return n;
+}
+
+bool lookup_only(const std::unordered_map<int, int>& scores, int id) {
+  // find()/end() sentinel comparison is not iteration.
+  return scores.find(id) != scores.end();
+}
+
+std::size_t annotated_fold(const std::unordered_map<int, int>& sizes) {
+  std::size_t total = 0;
+  // meteo-lint: order-insensitive(integer sum commutes)
+  for (const auto& [id, size] : sizes) {
+    total += static_cast<std::size_t>(size);
+  }
+  return total;
+}
+
+std::vector<int> call_result_range(std::vector<int> (*pick)(std::size_t),
+                                   const std::unordered_map<int, int>& m) {
+  std::vector<int> out;
+  // The *call result* is iterated; `m` inside the argument list does
+  // not make the iterated range unordered.
+  for (int v : pick(m.size())) {
+    out.push_back(v);
+  }
+  return out;
+}

@@ -1,0 +1,24 @@
+// meteo-lint fixture: R1 must fire on iteration over an unordered
+// container (checked as-if under src/meteorograph/). Not compiled.
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+std::size_t result_from_hash_order() {
+  std::unordered_map<int, int> scores;
+  scores.emplace(1, 2);
+  std::vector<int> out;
+  for (const auto& [id, score] : scores) {  // R1: order feeds a result
+    out.push_back(id);
+  }
+  return out.size();
+}
+
+std::size_t iterator_walk() {
+  std::unordered_map<int, int> scores;
+  std::size_t n = 0;
+  for (auto it = scores.begin(); it != scores.end(); ++it) {  // R1
+    ++n;
+  }
+  return n;
+}

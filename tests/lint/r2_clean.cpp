@@ -1,0 +1,24 @@
+// meteo-lint fixture: patterns R2 must NOT fire on — seeded generator
+// use and identifiers that merely contain banned substrings. Not
+// compiled (the Rng include is illustrative).
+#include <cstdint>
+
+struct Splitmix {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+std::uint64_t seeded_draw(std::uint64_t seed) {
+  Splitmix rng{seed};  // deterministic substream: the sanctioned source
+  return rng.next();
+}
+
+// Identifiers containing banned names are not calls.
+int randomize_count = 0;
+int uptime_ms = 0;
+const char* label = "steady_clock";  // string literal, not code

@@ -1,0 +1,24 @@
+// meteo-lint fixture: R2 must fire on wall-clock / ambient randomness
+// in core code (checked as-if under src/meteorograph/). Not compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned ambient_entropy() {
+  std::random_device rd;  // R2: unseeded, unreproducible
+  return rd();
+}
+
+int libc_rand() {
+  return rand();  // R2: process-global hidden state
+}
+
+long wall_clock_seed() {
+  return time(nullptr);  // R2: wall clock
+}
+
+long now_ns() {
+  // R2: even the monotonic clock makes results run-dependent
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

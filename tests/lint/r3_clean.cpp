@@ -1,0 +1,17 @@
+// meteo-lint fixture: patterns R3 must NOT fire on — left-to-right
+// std::accumulate over ordered ranges is part of the contract. Not
+// compiled.
+#include <numeric>
+#include <vector>
+
+double ordered_sum(const std::vector<double>& xs) {
+  // Sequential accumulate over an ordered range: the fold order is
+  // specified left-to-right, so the bit pattern is reproducible.
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+double manual_sum(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (const double x : xs) total += x;
+  return total;
+}

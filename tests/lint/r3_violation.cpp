@@ -1,0 +1,17 @@
+// meteo-lint fixture: R3 must fire on FP accumulation with unspecified
+// order (checked as-if under src/meteorograph/). Not compiled.
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+double unordered_reduce(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end(), 0.0);  // R3: unspecified order
+}
+
+double hash_order_sum(const std::unordered_map<int, double>& weights) {
+  // R3: std::accumulate visits hash order
+  return std::accumulate(weights.begin(), weights.end(), 0.0,
+                         [](double acc, const auto& kv) {
+                           return acc + kv.second;
+                         });
+}

@@ -1,0 +1,18 @@
+// meteo-lint fixture: patterns R4 must NOT fire on — immutable statics,
+// static member functions, and an annotated audited scratch. Not
+// compiled.
+#include <cstdint>
+#include <vector>
+
+static constexpr std::uint64_t kSeedMix = 0x9e3779b97f4a7c15ULL;
+static const int kTableSize = 1024;
+
+struct Codec {
+  static int versioned_size(int version);  // static fn, not state
+};
+
+std::vector<double>& audited_scratch() {
+  // meteo-lint: scoped(epoch-stamped; contents never outlive one query)
+  thread_local std::vector<double> buf;
+  return buf;
+}

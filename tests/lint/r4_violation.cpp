@@ -1,0 +1,14 @@
+// meteo-lint fixture: R4 must fire on thread_local and on mutable
+// static state (checked as-if under src/meteorograph/). Not compiled.
+#include <cstdint>
+#include <vector>
+
+std::uint64_t next_id() {
+  static std::uint64_t counter = 0;  // R4: survives across ops/batches
+  return ++counter;
+}
+
+std::vector<double>& scratch() {
+  thread_local std::vector<double> buf;  // R4: worker-count-dependent
+  return buf;
+}

@@ -1,0 +1,18 @@
+// meteo-lint fixture: patterns R5 must NOT fire on — default
+// (seq_cst) atomics, explicit acquire/release, and an annotated metric
+// total. Not compiled.
+#include <atomic>
+#include <cstdint>
+
+std::uint64_t strict_read(const std::atomic<std::uint64_t>& x) {
+  return x.load();  // seq_cst default
+}
+
+void publish_flag(std::atomic<bool>& flag) {
+  flag.store(true, std::memory_order_release);
+}
+
+void bump_metric(std::atomic<std::uint64_t>& total) {
+  // meteo-lint: relaxed(metric total; read after join/commit barrier)
+  total.fetch_add(1, std::memory_order_relaxed);
+}

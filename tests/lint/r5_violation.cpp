@@ -1,0 +1,11 @@
+// meteo-lint fixture: R5 must fire on volatile-as-synchronization and
+// unannotated relaxed atomics (checked as-if under src/meteorograph/).
+// Not compiled.
+#include <atomic>
+#include <cstdint>
+
+volatile bool ready = false;  // R5: volatile is not synchronization
+
+std::uint64_t sloppy_read(const std::atomic<std::uint64_t>& x) {
+  return x.load(std::memory_order_relaxed);  // R5: unaudited relaxed
+}

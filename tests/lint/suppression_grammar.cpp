@@ -1,0 +1,13 @@
+// meteo-lint fixture: the suppression grammar itself. A tag with an
+// empty reason must be rejected, and a suppression with no matching
+// violation must be reported as stale. Not compiled.
+#include <atomic>
+#include <cstdint>
+
+void empty_reason(std::atomic<std::uint64_t>& total) {
+  // meteo-lint: relaxed()
+  total.fetch_add(1, std::memory_order_relaxed);
+}
+
+// meteo-lint: order-insensitive(nothing here iterates anything)
+int stale_site = 0;

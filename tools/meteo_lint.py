@@ -1,0 +1,823 @@
+#!/usr/bin/env python3
+"""meteo-lint: static enforcement of Meteorograph's determinism contract.
+
+The repo's headline guarantee — publish/search results, traces, and
+metric dumps that are bit-identical at any BatchEngine worker count
+(DESIGN.md §7–§9) — is enforced dynamically by oracle tests and golden
+fingerprints. This linter enforces the same contract *statically*, at
+review time, via a small rule catalog (DESIGN.md §10):
+
+  R1  no iteration over std::unordered_map/std::unordered_set in core
+      code unless the site carries a
+      `// meteo-lint: order-insensitive(<reason>)` annotation.
+      Hash-order is not part of any contract; iterating it into a
+      result, trace, or accumulation is the canonical nondeterminism
+      bug class.
+  R2  no wall-clock or ambient randomness in core code:
+      std::random_device, rand()/srand(), time()/clock(),
+      std::chrono::{system,steady,high_resolution}_clock. Core code
+      draws from the seeded splitmix64/xoshiro substreams
+      (src/common/rng.hpp). Paths under obs/, bench/, tools/ and
+      examples/ are allowlisted (they time real executions);
+      elsewhere a `// meteo-lint: real-time(<reason>)` annotation is
+      required.
+  R3  no floating-point accumulation with unspecified order:
+      std::reduce / std::transform_reduce / std::execution::par*, and
+      std::accumulate over an unordered container. FP addition order
+      is part of the bit-identical contract. Also bans -ffast-math in
+      any CMake file. Suppress with `// meteo-lint: fp-order(<reason>)`.
+  R4  no thread_local, and no mutable static state, in
+      src/meteorograph/ or src/vsm/ without a
+      `// meteo-lint: scoped(<reason>)` annotation documenting why the
+      state cannot leak across ops/batches.
+  R5  no volatile (it is not synchronization), and no
+      std::memory_order_relaxed outside annotated metric totals —
+      suppress with `// meteo-lint: relaxed(<reason>)`.
+
+Every suppression requires a non-empty reason; `--list-suppressions`
+prints the audited inventory. A suppression that matches no violation
+is itself an error (stale suppressions rot).
+
+Engines: with python-libclang available the checker walks the clang
+AST for R1/R4 (exact types, no name heuristics); otherwise a
+token-level engine covers all rules. `--engine auto` (default) picks
+libclang when importable, falling back silently — rule semantics and
+fixtures are identical either way. R2/R3/R5 are keyword-shaped and
+always run on tokens.
+
+Exit status: 0 clean, 1 violations, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+# --------------------------------------------------------------------------
+# Rule table
+# --------------------------------------------------------------------------
+
+RULES = {
+    "R1": ("order-insensitive", "iteration over unordered container"),
+    "R2": ("real-time", "wall-clock / ambient randomness in core code"),
+    "R3": ("fp-order", "floating-point accumulation with unspecified order"),
+    "R4": ("scoped", "thread_local / mutable static state in core code"),
+    "R5": ("relaxed", "volatile-as-sync / relaxed atomic ordering"),
+}
+TAG_TO_RULE = {tag: rule for rule, (tag, _) in RULES.items()}
+
+# Directories (relative to repo root) where each restriction applies.
+# R2's allowlist: code that times or seeds from the real world.
+R2_ALLOW_PREFIXES = ("src/obs/", "bench/", "tools/", "examples/")
+# R4 applies where per-op state determinism is contractual.
+R4_PREFIXES = ("src/meteorograph/", "src/vsm/")
+
+SOURCE_EXT = {".cpp", ".hpp", ".cc", ".h", ".cxx", ".hxx"}
+
+SUPPRESSION_RE = re.compile(r"//\s*meteo-lint:\s*(.*)$")
+TAG_RE = re.compile(r"([a-z-]+)\(([^()]*)\)")
+
+R2_PATTERNS = [
+    (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"(?<![\w:.])(?:std\s*::\s*)?time\s*\(\s*(?:NULL|nullptr|0|&)"),
+     "time()"),
+    (re.compile(r"(?<![\w:.])(?:std\s*::\s*)?clock\s*\(\s*\)"), "clock()"),
+    (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"\bsteady_clock\b"), "std::chrono::steady_clock"),
+    (re.compile(r"\bhigh_resolution_clock\b"),
+     "std::chrono::high_resolution_clock"),
+]
+
+R3_PATTERNS = [
+    (re.compile(r"\bstd\s*::\s*reduce\b"), "std::reduce"),
+    (re.compile(r"\bstd\s*::\s*transform_reduce\b"), "std::transform_reduce"),
+    (re.compile(r"\bstd\s*::\s*execution\s*::\s*par"), "std::execution::par*"),
+]
+
+R5_VOLATILE_RE = re.compile(r"(?<![\w])volatile(?![\w])")
+R5_RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+# `name` of a variable declared with an unordered type: the identifier that
+# follows the closing template bracket(s), e.g.
+#   std::unordered_map<K, V> seen;
+#   std::unordered_map<K, std::vector<V>> harvested_;
+DECL_NAME_RE = re.compile(r">\s*&?\s*([A-Za-z_]\w*)\s*(?:[;={(,)]|$)")
+FOR_HEAD_RE = re.compile(r"\bfor\s*\(")
+# Only `begin` starts a walk; a lone `.end()` is the find()-sentinel idiom
+# and carries no ordering dependence.
+ITER_BEGIN_RE = re.compile(r"([A-Za-z_]\w*(?:\.|->))?\s*([A-Za-z_]\w*)\s*"
+                           r"(?:\.|->)\s*c?r?begin\s*\(")
+ACCUMULATE_RE = re.compile(r"\bstd\s*::\s*accumulate\s*\(([^;]*)")
+THREAD_LOCAL_RE = re.compile(r"\bthread_local\b")
+STATIC_DECL_RE = re.compile(r"^\s*(?:inline\s+)?static\s+(?!assert\b)(.*)$")
+FAST_MATH_RE = re.compile(r"-f+fast-math|\bffast-math\b")
+
+
+@dataclass
+class Violation:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        tag, _ = RULES[self.rule]
+        return (f"{self.path}:{self.line}: [{self.rule}] {self.message} "
+                f"(suppress with `// meteo-lint: {tag}(<reason>)`)")
+
+
+@dataclass
+class Suppression:
+    path: str
+    line: int
+    tag: str
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class FileReport:
+    violations: list[Violation] = field(default_factory=list)
+    suppressions: list[Suppression] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# Lexing helpers (token engine)
+# --------------------------------------------------------------------------
+
+def split_code_comment(line: str, in_block: bool) -> tuple[str, str, bool]:
+    """Splits one physical line into (code, line-comment, in_block_after).
+
+    String and char literals are blanked out of the code part so banned
+    identifiers inside literals never fire. Block comments are blanked
+    too; only the trailing `//` comment is returned (that is where
+    meteo-lint annotations live).
+    """
+    code: list[str] = []
+    comment = ""
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if in_block:
+            if c == "*" and nxt == "/":
+                in_block = False
+                i += 2
+            else:
+                i += 1
+            continue
+        if c == "/" and nxt == "/":
+            comment = line[i:]
+            break
+        if c == "/" and nxt == "*":
+            in_block = True
+            i += 2
+            continue
+        if c == '"' or c == "'":
+            quote = c
+            code.append(quote)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            code.append(quote)
+            continue
+        code.append(c)
+        i += 1
+    return "".join(code), comment, in_block
+
+
+@dataclass
+class Line:
+    raw: str
+    code: str
+    comment: str
+
+
+def lex_file(text: str) -> list[Line]:
+    lines: list[Line] = []
+    in_block = False
+    for raw in text.splitlines():
+        code, comment, in_block = split_code_comment(raw, in_block)
+        lines.append(Line(raw=raw, code=code, comment=comment))
+    return lines
+
+
+def parse_suppressions(path: str, lines: list[Line],
+                       report: FileReport) -> None:
+    for idx, ln in enumerate(lines):
+        m = SUPPRESSION_RE.search(ln.comment)
+        if not m:
+            continue
+        body = m.group(1).strip()
+        tags = TAG_RE.findall(body)
+        if not tags:
+            report.errors.append(
+                f"{path}:{idx + 1}: malformed meteo-lint annotation "
+                f"(expected `tag(reason)`): {body!r}")
+            continue
+        # Anything left over after removing well-formed tag(reason) pairs
+        # is a grammar error (e.g. a bare tag with no reason).
+        leftover = TAG_RE.sub("", body).replace(",", "").strip()
+        if leftover:
+            report.errors.append(
+                f"{path}:{idx + 1}: malformed meteo-lint annotation near "
+                f"{leftover!r} (grammar: tag(reason)[, tag(reason)...])")
+        for tag, reason in tags:
+            if tag not in TAG_TO_RULE:
+                report.errors.append(
+                    f"{path}:{idx + 1}: unknown meteo-lint tag {tag!r} "
+                    f"(known: {', '.join(sorted(TAG_TO_RULE))})")
+                continue
+            if not reason.strip():
+                report.errors.append(
+                    f"{path}:{idx + 1}: meteo-lint suppression "
+                    f"`{tag}` requires a non-empty reason")
+                continue
+            report.suppressions.append(
+                Suppression(path=path, line=idx + 1, tag=tag,
+                            reason=reason.strip()))
+
+
+def find_suppression(report: FileReport, tag: str, line: int) -> Suppression | None:
+    """A suppression annotates the same line or the line directly above.
+
+    Same-line wins, and unused entries win over used ones, so stacked
+    per-line annotations on consecutive violations each get claimed by
+    their own line instead of one trailing comment absorbing its
+    neighbor's violation.
+    """
+    candidates = [s for s in report.suppressions
+                  if s.tag == tag and s.line in (line, line - 1)]
+    candidates.sort(key=lambda s: (s.line != line, s.used))
+    return candidates[0] if candidates else None
+
+
+def add_violation(report: FileReport, path: str, line: int, rule: str,
+                  message: str) -> None:
+    tag, _ = RULES[rule]
+    sup = find_suppression(report, tag, line)
+    if sup is not None:
+        sup.used = True
+        return
+    if any(v.path == path and v.line == line and v.rule == rule
+           for v in report.violations):
+        return
+    report.violations.append(Violation(path, line, rule, message))
+
+
+def _balanced_paren(text: str, open_at: int) -> str | None:
+    """The content of the paren group opening at text[open_at] == '('."""
+    depth = 0
+    for i in range(open_at, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_at + 1:i]
+    return None
+
+
+def _strip_paren_groups(expr: str) -> str:
+    """Removes every ( ... ) group (and its contents) from expr."""
+    out: list[str] = []
+    depth = 0
+    for c in expr:
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth = max(0, depth - 1)
+        elif depth == 0:
+            out.append(c)
+    return "".join(out)
+
+
+def _range_for_range_expr(head: str) -> str | None:
+    """For a range-for header, the range expression after the top-level
+    ':'; None for classic for(;;) loops. `::` is not a separator."""
+    depth = 0
+    i = 0
+    while i < len(head):
+        c = head[i]
+        if c in "([{<":
+            depth += 1
+        elif c in ")]}>":
+            if not (c == ">" and head[i - 1:i] == "-"):  # `->` is not a close
+                depth -= 1
+        elif depth == 0:
+            if c == ";":
+                return None
+            if c == ":":
+                if head[i + 1:i + 2] == ":" or head[i - 1:i] == ":":
+                    i += 2 if head[i + 1:i + 2] == ":" else 1
+                    continue
+                return head[i + 1:]
+        i += 1
+    return None
+
+
+# --------------------------------------------------------------------------
+# Token engine
+# --------------------------------------------------------------------------
+
+class TokenEngine:
+    """All five rules on lexed lines; R1/R4 use name/shape heuristics.
+
+    The unordered-name set is built globally across the scanned file set
+    so a member declared in a header fires on iteration in the .cpp.
+    """
+
+    name = "token"
+
+    def __init__(self) -> None:
+        # Names visible across the scanned set: declared in a header
+        # (class members live there) or following the `member_` naming
+        # convention. Names declared in a .cpp stay scoped to that file
+        # so an unrelated local of the same name elsewhere never fires.
+        self.global_names: set[str] = set()
+        self.local_names: dict[str, set[str]] = {}
+        self._current_file: str = ""
+
+    def collect(self, path: str, lines: list[Line]) -> None:
+        is_header = os.path.splitext(path)[1] in (".hpp", ".h", ".hxx")
+        local = self.local_names.setdefault(path, set())
+        for ln in lines:
+            if not UNORDERED_DECL_RE.search(ln.code):
+                continue
+            for m in DECL_NAME_RE.finditer(ln.code):
+                ident = m.group(1)
+                if ident in ("const", "static", "return"):
+                    continue
+                if is_header or ident.endswith("_"):
+                    self.global_names.add(ident)
+                else:
+                    local.add(ident)
+
+    def _known_unordered(self, ident: str) -> bool:
+        return ident in self.global_names or \
+            ident in self.local_names.get(self._current_file, set())
+
+    # -- R1 ----------------------------------------------------------------
+    def check_r1(self, path: str, lines: list[Line],
+                 report: FileReport) -> None:
+        self._current_file = path
+        # Loop headers can span lines; scan a joined view with a line map.
+        joined: list[str] = []
+        starts: list[int] = []
+        for idx, ln in enumerate(lines):
+            starts.append(sum(len(j) + 1 for j in joined))
+            joined.append(ln.code)
+        blob = "\n".join(joined)
+
+        def line_of(offset: int) -> int:
+            lo, hi = 0, len(starts) - 1
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if starts[mid] <= offset:
+                    lo = mid
+                else:
+                    hi = mid - 1
+            return lo + 1
+
+        for m in FOR_HEAD_RE.finditer(blob):
+            head = _balanced_paren(blob, m.end() - 1)
+            if head is None:
+                continue
+            range_expr = _range_for_range_expr(head)
+            if range_expr is not None and self._mentions_unordered(range_expr):
+                add_violation(
+                    report, path, line_of(m.start()), "R1",
+                    f"range-for over unordered container "
+                    f"`{range_expr.strip()}` — hash order is not "
+                    f"deterministic across libraries or runs")
+        for idx, ln in enumerate(lines):
+            for m in ITER_BEGIN_RE.finditer(ln.code):
+                obj = m.group(2)
+                if self._known_unordered(obj):
+                    add_violation(
+                        report, path, idx + 1, "R1",
+                        f"iterator walk over unordered container `{obj}`")
+
+    def _mentions_unordered(self, expr: str) -> bool:
+        if UNORDERED_DECL_RE.search(expr):
+            return True
+        # Only identifiers at the top level of the range expression count:
+        # in `closest_nodes(key, config_.replicas)` the call's *result* is
+        # iterated, so names inside its argument list say nothing about
+        # the iterated type.
+        top = _strip_paren_groups(expr)
+        return any(self._known_unordered(name)
+                   for name in re.findall(r"[A-Za-z_]\w*", top))
+
+    # -- R4 ----------------------------------------------------------------
+    def check_r4(self, path: str, lines: list[Line],
+                 report: FileReport) -> None:
+        for idx, ln in enumerate(lines):
+            code = ln.code
+            if THREAD_LOCAL_RE.search(code):
+                add_violation(
+                    report, path, idx + 1, "R4",
+                    "thread_local state — worker-count-dependent unless "
+                    "scoped to one op (DESIGN.md §7)")
+                continue
+            m = STATIC_DECL_RE.match(code)
+            if m and self._is_mutable_static(m.group(1)):
+                add_violation(
+                    report, path, idx + 1, "R4",
+                    "mutable static state — shared across ops and batches")
+
+    @staticmethod
+    def _is_mutable_static(rest: str) -> bool:
+        rest = rest.strip()
+        if rest.startswith(("const ", "constexpr ", "const&", "constinit ")):
+            return False
+        # A '(' before any '=', '{', or ';' means a function declaration
+        # (or a direct-init ctor call — direct-init statics are rare in
+        # this codebase; declare them with `= Foo{...}` or annotate).
+        stop = len(rest)
+        for ch in ("=", "{", ";"):
+            p = rest.find(ch)
+            if p != -1:
+                stop = min(stop, p)
+        paren = rest.find("(")
+        if paren != -1 and paren < stop:
+            return False
+        # `static_cast<...>` etc. never match STATIC_DECL_RE (no space),
+        # and `static class-key` forward declarations are not state.
+        return bool(re.match(r"[A-Za-z_:]", rest))
+
+
+# --------------------------------------------------------------------------
+# libclang engine (R1/R4 on the AST; falls back to tokens on any failure)
+# --------------------------------------------------------------------------
+
+class ClangEngine(TokenEngine):
+    """AST-exact R1/R4; inherits collect() so fallback stays warm.
+
+    Uses python-libclang when importable. Parsing failures on any file
+    degrade that file to the token checks rather than aborting the run.
+    """
+
+    name = "clang"
+
+    def __init__(self, compile_args: list[str] | None = None) -> None:
+        super().__init__()
+        import clang.cindex  # noqa: F401 — raises ImportError when absent
+        self._cindex = sys.modules["clang.cindex"]
+        self._args = compile_args or ["-std=c++20", "-xc++"]
+
+    def _is_unordered_type(self, type_obj) -> bool:
+        spelling = type_obj.get_canonical().spelling
+        return "unordered_map" in spelling or "unordered_set" in spelling \
+            or "unordered_multimap" in spelling \
+            or "unordered_multiset" in spelling
+
+    def check_r1(self, path: str, lines: list[Line],
+                 report: FileReport) -> None:
+        ci = self._cindex
+        try:
+            tu = ci.Index.create().parse(path, args=self._args)
+        except Exception:  # parse failure → token fallback for this file
+            super().check_r1(path, lines, report)
+            return
+
+        def walk(node):
+            if node.kind == ci.CursorKind.CXX_FOR_RANGE_STMT:
+                children = list(node.get_children())
+                # The range initializer is the last non-body child's expr;
+                # probe every child's type — exact, no name heuristics.
+                for child in children[:-1]:
+                    if child.type and self._is_unordered_type(child.type):
+                        add_violation(
+                            report, path, node.location.line, "R1",
+                            "range-for over unordered container "
+                            f"of type `{child.type.spelling}`")
+                        break
+            walk_children(node)
+
+        def walk_children(node):
+            for child in node.get_children():
+                if child.location.file and \
+                        os.path.samefile(str(child.location.file), path):
+                    walk(child)
+
+        try:
+            walk_children(tu.cursor)
+        except Exception:
+            super().check_r1(path, lines, report)
+
+    def check_r4(self, path: str, lines: list[Line],
+                 report: FileReport) -> None:
+        ci = self._cindex
+        try:
+            tu = ci.Index.create().parse(path, args=self._args)
+        except Exception:
+            super().check_r4(path, lines, report)
+            return
+
+        def walk(node):
+            if node.kind == ci.CursorKind.VAR_DECL:
+                storage = node.storage_class
+                tls = node.tls_kind != ci.TLSKind.NONE \
+                    if hasattr(node, "tls_kind") else False
+                if tls:
+                    add_violation(report, path, node.location.line, "R4",
+                                  "thread_local state")
+                elif storage == ci.StorageClass.STATIC and \
+                        not node.type.is_const_qualified():
+                    add_violation(report, path, node.location.line, "R4",
+                                  "mutable static state")
+            for child in node.get_children():
+                if child.location.file and \
+                        os.path.samefile(str(child.location.file), path):
+                    walk(child)
+
+        try:
+            walk(tu.cursor)
+        except Exception:
+            super().check_r4(path, lines, report)
+
+
+# --------------------------------------------------------------------------
+# Keyword rules (engine-independent)
+# --------------------------------------------------------------------------
+
+def check_r2(path: str, rel: str, lines: list[Line],
+             report: FileReport) -> None:
+    if rel.replace(os.sep, "/").startswith(R2_ALLOW_PREFIXES):
+        return
+    for idx, ln in enumerate(lines):
+        for pattern, what in R2_PATTERNS:
+            if pattern.search(ln.code):
+                add_violation(
+                    report, path, idx + 1, "R2",
+                    f"{what} in core code — draw from the seeded "
+                    f"splitmix64/xoshiro substreams (src/common/rng.hpp)")
+
+
+def check_r3(path: str, lines: list[Line], report: FileReport,
+             engine: "TokenEngine") -> None:
+    engine._current_file = path
+    for idx, ln in enumerate(lines):
+        for pattern, what in R3_PATTERNS:
+            if pattern.search(ln.code):
+                add_violation(
+                    report, path, idx + 1, "R3",
+                    f"{what} — FP reduction order is part of the "
+                    f"bit-identical contract")
+        m = ACCUMULATE_RE.search(ln.code)
+        if m:
+            args = m.group(1)
+            over_unordered = any(
+                engine._known_unordered(name)
+                for name in re.findall(r"[A-Za-z_]\w*", args))
+            if over_unordered:
+                add_violation(
+                    report, path, idx + 1, "R3",
+                    "std::accumulate over an unordered container — "
+                    "accumulation visits hash order")
+
+
+def check_r5(path: str, lines: list[Line], report: FileReport) -> None:
+    for idx, ln in enumerate(lines):
+        if R5_VOLATILE_RE.search(ln.code):
+            add_violation(
+                report, path, idx + 1, "R5",
+                "volatile is not synchronization — use std::atomic with "
+                "explicit ordering or a mutex")
+        if R5_RELAXED_RE.search(ln.code):
+            add_violation(
+                report, path, idx + 1, "R5",
+                "memory_order_relaxed — permitted only for metric totals "
+                "whose value is read after a join/commit barrier")
+
+
+def check_cmake(path: str, rel: str, report: FileReport) -> None:
+    try:
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            for idx, raw in enumerate(fh):
+                code = raw.split("#", 1)[0]
+                if FAST_MATH_RE.search(code):
+                    report.violations.append(Violation(
+                        path, idx + 1, "R3",
+                        "-ffast-math breaks the bit-identical FP contract"))
+    except OSError as exc:
+        report.errors.append(f"{path}: {exc}")
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def iter_source_files(roots: list[str]) -> list[str]:
+    out: list[str] = []
+    for root in roots:
+        if os.path.isfile(root):
+            out.append(root)
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not d.startswith(".") and not d.startswith("build"))
+            for fn in sorted(filenames):
+                if os.path.splitext(fn)[1] in SOURCE_EXT:
+                    out.append(os.path.join(dirpath, fn))
+    return out
+
+
+def iter_cmake_files(repo_root: str) -> list[str]:
+    out: list[str] = []
+    for dirpath, dirnames, filenames in os.walk(repo_root):
+        dirnames[:] = sorted(
+            d for d in dirnames
+            if not d.startswith(".") and not d.startswith("build")
+            and d != "Testing")
+        for fn in sorted(filenames):
+            if fn == "CMakeLists.txt" or fn.endswith(".cmake"):
+                out.append(os.path.join(dirpath, fn))
+    return out
+
+
+def make_engine(kind: str) -> TokenEngine:
+    if kind in ("auto", "clang"):
+        try:
+            return ClangEngine()
+        except Exception:
+            if kind == "clang":
+                raise SystemExit(
+                    "meteo-lint: --engine clang requested but python "
+                    "libclang is unavailable (pip package `libclang`)")
+    return TokenEngine()
+
+
+def scan(paths: list[str], repo_root: str, engine: TokenEngine,
+         pretend_rel: str | None = None,
+         check_cmake_files: bool = True) -> FileReport:
+    report = FileReport()
+    file_lines: dict[str, list[Line]] = {}
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                lines = lex_file(fh.read())
+        except OSError as exc:
+            report.errors.append(f"{path}: {exc}")
+            continue
+        file_lines[path] = lines
+        engine.collect(path, lines)
+
+    for path, lines in file_lines.items():
+        rel = pretend_rel if pretend_rel is not None \
+            else os.path.relpath(path, repo_root)
+        rel = rel.replace(os.sep, "/")
+        parse_suppressions(path, lines, report)
+        engine.check_r1(path, lines, report)
+        check_r2(path, rel, lines, report)
+        check_r3(path, lines, report, engine)
+        if rel.startswith(R4_PREFIXES):
+            engine.check_r4(path, lines, report)
+        check_r5(path, lines, report)
+
+    if check_cmake_files:
+        for cm in iter_cmake_files(repo_root):
+            check_cmake(cm, os.path.relpath(cm, repo_root), report)
+
+    for sup in report.suppressions:
+        if not sup.used:
+            report.errors.append(
+                f"{sup.path}:{sup.line}: stale suppression "
+                f"`{sup.tag}({sup.reason})` — no matching violation on "
+                f"this or the next line; delete it")
+    return report
+
+
+# --------------------------------------------------------------------------
+# Selftest: fixture pairs under tests/lint/ must keep every rule firing
+# --------------------------------------------------------------------------
+
+def selftest(repo_root: str, engine_kind: str) -> int:
+    fixture_dir = os.path.join(repo_root, "tests", "lint")
+    if not os.path.isdir(fixture_dir):
+        print(f"meteo-lint selftest: missing fixture dir {fixture_dir}",
+              file=sys.stderr)
+        return 2
+    failures: list[str] = []
+    # Fixtures are checked as-if under src/meteorograph/ so the
+    # path-scoped rules (R2 allowlist, R4 dir filter) apply.
+    pretend = "src/meteorograph/fixture.cpp"
+
+    def run_one(fixture: str) -> FileReport:
+        engine = make_engine(engine_kind)
+        return scan([os.path.join(fixture_dir, fixture)], repo_root, engine,
+                    pretend_rel=pretend, check_cmake_files=False)
+
+    for rule in sorted(RULES):
+        low = rule.lower()
+        bad, good = f"{low}_violation.cpp", f"{low}_clean.cpp"
+        for fx in (bad, good):
+            if not os.path.isfile(os.path.join(fixture_dir, fx)):
+                failures.append(f"missing fixture {fx}")
+        if failures and failures[-1].startswith("missing"):
+            continue
+        bad_report = run_one(bad)
+        fired = [v for v in bad_report.violations if v.rule == rule]
+        if not fired:
+            failures.append(
+                f"{rule}: did not fire on tests/lint/{bad} — the rule has "
+                f"gone dead")
+        good_report = run_one(good)
+        misfired = [v for v in good_report.violations if v.rule == rule]
+        if misfired:
+            failures.append(
+                f"{rule}: false positive on tests/lint/{good}: "
+                + "; ".join(v.render() for v in misfired))
+        if good_report.errors:
+            failures.append(
+                f"{rule}: errors on tests/lint/{good}: "
+                + "; ".join(good_report.errors))
+
+    # The suppression grammar itself: a reason-less tag must be rejected,
+    # and a stale suppression must be reported.
+    grammar = run_one("suppression_grammar.cpp")
+    if not any("requires a non-empty reason" in e for e in grammar.errors):
+        failures.append("suppression grammar: empty reason not rejected")
+    if not any("stale suppression" in e for e in grammar.errors):
+        failures.append("suppression grammar: stale suppression not flagged")
+
+    if failures:
+        print("meteo-lint selftest FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"meteo-lint selftest OK: all {len(RULES)} rules fire on their "
+          f"violation fixtures and stay quiet on the clean ones "
+          f"(engine: {make_engine(engine_kind).name})")
+    return 0
+
+
+# --------------------------------------------------------------------------
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="meteo_lint.py",
+        description="Static determinism-contract checker (DESIGN.md §10).")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to scan (default: src/)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--engine", choices=("auto", "clang", "token"),
+                        default="auto")
+    parser.add_argument("--list-suppressions", action="store_true",
+                        help="print the audited suppression inventory")
+    parser.add_argument("--selftest", action="store_true",
+                        help="verify every rule fires on tests/lint fixtures")
+    args = parser.parse_args(argv)
+
+    repo_root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    if args.selftest:
+        return selftest(repo_root, args.engine)
+
+    roots = args.paths or [os.path.join(repo_root, "src")]
+    engine = make_engine(args.engine)
+    report = scan(iter_source_files(roots), repo_root, engine)
+
+    if args.list_suppressions:
+        sups = sorted(report.suppressions, key=lambda s: (s.path, s.line))
+        print(f"# meteo-lint suppression inventory ({len(sups)} entries)")
+        for sup in sups:
+            rule = TAG_TO_RULE[sup.tag]
+            rel = os.path.relpath(sup.path, repo_root)
+            print(f"{rel}:{sup.line}: [{rule}] {sup.tag}({sup.reason})")
+
+    status = 0
+    for v in sorted(report.violations, key=lambda v: (v.path, v.line)):
+        print(v.render(), file=sys.stderr)
+        status = 1
+    for e in report.errors:
+        print(e, file=sys.stderr)
+        status = 1
+    if status == 0 and not args.list_suppressions:
+        n = len(report.suppressions)
+        print(f"meteo-lint: clean ({engine.name} engine, "
+              f"{n} audited suppression{'s' if n != 1 else ''})")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
