@@ -3,16 +3,25 @@
 /// \file batch.hpp
 /// Deterministic parallel batch execution over a Meteorograph system.
 ///
-/// A BatchEngine runs whole vectors of operations against one system.
-/// Read-only operations (retrieve, locate, similarity_search,
-/// range_search) execute concurrently on a thread pool against the frozen
-/// overlay snapshot; mutating operations (publish, withdraw, depart)
-/// split into a parallel read phase where possible and always commit
-/// sequentially in op-index order. Every operation draws from its own
-/// splitmix64 RNG substream keyed by (batch seed, op index), and — when
-/// the attached fault hook supports per-operation fate scopes — its own
-/// message-fault substream, so results, system state, and metrics are
-/// bit-identical at any worker count (DESIGN.md §7).
+/// A BatchEngine runs one *homogeneous* vector of operations at a time.
+/// Read-only batches (retrieve, locate, similarity_search, range_search)
+/// execute concurrently on a thread pool against the live stores — safe
+/// because nothing mutates between the batch's begin_batch() bracket and
+/// its last fold. Mutating batches (publish, withdraw, depart) split into
+/// a parallel plan phase where possible and always commit sequentially in
+/// op-index order. Every operation draws from its own splitmix64 RNG
+/// substream keyed by (batch seed, op index), and — when the attached
+/// fault hook supports per-operation fate scopes — its own message-fault
+/// substream, so results, system state, and metrics are bit-identical at
+/// any worker count (DESIGN.md §7).
+///
+/// For *mixed* read/write windows — reads running concurrently while
+/// publishes, withdrawals, and departures commit in the same window —
+/// use the EpochEngine (meteorograph/epoch.hpp): it gives every read a
+/// pinned epoch-E snapshot of the stores while writes commit into E+1
+/// (DESIGN.md §11). BatchEngine remains the lighter tool when the
+/// workload arrives pre-sorted by kind; both engines share the substream
+/// and fold disciplines, and at one op kind per window they agree.
 ///
 /// Op structs borrow their vectors (non-owning pointers/spans): the caller
 /// keeps the workload alive for the duration of the batch call.

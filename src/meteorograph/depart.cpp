@@ -20,6 +20,7 @@ DepartResult Meteorograph::depart_node(overlay::NodeId node) {
   if (tracer_ != nullptr) {
     // Capture the leaver's key before leave() forgets it.
     span.open(obs::OpKind::kDepart, node, overlay_.key_of(node));
+    span.set_epoch(span_epoch_);
   }
 
   DepartResult result;
@@ -65,15 +66,15 @@ DepartResult Meteorograph::depart_node(overlay::NodeId node) {
   }
 
   // Replicas: re-home on the now-closest node holding no copy yet.
-  for (auto& [id, vector] : state.replicas) {
-    const overlay::Key key = naming_.balanced_key(vector);
+  for (auto& [id, slot] : state.replicas) {
+    const overlay::Key key = naming_.balanced_key(slot.vector);
     for (const overlay::NodeId home :
          overlay_.closest_nodes(key, config_.replicas + 2)) {
       if (node_data_[home].items.contains(id) ||
           node_data_[home].replicas.contains(id)) {
         continue;
       }
-      node_data_[home].replicas.emplace(id, std::move(vector));
+      node_data_[home].replicas.emplace(id, std::move(slot.vector));
       ++result.replicas_transferred;
       ++result.messages;
       break;

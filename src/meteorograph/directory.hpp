@@ -52,26 +52,72 @@ class DirectoryStore {
       by_keyword_[kw].push_back(index);
     }
     pointers_.push_back(std::move(pointer));
+    stamps_.push_back(Stamp{write_epoch_, vsm::kEpochNever});
   }
 
-  /// Removes the pointer for `item` (if present), keeping the relative
-  /// order of the rest. The O(pointers) reindex is confined to the
-  /// withdraw/maintenance path; searches never remove.
+  /// Removes the live pointer for `item` (if present), keeping the
+  /// relative order of the rest. The O(pointers) reindex is confined to
+  /// the withdraw/maintenance path; searches never remove. While version
+  /// retention is armed (DESIGN.md §11) the pointer is tombstoned in
+  /// place instead of erased — bucket indices stay stable for readers
+  /// pinned at an older epoch — and gc() compacts it out at the epoch
+  /// boundary, restoring the exact layout a sequential erase leaves.
   bool remove(vsm::ItemId item) {
-    const auto it = std::find_if(
-        pointers_.begin(), pointers_.end(),
-        [&](const DirectoryPointer& p) { return p.item == item; });
-    if (it == pointers_.end()) return false;
-    pointers_.erase(it);
-    reindex();
-    return true;
+    for (std::size_t i = 0; i < pointers_.size(); ++i) {
+      if (pointers_[i].item != item) continue;
+      if (stamps_[i].removed != vsm::kEpochNever) continue;  // tombstone
+      if (retain_) {
+        stamps_[i].removed = write_epoch_;
+        ++tombstones_;
+      } else {
+        pointers_.erase(pointers_.begin() + static_cast<std::ptrdiff_t>(i));
+        stamps_.erase(stamps_.begin() + static_cast<std::ptrdiff_t>(i));
+        reindex();
+      }
+      return true;
+    }
+    return false;
   }
 
   [[nodiscard]] const std::vector<DirectoryPointer>& all() const noexcept {
     return pointers_;
   }
-  [[nodiscard]] bool empty() const noexcept { return pointers_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return pointers_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return pointers_.size() - tombstones_;
+  }
+
+  /// Is pointers_[index] part of the epoch-`at` view? kEpochLatest means
+  /// "not tombstoned" — which is every pointer while retention is off.
+  [[nodiscard]] bool visible_at(std::size_t index,
+                                vsm::Epoch at) const noexcept {
+    const Stamp& s = stamps_[index];
+    if (at == vsm::kEpochLatest) return s.removed == vsm::kEpochNever;
+    return s.added <= at && at < s.removed;
+  }
+
+  void set_write_epoch(vsm::Epoch e) noexcept { write_epoch_ = e; }
+  void retain_versions(bool on) noexcept { retain_ = on; }
+
+  /// Compacts tombstones out. The survivors keep their relative order, so
+  /// the post-gc layout is exactly what sequential one-at-a-time erases
+  /// would have produced.
+  void gc() {
+    if (tombstones_ == 0) return;
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < pointers_.size(); ++i) {
+      if (stamps_[i].removed != vsm::kEpochNever) continue;
+      if (w != i) {
+        pointers_[w] = std::move(pointers_[i]);
+        stamps_[w] = stamps_[i];
+      }
+      ++w;
+    }
+    pointers_.resize(w);
+    stamps_.resize(w);
+    tombstones_ = 0;
+    reindex();
+  }
 
   /// Indices (in publication order) of pointers whose keyword list
   /// contains `keyword`; empty when no pointer on this node carries it —
@@ -84,14 +130,31 @@ class DirectoryStore {
     return it->second;
   }
 
-  /// Moves every pointer out (handing off to surviving nodes on depart),
-  /// leaving the store empty.
+  /// Moves every live pointer out (handing off to surviving nodes on
+  /// depart), leaving the store empty. Tombstoned pointers are dropped:
+  /// their items were withdrawn this epoch, and the depart fence
+  /// guarantees no reader still pins the epoch that could see them.
   [[nodiscard]] std::vector<DirectoryPointer> take_all() {
     by_keyword_.clear();
-    return std::exchange(pointers_, {});
+    std::vector<DirectoryPointer> out;
+    out.reserve(size());
+    for (std::size_t i = 0; i < pointers_.size(); ++i) {
+      if (stamps_[i].removed == vsm::kEpochNever) {
+        out.push_back(std::move(pointers_[i]));
+      }
+    }
+    pointers_.clear();
+    stamps_.clear();
+    tombstones_ = 0;
+    return out;
   }
 
  private:
+  struct Stamp {
+    vsm::Epoch added = 0;
+    vsm::Epoch removed = vsm::kEpochNever;
+  };
+
   void reindex() {
     by_keyword_.clear();
     for (std::size_t i = 0; i < pointers_.size(); ++i) {
@@ -102,7 +165,11 @@ class DirectoryStore {
   }
 
   std::vector<DirectoryPointer> pointers_;
+  std::vector<Stamp> stamps_;  ///< parallel to pointers_
   std::unordered_map<vsm::KeywordId, std::vector<std::size_t>> by_keyword_;
+  std::size_t tombstones_ = 0;
+  vsm::Epoch write_epoch_ = 0;
+  bool retain_ = false;
 };
 
 }  // namespace meteo::core

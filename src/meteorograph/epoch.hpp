@@ -1,0 +1,178 @@
+#pragma once
+
+/// \file epoch.hpp
+/// Epoch-based MVCC snapshot execution over a Meteorograph system
+/// (DESIGN.md §11).
+///
+/// An EpochEngine accepts a mixed stream of operations through submit_*()
+/// and executes the accumulated window on seal(). Within one epoch E:
+///
+///   * read operations (retrieve, locate, similarity_search,
+///     range_search) execute against the *pinned* epoch-E view, in
+///     parallel across a thread pool;
+///   * mutating operations (publish, withdraw, depart) commit strictly
+///     sequentially, in submission order, into epoch E+1 — every store
+///     mutation is stamped E+1 and the displaced version is retained so
+///     pinned readers still see it;
+///   * reads may be deferred past the write phase (the `defer_read`
+///     hook): they then execute after the commits yet still observe
+///     exactly epoch E, byte-identically to running before them.
+///
+/// seal() folds metrics and traces in one canonical order — writes in
+/// submission order (inline with their commits), then reads in
+/// submission order — so results, trace dumps, and metric exports are
+/// bit-identical at any worker count, with or without deferral. The
+/// sequential-replay oracle is simply `workers = 1`.
+///
+/// Like BatchEngine, op structs borrow their vectors; the caller keeps
+/// the workload alive until the seal() that executes it returns.
+///
+///   EpochEngine engine(sys, {.workers = 8, .seed = 42});
+///   engine.submit(RetrieveOp{...});
+///   engine.submit(PublishOp{...});
+///   auto sealed = engine.seal();   // one epoch boundary
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "meteorograph/batch.hpp"
+#include "meteorograph/meteorograph.hpp"
+
+namespace meteo::core {
+
+/// Graceful departure of `node`, as a submittable op (the epoch window
+/// mixes departures between publishes and reads; BatchEngine's depart()
+/// takes a bare node span instead).
+struct DepartOp {
+  overlay::NodeId node = overlay::kInvalidNode;
+};
+
+struct EpochOptions {
+  /// Worker threads for the read phases; 0 = hardware_concurrency().
+  std::size_t workers = 0;
+  /// Root of every per-operation RNG/fault substream (global op index
+  /// keyed: an op keeps its streams no matter how epochs are cut).
+  std::uint64_t seed = 0x6d657465'6f726f67ULL;
+  /// Interleaving seam: return true to defer the read with this global
+  /// op index past the epoch's write phase (it still observes epoch E).
+  /// Null defers nothing. Mutating ops ignore it.
+  std::function<bool(std::size_t)> defer_read;
+};
+
+class EpochEngine {
+ public:
+  using OpResult =
+      std::variant<RetrieveResult, LocateResult, SearchResult,
+                   RangeSearchResult, PublishResult, WithdrawResult,
+                   DepartResult>;
+
+  struct SealedEpoch {
+    /// The epoch the reads pinned; writes committed into `epoch + 1`.
+    vsm::Epoch epoch = 0;
+    /// Per-op results, parallel to submission order within the window.
+    std::vector<OpResult> results;
+    /// Simulated seconds each op spent waiting on timeouts (route + walk
+    /// legs; a publish counts its plan route — commit legs fold straight
+    /// into the metric registry). The server's deadline budget input.
+    std::vector<double> timeout_costs;
+  };
+
+  /// Binds to `system` for the engine's lifetime (non-owning); each
+  /// seal() arms version retention on every node store for its window.
+  /// The LSI ranking mode mutates a per-node projection cache under
+  /// reads, so it cannot serve pinned snapshots.
+  /// \pre config.local_ranking != kLsi
+  explicit EpochEngine(Meteorograph& system, EpochOptions options = {});
+
+  /// Disarms version retention and drops retained versions, returning
+  /// the system to plain facade behavior.
+  ~EpochEngine();
+
+  EpochEngine(const EpochEngine&) = delete;
+  EpochEngine& operator=(const EpochEngine&) = delete;
+
+  // Submission window. Each call returns the op's index within the
+  // current window (= its index into SealedEpoch::results).
+  std::size_t submit(const RetrieveOp& op);
+  std::size_t submit(const LocateOp& op);
+  std::size_t submit(const SearchOp& op);
+  std::size_t submit(const RangeSearchOp& op);
+  std::size_t submit(const PublishOp& op);
+  std::size_t submit(const WithdrawOp& op);
+  std::size_t submit(const DepartOp& op);
+
+  /// Executes the window as one epoch and advances the epoch counter.
+  /// Empty windows still advance (an idle server heartbeat).
+  SealedEpoch seal();
+
+  /// Ops submitted and not yet sealed.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.size();
+  }
+
+  /// The epoch the next seal()'s reads will pin.
+  [[nodiscard]] vsm::Epoch epoch() const noexcept { return epoch_; }
+
+  /// Configured worker count after the 0 = hardware default resolved.
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return options_.workers;
+  }
+
+ private:
+  using AnyOp = std::variant<RetrieveOp, LocateOp, SearchOp, RangeSearchOp,
+                             PublishOp, WithdrawOp, DepartOp>;
+
+  struct Pending {
+    AnyOp op;
+    std::uint64_t global_index = 0;  ///< substream key, monotone over epochs
+  };
+
+  /// Ends the batch bracket and clears the write-span epoch stamp on
+  /// every exit path. Nested so Meteorograph's friendship covers the
+  /// private end_batch() call (same trick as BatchEngine::BatchGuard).
+  struct SealGuard {
+    explicit SealGuard(Meteorograph& sys) : system(sys) {}
+    ~SealGuard() {
+      system.span_epoch_ = 0;
+      system.end_batch();
+    }
+    SealGuard(const SealGuard&) = delete;
+    SealGuard& operator=(const SealGuard&) = delete;
+    Meteorograph& system;
+  };
+
+  /// Same substream discipline as BatchEngine, keyed by the op's global
+  /// index so streams never depend on where epoch boundaries fall.
+  [[nodiscard]] Rng substream(std::uint64_t g) const noexcept {
+    return Rng(splitmix64(options_.seed + 0x9e3779b97f4a7c15ULL * (g + 1)));
+  }
+  [[nodiscard]] std::uint64_t scope_salt(std::uint64_t g) const noexcept {
+    return splitmix64(options_.seed ^ (0xbf58476d1ce4e5b9ULL * (g + 1)));
+  }
+
+  std::size_t push(AnyOp op);
+
+  /// Arms every node store: retain versions, stamp mutations `write`.
+  void arm_stores(vsm::Epoch write);
+  /// Drops retired versions on every node store (epoch boundary).
+  void gc_stores();
+  /// Disarms retention everywhere (destructor path).
+  void disarm_stores();
+
+  Meteorograph& system_;
+  EpochOptions options_;
+  std::optional<ThreadPool> pool_;  // engaged only when workers > 1
+  std::vector<Pending> pending_;
+  vsm::Epoch epoch_ = 0;
+  std::uint64_t next_global_ = 0;
+  std::optional<obs::Gauge> epoch_gauge_;
+  std::optional<obs::Counter> epoch_advances_;
+};
+
+}  // namespace meteo::core

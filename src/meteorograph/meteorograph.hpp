@@ -225,6 +225,14 @@ struct RangeSearchOptions {
   std::optional<overlay::NodeId> from = std::nullopt;
 };
 
+/// Which epoch a read core answers from (DESIGN.md §11). The default —
+/// kEpochLatest — reads the live state and is byte-identical to the
+/// pre-epoch code path; the EpochEngine pins its deferred readers at
+/// the epoch the current commits are about to supersede.
+struct ReadView {
+  vsm::Epoch epoch = vsm::kEpochLatest;
+};
+
 struct SubscribeOptions {
   std::size_t horizon = 8;  ///< consecutive directory nodes to plant on
 };
@@ -386,13 +394,16 @@ class Meteorograph {
 
  private:
   friend class BatchEngine;
+  friend class EpochEngine;
 
   struct NodeData {
     AngleStore items;
     /// Ordered by id: retrieve harvests replicas under a result budget
     /// and depart re-homes them, so iteration order is result-visible
-    /// (meteo-lint R1 — hash order may not feed results).
-    std::map<vsm::ItemId, vsm::SparseVector> replicas;
+    /// (meteo-lint R1 — hash order may not feed results). ReplicaStore
+    /// iterates like the std::map it replaced and adds the epoch-stamped
+    /// view the EpochEngine's pinned readers need (DESIGN.md §11).
+    ReplicaStore replicas;
     DirectoryStore directory;
     /// Range-search records: attribute -> (value -> items), value-sorted.
     std::map<AttributeId, std::multimap<double, vsm::ItemId>> attributes;
@@ -473,17 +484,18 @@ class Meteorograph {
   RetrieveResult retrieve_op(const vsm::SparseVector& query,
                              std::size_t amount,
                              const RetrieveOptions& options, Rng& rng,
-                             OpTrace& trace) const;
+                             OpTrace& trace, ReadView view = {}) const;
   LocateResult locate_op(vsm::ItemId id, const vsm::SparseVector& vector,
                          const LocateOptions& options, Rng& rng,
-                         OpTrace& trace) const;
+                         OpTrace& trace, ReadView view = {}) const;
   SearchResult search_op(std::span<const vsm::KeywordId> keywords,
                          std::size_t k, const SearchOptions& options, Rng& rng,
-                         OpTrace& trace) const;
+                         OpTrace& trace, ReadView view = {}) const;
   RangeSearchResult range_search_op(AttributeId attribute, double lo,
                                     double hi,
                                     const RangeSearchOptions& options,
-                                    Rng& rng, OpTrace& trace) const;
+                                    Rng& rng, OpTrace& trace,
+                                    ReadView view = {}) const;
 
   // Deterministic metric folds — reproduce the exact recording sequence
   // the sequential facade calls would have produced. OpTrace is mutable:
@@ -538,6 +550,11 @@ class Meteorograph {
   std::optional<obs::Histogram> search_items_;
   /// Span/event sink; nullptr = tracing off (the default).
   obs::TraceLog* tracer_ = nullptr;
+  /// Epoch stamped onto spans of mutating ops whose recorders finish
+  /// inside the commit path (publish, withdraw, depart). The EpochEngine
+  /// sets it to the commit epoch around its write phase; the facade
+  /// leaves it 0, so standalone spans keep the default stamp.
+  std::uint64_t span_epoch_ = 0;
   bool batch_in_flight_ = false;
   SubscriptionId next_subscription_ = 1;
   std::unordered_map<SubscriptionId, std::vector<overlay::NodeId>>

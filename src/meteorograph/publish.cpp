@@ -46,6 +46,7 @@ PublishResult Meteorograph::commit_publish(vsm::ItemId id,
                                            PublishPlan& plan) {
   PublishResult result;
   obs::SpanRecorder* const rec = plan.span.active() ? &plan.span : nullptr;
+  plan.span.set_epoch(span_epoch_);
   overlay::HopStats fault_stats = plan.route.stats;
   result.home = plan.route.destination;
   result.route_hops = plan.route.hops;
@@ -189,11 +190,15 @@ WithdrawResult Meteorograph::withdraw_with(vsm::ItemId id,
               options.from.value_or(overlay::kInvalidNode), key);
   }
   obs::SpanRecorder* const rec = span.active() ? &span : nullptr;
+  span.set_epoch(span_epoch_);
 
-  // Primary copy: find it the same way a query would, then erase.
+  // Primary copy: find it the same way a query would, then erase. The
+  // nested locate is part of the write, so its span carries the commit
+  // epoch too.
   OpTrace locate_trace;
   const LocateResult located =
       locate_op(id, vector, {.from = options.from}, rng, locate_trace);
+  locate_trace.span.set_epoch(span_epoch_);
   record_locate(located, locate_trace);
   result.messages += located.route_hops + located.walk_hops;
   if (located.found && !located.via_replica) {

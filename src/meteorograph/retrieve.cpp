@@ -15,7 +15,8 @@ namespace names = obs::names;
 RetrieveResult Meteorograph::retrieve_op(const vsm::SparseVector& query,
                                          std::size_t amount,
                                          const RetrieveOptions& options,
-                                         Rng& rng, OpTrace& trace) const {
+                                         Rng& rng, OpTrace& trace,
+                                         ReadView view) const {
   METEO_EXPECTS(!query.empty());
   METEO_EXPECTS(amount > 0);
 
@@ -47,7 +48,7 @@ RetrieveResult Meteorograph::retrieve_op(const vsm::SparseVector& query,
       local = data.items.top_k_lsi(query, remaining, config_.lsi_rank,
                                    config_.node_count /*stable seed*/);
     } else {
-      data.items.top_k(query, remaining, local);
+      data.items.top_k_at(query, remaining, view.epoch, local);
     }
     for (const vsm::ScoredItem& hit : local) {
       if (hit.score <= 0.0) continue;  // no (latent) overlap: not a match
@@ -57,15 +58,17 @@ RetrieveResult Meteorograph::retrieve_op(const vsm::SparseVector& query,
     }
     // Replica copies answer too (§3.6 failover: after the primary's host
     // dies, the numerically-closest surviving home serves the item).
-    for (const auto& [id, vector] : data.replicas) {
-      if (remaining == 0) break;
-      if (seen.contains(id)) continue;
-      const double score = vsm::cosine_similarity(query, vector);
-      if (score <= 0.0) continue;
-      seen.insert(id);
-      result.items.push_back(vsm::ScoredItem{id, score});
-      --remaining;
-    }
+    data.replicas.for_each_at(
+        view.epoch, [&](vsm::ItemId id, const vsm::SparseVector& vector) {
+          if (remaining == 0) return false;
+          if (seen.contains(id)) return true;
+          const double score = vsm::cosine_similarity(query, vector);
+          if (score <= 0.0) return true;
+          seen.insert(id);
+          result.items.push_back(vsm::ScoredItem{id, score});
+          --remaining;
+          return true;
+        });
     if (remaining == 0 || result.nodes_visited >= walk_limit) break;
     if (!walk.advance()) break;
   }
@@ -121,7 +124,7 @@ RetrieveResult Meteorograph::retrieve(const vsm::SparseVector& query,
 LocateResult Meteorograph::locate_op(vsm::ItemId id,
                                      const vsm::SparseVector& vector,
                                      const LocateOptions& options, Rng& rng,
-                                     OpTrace& trace) const {
+                                     OpTrace& trace, ReadView view) const {
   METEO_EXPECTS(!vector.empty());
 
   LocateResult result;
@@ -145,12 +148,12 @@ LocateResult Meteorograph::locate_op(vsm::ItemId id,
     const overlay::NodeId cur = walk.current();
     const NodeData& data = node_data_[cur];
     ++visited;
-    if (data.items.contains(id)) {
+    if (data.items.contains_at(id, view.epoch)) {
       result.found = true;
       result.node = cur;
       break;
     }
-    if (data.replicas.contains(id)) {
+    if (data.replicas.contains_at(id, view.epoch)) {
       result.found = true;
       result.node = cur;
       result.via_replica = true;

@@ -25,7 +25,7 @@ const std::vector<vsm::ItemId> kEmptyHarvest;
 SearchResult Meteorograph::search_op(std::span<const vsm::KeywordId> keywords,
                                      std::size_t k,
                                      const SearchOptions& options, Rng& rng,
-                                     OpTrace& trace) const {
+                                     OpTrace& trace, ReadView view) const {
   METEO_EXPECTS(!keywords.empty());
 
   std::vector<vsm::KeywordId> query(keywords.begin(), keywords.end());
@@ -69,10 +69,11 @@ SearchResult Meteorograph::search_op(std::span<const vsm::KeywordId> keywords,
   std::unordered_map<overlay::NodeId, std::vector<vsm::ItemId>> harvested;
   auto harvest = [&](overlay::NodeId node) -> const std::vector<vsm::ItemId>& {
     const NodeData& data = node_data_[node];
-    if (data.items.empty()) return kEmptyHarvest;
+    if (data.items.empty_at(view.epoch)) return kEmptyHarvest;
     const auto it = harvested.find(node);
     if (it != harvested.end()) return it->second;
-    std::vector<vsm::ItemId> got = data.items.match_all(query);
+    std::vector<vsm::ItemId> got;
+    data.items.match_all_at(query, view.epoch, got);
     // Memoize only nodes that matched: a walk visits thousands of nodes
     // whose stores miss the query entirely, and re-running the index's
     // early-out there is cheaper than churning map entries for them.
@@ -104,7 +105,8 @@ SearchResult Meteorograph::search_op(std::span<const vsm::KeywordId> keywords,
       for (const vsm::ItemId id : harvest(spill.current())) {
         add_item(id, leg.hops + spill.hops());
       }
-      found_target = found_target || data.items.contains(pointer.item);
+      found_target =
+          found_target || data.items.contains_at(pointer.item, view.epoch);
       if (found_target || spill.hops() >= kLookupSpillLimit) break;
       if (!spill.advance()) break;
       ++result.lookup_messages;
@@ -137,6 +139,7 @@ SearchResult Meteorograph::search_op(std::span<const vsm::KeywordId> keywords,
     // publication order, the same relative order the full scan used.
     for (const std::size_t pi : data.directory.candidates(query.front())) {
       if (satisfied()) break;
+      if (!data.directory.visible_at(pi, view.epoch)) continue;
       const DirectoryPointer& pointer = data.directory.all()[pi];
       if (!pointer.matches(query) || seen.contains(pointer.item)) continue;
       chase(cur, pointer);

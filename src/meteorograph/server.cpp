@@ -1,0 +1,63 @@
+#include "meteorograph/server.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace meteo::core {
+
+namespace {
+
+EpochOptions engine_options(const ServeOptions& options) {
+  EpochOptions out;
+  out.workers = options.workers;
+  out.seed = options.seed;
+  return out;
+}
+
+}  // namespace
+
+Server::Server(Meteorograph& system, ServeOptions options)
+    : engine_(system, engine_options(options)), options_(options) {}
+
+std::optional<Server::Ticket> Server::submit(Request request) {
+  if (queue_.size() >= options_.queue_capacity) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  const Ticket ticket = next_ticket_++;
+  queue_.emplace_back(ticket, std::move(request));
+  ++accepted_;
+  return ticket;
+}
+
+std::size_t Server::pump(const CompletionFn& on_complete) {
+  const std::size_t window =
+      std::min(queue_.size(), std::max<std::size_t>(options_.ops_per_epoch, 1));
+  if (window == 0) return 0;
+
+  std::vector<Ticket> tickets;
+  tickets.reserve(window);
+  for (std::size_t i = 0; i < window; ++i) {
+    auto& [ticket, request] = queue_.front();
+    tickets.push_back(ticket);
+    std::visit([&](const auto& op) { engine_.submit(op); }, request);
+    queue_.pop_front();
+  }
+
+  const EpochEngine::SealedEpoch sealed = engine_.seal();
+  served_ += window;
+  for (std::size_t i = 0; i < window; ++i) {
+    Completion done;
+    done.ticket = tickets[i];
+    done.epoch = sealed.epoch;
+    done.result = sealed.results[i];
+    done.timeout_cost = sealed.timeout_costs[i];
+    done.deadline_exceeded = options_.deadline_seconds > 0.0 &&
+                             done.timeout_cost > options_.deadline_seconds;
+    if (done.deadline_exceeded) ++deadline_misses_;
+    if (on_complete) on_complete(done);
+  }
+  return window;
+}
+
+}  // namespace meteo::core

@@ -175,7 +175,8 @@ std::string trace_to_chrome_json(const TraceLog& log) {
            ",\"pid\":1,\"tid\":1,\"args\":{\"span\":" + format_u64(span.id) +
            ",\"source\":" + format_u64(span.source) +
            ",\"key\":" + format_u64(span.key) + ",\"outcome\":\"" +
-           json_escape(span.outcome) + "\"}}";
+           json_escape(span.outcome) +
+           "\",\"epoch\":" + format_u64(span.epoch) + "}}";
     for (const TraceEvent& event : span.events) {
       out += ",\n{\"name\":\"";
       out += to_string(event.kind);

@@ -95,4 +95,13 @@ inline constexpr const char* kAliveNodes = "system.alive_nodes";
 /// batch barriers, never per op.
 inline constexpr const char* kStoredItems = "system.stored_items";
 
+// ---- epoch engine (DESIGN.md §11) -----------------------------------------
+
+/// The epoch the EpochEngine last sealed (gauge; reads pinned it, writes
+/// committed into it + 1).
+inline constexpr const char* kEpochCurrent = "epoch.current";
+
+/// Epoch boundaries crossed (one increment per seal()).
+inline constexpr const char* kEpochAdvances = "epoch.advances";
+
 }  // namespace meteo::obs::names

@@ -76,6 +76,9 @@ struct Span {
   OpKind op = OpKind::kRetrieve;
   overlay::NodeId source = overlay::kInvalidNode;
   overlay::Key key = 0;  ///< the op's primary key (0 when keyless, e.g. depart)
+  /// Epoch the op executed against (DESIGN.md §11): the pinned read epoch
+  /// for reads, the commit epoch for writes. 0 outside an EpochEngine.
+  std::uint64_t epoch = 0;
   std::string outcome;   ///< "ok", "partial", "degraded", "blocked", "failed"
   std::vector<TraceEvent> events;
 };
@@ -122,6 +125,12 @@ class SpanRecorder {
   /// legs, chase lookups, walk targets differ from the span key).
   void set_leg_key(overlay::Key key) {
     if (active_) leg_key_ = key;
+  }
+
+  /// Stamp the span's execution epoch (EpochEngine coordinator only;
+  /// facade spans keep the default 0). Call any time before finish().
+  void set_epoch(std::uint64_t epoch) {
+    if (active_) span_.epoch = epoch;
   }
 
   void event(EventKind kind, overlay::NodeId from, overlay::NodeId to,

@@ -319,5 +319,63 @@ TEST(BatchEngine, SetFaultHookRejectedMidBatch) {
   EXPECT_TRUE(sys.set_fault_hook(nullptr));
 }
 
+/// Tries to swap in a *different* hook from inside the message path —
+/// the attach direction of the mid-batch guard (the test above covers
+/// the detach direction).
+class SwappingHook final : public overlay::FaultHook {
+ public:
+  SwappingHook(Meteorograph& sys, overlay::FaultHook* replacement)
+      : sys_(sys), replacement_(replacement) {}
+
+  overlay::MessageFate on_message(const overlay::MessageContext&) override {
+    ++calls_;
+    if (sys_.batch_in_flight() && sys_.set_fault_hook(replacement_)) {
+      swapped_mid_batch_ = true;  // the guard failed
+    }
+    return overlay::MessageFate::kDeliver;
+  }
+  [[nodiscard]] bool is_stalled(overlay::NodeId) const override {
+    return false;
+  }
+
+  [[nodiscard]] std::size_t calls() const noexcept { return calls_; }
+  [[nodiscard]] bool swapped_mid_batch() const noexcept {
+    return swapped_mid_batch_;
+  }
+
+ private:
+  Meteorograph& sys_;
+  overlay::FaultHook* replacement_;
+  std::size_t calls_ = 0;
+  bool swapped_mid_batch_ = false;
+};
+
+TEST(BatchEngine, SetFaultHookReattachesAfterBatchDrains) {
+  const TestWorkload wl = make_workload(60, 18);
+  Meteorograph sys = make_published_system(wl, 18);
+  sim::FaultPlan replacement({.drop_rate = 0.0}, 1);
+  SwappingHook hook(sys, &replacement);
+  ASSERT_TRUE(sys.set_fault_hook(&hook));
+
+  const std::vector<LocateOp> ops = locate_ops(wl);
+  BatchEngine engine(sys, {.workers = 4});
+  (void)engine.locate(ops);
+
+  // Every mid-batch swap attempt was rejected: the original hook carried
+  // the whole batch.
+  EXPECT_GT(hook.calls(), 0u);
+  EXPECT_FALSE(hook.swapped_mid_batch());
+  EXPECT_EQ(sys.network().fault_hook(), &hook);
+
+  // Once the batch drains, re-attaching succeeds and the new hook
+  // carries the next batch end to end.
+  ASSERT_FALSE(sys.batch_in_flight());
+  ASSERT_TRUE(sys.set_fault_hook(&replacement));
+  EXPECT_EQ(sys.network().fault_hook(), &replacement);
+  (void)engine.locate(ops);
+  EXPECT_GT(replacement.messages_seen(), 0u);
+  EXPECT_TRUE(sys.set_fault_hook(nullptr));
+}
+
 }  // namespace
 }  // namespace meteo::core

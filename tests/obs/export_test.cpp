@@ -29,13 +29,17 @@ MetricRegistry golden_registry() {
 }
 
 /// One retrieve span with a hop and a retry, built through the recorder
-/// exactly as the op path does.
+/// exactly as the op path does, plus an epoch-stamped publish span the
+/// way the EpochEngine coordinator stamps one.
 TraceLog golden_log() {
   TraceLog log;
   SpanRecorder rec;
   rec.open(OpKind::kRetrieve, 3, 42);
   rec.event(EventKind::kRouteHop, 3, 7, 0);
   rec.event(EventKind::kRetry, 7, 9, 1, 0.5);
+  rec.finish("ok", log);
+  rec.open(OpKind::kPublish, 5, 77);
+  rec.set_epoch(4);
   rec.finish("ok", log);
   return log;
 }
@@ -87,13 +91,16 @@ TEST(Export, TraceToChromeJsonGolden) {
       "{\"traceEvents\":[\n"
       "{\"name\":\"retrieve\",\"cat\":\"op\",\"ph\":\"X\",\"ts\":0,\"dur\":4,"
       "\"pid\":1,\"tid\":1,\"args\":{\"span\":0,\"source\":3,\"key\":42,"
-      "\"outcome\":\"ok\"}},\n"
+      "\"outcome\":\"ok\",\"epoch\":0}},\n"
       "{\"name\":\"route_hop\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\","
       "\"ts\":1,\"pid\":1,\"tid\":1,\"args\":{\"span\":0,\"from\":3,\"to\":7,"
       "\"key\":42,\"detail\":0,\"cost\":0}},\n"
       "{\"name\":\"retry\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\","
       "\"ts\":2,\"pid\":1,\"tid\":1,\"args\":{\"span\":0,\"from\":7,\"to\":9,"
-      "\"key\":42,\"detail\":1,\"cost\":0.5}}\n"
+      "\"key\":42,\"detail\":1,\"cost\":0.5}},\n"
+      "{\"name\":\"publish\",\"cat\":\"op\",\"ph\":\"X\",\"ts\":4,\"dur\":2,"
+      "\"pid\":1,\"tid\":1,\"args\":{\"span\":1,\"source\":5,\"key\":77,"
+      "\"outcome\":\"ok\",\"epoch\":4}}\n"
       "],\"displayTimeUnit\":\"ms\"}\n";
   EXPECT_EQ(trace_to_chrome_json(golden_log()), expected);
 }

@@ -72,7 +72,12 @@ TAG_TO_RULE = {tag: rule for rule, (tag, _) in RULES.items()}
 # Directories (relative to repo root) where each restriction applies.
 # R2's allowlist: code that times or seeds from the real world.
 R2_ALLOW_PREFIXES = ("src/obs/", "bench/", "tools/", "examples/")
-# R4 applies where per-op state determinism is contractual.
+# R4 applies where per-op state determinism is contractual. The prefix
+# covers the whole facade layer including the epoch/serving subsystem
+# (src/meteorograph/epoch.*, src/meteorograph/server.*): a pinned epoch
+# cached in thread_local or static state would make a read's snapshot
+# depend on worker scheduling, which is exactly what DESIGN.md §11
+# forbids — the epoch travels in per-op ReadView values instead.
 R4_PREFIXES = ("src/meteorograph/", "src/vsm/")
 
 SOURCE_EXT = {".cpp", ".hpp", ".cc", ".h", ".cxx", ".hxx"}
@@ -708,6 +713,16 @@ def scan(paths: list[str], repo_root: str, engine: TokenEngine,
 # Selftest: fixture pairs under tests/lint/ must keep every rule firing
 # --------------------------------------------------------------------------
 
+# Hazard-shape regression pairs beyond the one-per-rule fixtures: each
+# entry is (rule, violation fixture, clean fixture) and is held to the
+# same fire/stay-quiet standard. The epoch pair pins the R4 shape that
+# motivated extending the rule's charter to the serving layer:
+# thread-cached pinned epochs vs per-op ReadView context.
+SCENARIO_FIXTURES = [
+    ("R4", "r4_epoch_violation.cpp", "r4_epoch_clean.cpp"),
+]
+
+
 def selftest(repo_root: str, engine_kind: str) -> int:
     fixture_dir = os.path.join(repo_root, "tests", "lint")
     if not os.path.isdir(fixture_dir):
@@ -724,9 +739,10 @@ def selftest(repo_root: str, engine_kind: str) -> int:
         return scan([os.path.join(fixture_dir, fixture)], repo_root, engine,
                     pretend_rel=pretend, check_cmake_files=False)
 
-    for rule in sorted(RULES):
-        low = rule.lower()
-        bad, good = f"{low}_violation.cpp", f"{low}_clean.cpp"
+    pairs = [(rule, f"{rule.lower()}_violation.cpp",
+              f"{rule.lower()}_clean.cpp") for rule in sorted(RULES)]
+    pairs += SCENARIO_FIXTURES
+    for rule, bad, good in pairs:
         for fx in (bad, good):
             if not os.path.isfile(os.path.join(fixture_dir, fx)):
                 failures.append(f"missing fixture {fx}")
@@ -762,7 +778,9 @@ def selftest(repo_root: str, engine_kind: str) -> int:
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
-    print(f"meteo-lint selftest OK: all {len(RULES)} rules fire on their "
+    print(f"meteo-lint selftest OK: all {len(RULES)} rules (plus "
+          f"{len(SCENARIO_FIXTURES)} scenario pair"
+          f"{'s' if len(SCENARIO_FIXTURES) != 1 else ''}) fire on their "
           f"violation fixtures and stay quiet on the clean ones "
           f"(engine: {make_engine(engine_kind).name})")
     return 0

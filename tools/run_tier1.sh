@@ -88,6 +88,7 @@ tools/check_observability_docs.sh
 python3 tools/bench_compare.py --selftest
 python3 tools/bench_compare.py tools/baselines/BENCH_batch.json BENCH_batch.json
 python3 tools/bench_compare.py tools/baselines/BENCH_local_index.json BENCH_local_index.json
+python3 tools/bench_compare.py tools/baselines/BENCH_serve.json BENCH_serve.json
 
 # ThreadSanitizer over the whole tier1 label (not a hand-picked filter
 # list): every new tier-1 test is TSan-covered by default, so a test
@@ -100,4 +101,10 @@ if [[ "$tsan" != 0 ]]; then
   cmake --build "${build_dir}-tsan" -j "$(nproc)"
   ctest --test-dir "${build_dir}-tsan" -L tier1 --output-on-failure \
     -j "$(nproc)"
+  # The epoch-snapshot suites carry their own label; `-L tier1` above
+  # already matches it by substring, but the explicit invocation keeps
+  # the concurrency tier TSan-covered even if the label ever stops
+  # sharing the tier1 prefix.
+  ctest --test-dir "${build_dir}-tsan" -L tier1-concurrency \
+    --output-on-failure -j "$(nproc)"
 fi
