@@ -5,6 +5,7 @@
 /// + search policies). Defaults mirror the paper's evaluation setup.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "overlay/overlay.hpp"
@@ -37,6 +38,40 @@ enum class EvictionPolicy {
   kFifo,
 };
 
+/// Which naming strategy maps item vectors to overlay keys (the
+/// `core::NamingStrategy` seam, DESIGN.md §12).
+enum class NamingStrategyKind {
+  /// The paper's fitted absolute-angle scheme (Eq. 5 + Eq. 6). Default;
+  /// bit-identical to the pre-strategy hardcoded path.
+  kAngle,
+  /// Order-preserving range key: the raw-angle band observed in the fit
+  /// sample stretched affinely over the whole key space. Keeps angle
+  /// order (iterator/browsing friendly) without the Eq. 6 knee fit.
+  kRangeKey,
+  /// Random-hyperplane multi-probe LSH: each item published under
+  /// `lsh_tables` bucket keys; queries probe each bucket plus
+  /// `lsh_probes` perturbations (NearBucket-LSH style).
+  kLsh,
+};
+
+/// Strategy selection + LSH shape. All randomness is derived statelessly
+/// from `lsh_seed`, never from op-path RNG draws, so any strategy obeys
+/// the batch/epoch determinism contract by construction.
+struct NamingConfig {
+  NamingStrategyKind strategy = NamingStrategyKind::kAngle;
+  /// Number of LSH hash tables g (= keys published per item).
+  std::size_t lsh_tables = 4;
+  /// Sign bits per table (buckets per table = 2^lsh_bits).
+  std::size_t lsh_bits = 10;
+  /// Extra multi-probe perturbations per table on the query path.
+  std::size_t lsh_probes = 2;
+  /// Hyperplane seed; fixed so keys are stable across runs and workers.
+  std::uint64_t lsh_seed = 0x6c73685f6e616d65ULL;
+  /// Walk budget (nodes) for each non-primary probe of a multi-key
+  /// lookup; the primary probe keeps the op's own walk limit.
+  std::size_t probe_walk = 4;
+};
+
 /// Per-node local ranking backend (§3.3: "nodes may further implement the
 /// vector space model (VSM) or the latent semantic indexing (LSI)").
 enum class LocalRanking {
@@ -59,6 +94,8 @@ struct SystemConfig {
 
   LoadBalanceMode load_balance =
       LoadBalanceMode::kUnusedHashSpacePlusHotRegions;
+  /// Item-vector → overlay-key strategy (angle | range | LSH).
+  NamingConfig naming;
   /// Fraction of items sampled to fit Eq. 6 / hot regions (§3.4: 0.5%).
   double sample_fraction = 0.005;
   /// Knee budget for the Eq. 6 remap (paper: 5).

@@ -35,7 +35,10 @@ DepartResult Meteorograph::depart_node(overlay::NodeId node) {
   std::vector<StoredEntry> entries;
   state.items.for_each([&](const StoredEntry& e) { entries.push_back(e); });
   for (StoredEntry& entry : entries) {
-    const overlay::Key key = naming_.balanced_key(entry.vector);
+    // Bucket migration: each copy re-homes where the strategy says it
+    // belongs — the recomputed primary key under single-key strategies,
+    // the copy's own bucket key (entry.raw_key) under LSH.
+    const overlay::Key key = strategy_->migration_key(entry);
     overlay::NodeId cur = overlay_.closest_alive(key);
     ++result.messages;  // the handoff transfer itself
     StoredEntry moving = std::move(entry);
@@ -67,7 +70,7 @@ DepartResult Meteorograph::depart_node(overlay::NodeId node) {
 
   // Replicas: re-home on the now-closest node holding no copy yet.
   for (auto& [id, slot] : state.replicas) {
-    const overlay::Key key = naming_.balanced_key(slot.vector);
+    const overlay::Key key = strategy_->primary_key(slot.vector);
     for (const overlay::NodeId home :
          overlay_.closest_nodes(key, config_.replicas + 2)) {
       if (node_data_[home].items.contains(id) ||
@@ -84,7 +87,7 @@ DepartResult Meteorograph::depart_node(overlay::NodeId node) {
   // Directory pointers: move to the node now closest to each raw key.
   for (DirectoryPointer& pointer : state.directory.take_all()) {
     const auto v = vsm::SparseVector::binary(pointer.keywords);
-    const overlay::Key raw = naming_.raw_key(v);
+    const overlay::Key raw = strategy_->directory_key(v);
     node_data_[overlay_.closest_alive(raw)].directory.add(std::move(pointer));
     ++result.pointers_transferred;
     ++result.messages;
@@ -93,7 +96,7 @@ DepartResult Meteorograph::depart_node(overlay::NodeId node) {
   // Subscriptions: re-plant and fix the home registry.
   for (Subscription& sub : state.subscriptions) {
     const auto v = vsm::SparseVector::binary(sub.keywords);
-    const overlay::Key raw = naming_.raw_key(v);
+    const overlay::Key raw = strategy_->directory_key(v);
     const overlay::NodeId home = overlay_.closest_alive(raw);
     auto& homes = subscription_homes_[sub.id];
     for (overlay::NodeId& h : homes) {

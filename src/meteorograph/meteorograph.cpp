@@ -7,7 +7,6 @@
 #include "common/assert.hpp"
 #include "common/zipf.hpp"
 #include "obs/names.hpp"
-#include "vsm/absolute_angle.hpp"
 
 namespace meteo::core {
 
@@ -20,17 +19,6 @@ const char* outcome_label(const Degradation& d) noexcept {
 }
 
 namespace {
-
-std::vector<overlay::Key> raw_keys_of(
-    std::span<const vsm::SparseVector> sample, const SystemConfig& config) {
-  std::vector<overlay::Key> keys;
-  keys.reserve(sample.size());
-  for (const vsm::SparseVector& v : sample) {
-    keys.push_back(vsm::absolute_angle_key(
-        v, config.dimension, config.overlay.key_space, config.angle_mode));
-  }
-  return keys;
-}
 
 std::vector<vsm::KeywordId> keywords_of(const vsm::SparseVector& v) {
   std::vector<vsm::KeywordId> out;
@@ -46,17 +34,26 @@ Meteorograph::Meteorograph(SystemConfig config,
                            std::uint64_t seed)
     : config_(config),
       rng_(seed),
-      naming_(NamingScheme::fit(raw_keys_of(sample, config), config)),
+      strategy_(make_naming_strategy(sample, config)),
       overlay_(config.overlay),
       attributes_(config.overlay.key_space) {
   METEO_EXPECTS(config_.node_count >= 1);
 
-  // Hot-region statistics come from the *post-remap* sample keys (§3.4.2).
+  // Hot-region statistics come from the sample's *published* keys: the
+  // post-remap keys under the default angle strategy (§3.4.2, the exact
+  // pre-strategy path), the strategy's own primary keys otherwise — node
+  // placement must follow wherever the active strategy sends the items.
   if (config_.load_balance == LoadBalanceMode::kUnusedHashSpacePlusHotRegions) {
     std::vector<overlay::Key> balanced;
     balanced.reserve(sample.size());
-    for (const overlay::Key raw : raw_keys_of(sample, config_)) {
-      balanced.push_back(naming_.remap(raw));
+    if (config_.naming.strategy == NamingStrategyKind::kAngle) {
+      for (const overlay::Key raw : NamingScheme::raw_keys(sample, config_)) {
+        balanced.push_back(strategy_->scheme().remap(raw));
+      }
+    } else {
+      for (const vsm::SparseVector& v : sample) {
+        balanced.push_back(strategy_->primary_key(v));
+      }
     }
     hot_regions_ = HotRegionSet::detect(balanced, config_);
   }
@@ -73,8 +70,10 @@ Meteorograph::Meteorograph(SystemConfig config,
   overlay_.repair();
   sync_node_data();
 
-  // The bootstrap sample doubles as the first-hop data set (§3.5.1).
-  const auto raws = raw_keys_of(sample, config_);
+  // The bootstrap sample doubles as the first-hop data set (§3.5.1). The
+  // first-hop index lives in the raw-angle directory space under every
+  // strategy (NamingStrategy::directory_key).
+  const auto raws = NamingScheme::raw_keys(sample, config_);
   for (std::size_t i = 0; i < sample.size(); ++i) {
     first_hop_.add(raws[i], keywords_of(sample[i]));
   }
@@ -151,6 +150,26 @@ obs::Histogram& Meteorograph::op_walk_hops(obs::OpKind op) {
         {{obs::names::kLabelOp, obs::to_string(op)}}));
   }
   return *series.walk_hops;
+}
+
+obs::Histogram& Meteorograph::op_naming_probes(obs::OpKind op) {
+  OpSeries& series = op_series_[static_cast<std::size_t>(op)];
+  if (!series.naming_probes.has_value()) {
+    series.naming_probes.emplace(metrics_.histogram(
+        obs::names::kNamingProbes, obs::hop_buckets(),
+        {{obs::names::kLabelOp, obs::to_string(op)}}));
+  }
+  return *series.naming_probes;
+}
+
+obs::Histogram& Meteorograph::op_naming_keys(obs::OpKind op) {
+  OpSeries& series = op_series_[static_cast<std::size_t>(op)];
+  if (!series.naming_keys.has_value()) {
+    series.naming_keys.emplace(metrics_.histogram(
+        obs::names::kNamingKeys, obs::hop_buckets(),
+        {{obs::names::kLabelOp, obs::to_string(op)}}));
+  }
+  return *series.naming_keys;
 }
 
 void Meteorograph::record_fault_stats(obs::OpKind op,

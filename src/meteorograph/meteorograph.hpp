@@ -5,9 +5,11 @@
 /// contribution.
 ///
 /// A Meteorograph instance owns a structured overlay (nodes named per the
-/// configured load-balance mode), the fitted naming scheme (Eq. 5 + Eq. 6),
-/// hot-region statistics, the per-node stores (items, replicas, directory
-/// pointers), and the bootstrap sample used by the first-hop optimization.
+/// configured load-balance mode), the naming strategy (angle | range |
+/// LSH behind core::NamingStrategy, carrying the fitted Eq. 5 + Eq. 6
+/// scheme), hot-region statistics, the per-node stores (items, replicas,
+/// directory pointers), and the bootstrap sample used by the first-hop
+/// optimization.
 /// Every operation returns its exact cost in hops and messages (the shared
 /// OpCost base) plus explicit degradation flags (the shared Degradation
 /// base) so the benches can regenerate the paper's figures. Per-operation
@@ -35,17 +37,19 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "meteorograph/api.hpp"
 #include "meteorograph/config.hpp"
 #include "meteorograph/directory.hpp"
 #include "meteorograph/first_hop.hpp"
 #include "meteorograph/hot_regions.hpp"
-#include "meteorograph/naming.hpp"
+#include "meteorograph/naming/strategy.hpp"
 #include "meteorograph/range_search.hpp"
 #include "meteorograph/storage.hpp"
 #include "obs/metrics.hpp"
@@ -56,39 +60,8 @@
 
 namespace meteo::core {
 
-/// Shared hop/message accounting, inherited by every operation result.
-/// `route_hops` counts greedy-routing messages ("Closest" series of
-/// Fig. 9); `walk_hops` counts neighbor-walk steps ("Neighbors" series).
-/// Results with extra traffic classes (PublishResult, SearchResult)
-/// shadow total_messages() with their richer sum.
-struct OpCost {
-  std::size_t route_hops = 0;
-  std::size_t walk_hops = 0;
-  [[nodiscard]] std::size_t total_hops() const noexcept {
-    return route_hops + walk_hops;
-  }
-  [[nodiscard]] std::size_t total_messages() const noexcept {
-    return route_hops + walk_hops;
-  }
-};
-
-/// Shared fault-degradation flags, inherited by every operation result.
-/// All three stay false on perfect links; which flag an operation sets is
-/// documented per result struct.
-struct Degradation {
-  /// Message loss cut the operation short; the result may be incomplete.
-  bool partial = false;
-  /// The operation finished but some side effect was lost (e.g. a publish
-  /// whose replica or pointer placement legs never arrived).
-  bool degraded = false;
-  /// Message loss ended the search before the target was ruled out; a
-  /// negative answer may be a false negative.
-  bool fault_blocked = false;
-};
-
-/// The `outcome` metric-label value for a result's degradation flags:
-/// "blocked", "partial", "degraded", or "ok" (docs/OBSERVABILITY.md).
-[[nodiscard]] const char* outcome_label(const Degradation& d) noexcept;
+// OpCost/Degradation (the result bases below), outcome_label, ReadView,
+// and the per-op options structs live in meteorograph/api.hpp.
 
 struct PublishResult : OpCost, Degradation {
   bool success = false;
@@ -102,9 +75,12 @@ struct PublishResult : OpCost, Degradation {
   std::size_t notify_messages = 0; ///< subscription deliveries triggered
   std::size_t replicas_missed = 0;  ///< replica homes never reached
   bool pointer_missed = false;      ///< directory pointer publication lost
+  /// Traffic spent publishing the extra strategy keys (route legs + their
+  /// overflow chains). Always 0 under single-key naming strategies.
+  std::size_t naming_key_messages = 0;
   [[nodiscard]] std::size_t total_messages() const noexcept {
     return route_hops + chain_hops + replica_messages + pointer_messages +
-           notify_messages;
+           notify_messages + naming_key_messages;
   }
 };
 
@@ -196,47 +172,6 @@ struct SearchResult : OpCost, Degradation {
   }
 };
 
-// --- per-operation options ---------------------------------------------------
-// Built for designated initializers: sys.locate(id, v, {.walk_limit = 16}).
-// `from` always defaults to a uniformly random alive node.
-
-struct PublishOptions {
-  std::optional<overlay::NodeId> from = std::nullopt;
-};
-
-struct RetrieveOptions {
-  std::optional<overlay::NodeId> from = std::nullopt;
-};
-
-struct WithdrawOptions {
-  std::optional<overlay::NodeId> from = std::nullopt;
-};
-
-struct LocateOptions {
-  std::optional<overlay::NodeId> from = std::nullopt;
-  std::size_t walk_limit = 0;  ///< 0 = config default (whole ring)
-};
-
-struct SearchOptions {
-  std::optional<overlay::NodeId> from = std::nullopt;
-};
-
-struct RangeSearchOptions {
-  std::optional<overlay::NodeId> from = std::nullopt;
-};
-
-/// Which epoch a read core answers from (DESIGN.md §11). The default —
-/// kEpochLatest — reads the live state and is byte-identical to the
-/// pre-epoch code path; the EpochEngine pins its deferred readers at
-/// the epoch the current commits are about to supersede.
-struct ReadView {
-  vsm::Epoch epoch = vsm::kEpochLatest;
-};
-
-struct SubscribeOptions {
-  std::size_t horizon = 8;  ///< consecutive directory nodes to plant on
-};
-
 class Meteorograph {
  public:
   /// Builds the system: fits Eq. 6 and hot regions from `sample` (the
@@ -247,11 +182,17 @@ class Meteorograph {
                std::uint64_t seed);
 
   // --- naming -------------------------------------------------------------
+  // raw_key/balanced_key expose the fitted Eq. 5/Eq. 6 scheme (the
+  // directory coordinate under every strategy); the strategy itself owns
+  // the op-path keys (publish targets, probe plans).
   [[nodiscard]] overlay::Key raw_key(const vsm::SparseVector& v) const {
-    return naming_.raw_key(v);
+    return strategy_->scheme().raw_key(v);
   }
   [[nodiscard]] overlay::Key balanced_key(const vsm::SparseVector& v) const {
-    return naming_.balanced_key(v);
+    return strategy_->scheme().balanced_key(v);
+  }
+  [[nodiscard]] const NamingStrategy& naming_strategy() const noexcept {
+    return *strategy_;
   }
 
   // --- operations ----------------------------------------------------------
@@ -370,7 +311,9 @@ class Meteorograph {
     return overlay_;
   }
   [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
-  [[nodiscard]] const NamingScheme& naming() const noexcept { return naming_; }
+  [[nodiscard]] const NamingScheme& naming() const noexcept {
+    return strategy_->scheme();
+  }
   [[nodiscard]] const HotRegionSet& hot_regions() const noexcept {
     return hot_regions_;
   }
@@ -446,11 +389,15 @@ class Meteorograph {
     std::optional<obs::Counter> fault_timeouts;
     std::optional<obs::Counter> fault_reroutes;
     std::optional<obs::Histogram> fault_timeout_cost;
+    std::optional<obs::Histogram> naming_probes;  ///< naming.probes{op}
+    std::optional<obs::Histogram> naming_keys;    ///< naming.keys{op}
   };
   obs::Counter& op_count(obs::OpKind op, const char* outcome);
   obs::Counter& op_messages(obs::OpKind op);
   obs::Histogram& op_route_hops(obs::OpKind op);
   obs::Histogram& op_walk_hops(obs::OpKind op);
+  obs::Histogram& op_naming_probes(obs::OpKind op);
+  obs::Histogram& op_naming_keys(obs::OpKind op);
 
   /// Per-operation hop accounting captured by the const op cores. The
   /// batch engine holds one OpTrace per operation (a private shard — no
@@ -463,6 +410,9 @@ class Meteorograph {
     overlay::HopStats route;
     overlay::HopStats walk;
     obs::SpanRecorder span;
+    /// Probe keys this read op planned (0 under single-key strategies —
+    /// the record folds then skip the naming.* series entirely).
+    std::size_t naming_probes = 0;
   };
 
   /// The parallelizable half of publish: source selection + the main
@@ -472,10 +422,16 @@ class Meteorograph {
   /// the plan/commit split.
   struct PublishPlan {
     overlay::Key raw = 0;
-    overlay::Key key = 0;
+    overlay::Key key = 0;  ///< keys.front(): the primary publish key
     overlay::NodeId source = overlay::kInvalidNode;
     overlay::RouteResult route;
     obs::SpanRecorder span;
+    /// Multi-key publication (strategy.multi_key()): every publish key,
+    /// primary first, plus one planned route per extra key. Both sized 0
+    /// under single-key strategies so the commit path shape — and the
+    /// plan's allocation profile — match the pre-strategy code exactly.
+    std::vector<overlay::Key> extra_keys;
+    std::vector<overlay::RouteResult> extra_routes;
   };
 
   // Read-only operation cores. No membership changes, no metric-registry
@@ -510,6 +466,14 @@ class Meteorograph {
   // span accumulates the commit legs' events and is finished there.
   PublishPlan plan_publish(const vsm::SparseVector& vector,
                            const PublishOptions& options, Rng& rng) const;
+  /// Fig. 2 step 3: store `entry` at `start`, overflow-chaining through
+  /// closest neighbors while nodes are full. Returns true once stored;
+  /// `stored_at` is the final host and `chain_hops` counts the forwards
+  /// (also the kChainHop event detail). Shared by the primary copy and a
+  /// multi-key strategy's extra copies.
+  bool chain_store(StoredEntry entry, overlay::NodeId start,
+                   std::size_t hop_budget, obs::SpanRecorder* rec,
+                   std::size_t& chain_hops, overlay::NodeId& stored_at);
   PublishResult commit_publish(vsm::ItemId id, const vsm::SparseVector& vector,
                                PublishPlan& plan);
   WithdrawResult withdraw_with(vsm::ItemId id, const vsm::SparseVector& vector,
@@ -535,7 +499,7 @@ class Meteorograph {
 
   SystemConfig config_;
   Rng rng_;
-  NamingScheme naming_;
+  std::unique_ptr<NamingStrategy> strategy_;
   HotRegionSet hot_regions_;
   FirstHopIndex first_hop_;
   overlay::Overlay overlay_;

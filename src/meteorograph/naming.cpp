@@ -50,6 +50,17 @@ NamingScheme NamingScheme::fit(std::span<const overlay::Key> sample_raw_keys,
   return scheme;
 }
 
+std::vector<overlay::Key> NamingScheme::raw_keys(
+    std::span<const vsm::SparseVector> sample, const SystemConfig& config) {
+  std::vector<overlay::Key> keys;
+  keys.reserve(sample.size());
+  for (const vsm::SparseVector& v : sample) {
+    keys.push_back(vsm::absolute_angle_key(
+        v, config.dimension, config.overlay.key_space, config.angle_mode));
+  }
+  return keys;
+}
+
 overlay::Key NamingScheme::raw_key(const vsm::SparseVector& v) const {
   return vsm::absolute_angle_key(v, config_.dimension,
                                  config_.overlay.key_space,

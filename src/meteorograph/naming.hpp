@@ -34,6 +34,12 @@ class NamingScheme {
   static NamingScheme fit(std::span<const overlay::Key> sample_raw_keys,
                           const SystemConfig& config);
 
+  /// Eq. 5 raw keys of a whole sample — the fit() input. Lives here (not
+  /// in the facade) so `vsm::absolute_angle` has exactly one caller in
+  /// the core: the naming layer (meteo-lint R6).
+  [[nodiscard]] static std::vector<overlay::Key> raw_keys(
+      std::span<const vsm::SparseVector> sample, const SystemConfig& config);
+
   /// Eq. 5: the raw absolute-angle key of a vector. \pre !v.empty()
   [[nodiscard]] overlay::Key raw_key(const vsm::SparseVector& v) const;
 

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file naming/angle.hpp
+/// The paper's naming strategy: fitted absolute-angle keys (Eq. 5 raw
+/// value, Eq. 6 CDF remap). Single key per item; the golden oracle
+/// (tests/meteorograph/naming_golden_test.cpp) proves this strategy
+/// bit-identical to the pre-seam hardcoded path.
+
+#include "meteorograph/naming/strategy.hpp"
+
+namespace meteo::core {
+
+class AngleNaming final : public NamingStrategy {
+ public:
+  explicit AngleNaming(NamingScheme scheme)
+      : NamingStrategy(std::move(scheme)) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "angle"; }
+
+  /// Silent in obs so metric dumps and traces stay byte-identical to the
+  /// pre-strategy baseline (the bit-identity acceptance bar).
+  [[nodiscard]] bool records_naming() const noexcept override { return false; }
+
+  [[nodiscard]] overlay::Key primary_key(
+      const vsm::SparseVector& v) const override {
+    return scheme_.balanced_key(v);
+  }
+};
+
+}  // namespace meteo::core

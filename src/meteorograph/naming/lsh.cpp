@@ -1,0 +1,115 @@
+#include "meteorograph/naming/lsh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace meteo::core {
+namespace {
+
+/// One hyperplane component: a pure splitmix64 hash of
+/// (seed, table, bit, keyword) mapped uniformly into [-1, 1). Stateless,
+/// so no hyperplane matrix is ever materialized — the effective matrix is
+/// dimension x (tables * bits) and the universal dictionary makes
+/// dimension ~89K.
+double component(std::uint64_t seed, std::size_t table, std::size_t bit,
+                 vsm::KeywordId keyword) {
+  std::uint64_t h =
+      splitmix64(seed + 0x9e3779b97f4a7c15ULL *
+                            (static_cast<std::uint64_t>(table) + 1));
+  h ^= splitmix64((static_cast<std::uint64_t>(bit) << 32) |
+                  static_cast<std::uint64_t>(keyword));
+  h = splitmix64(h);
+  // Top 53 bits -> [0, 2) -> [-1, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+}
+
+}  // namespace
+
+LshNaming::LshNaming(NamingScheme scheme)
+    : NamingStrategy(std::move(scheme)),
+      tables_(scheme_.config().naming.lsh_tables),
+      bits_(scheme_.config().naming.lsh_bits),
+      probes_(scheme_.config().naming.lsh_probes),
+      seed_(scheme_.config().naming.lsh_seed) {
+  METEO_EXPECTS(tables_ >= 1);
+  METEO_EXPECTS(bits_ >= 1 && bits_ < 63);
+  const overlay::Key space = scheme_.config().overlay.key_space;
+  segment_ = space / tables_;
+  sub_ = segment_ >> bits_;
+  METEO_EXPECTS(sub_ >= 1);
+}
+
+void LshNaming::project(const vsm::SparseVector& v, std::size_t table,
+                        std::vector<double>& out) const {
+  out.assign(bits_, 0.0);
+  // One pass over the item's nonzeros; entries() is sorted by keyword, so
+  // the FP accumulation order is fixed (determinism contract, R3).
+  for (const vsm::Entry& e : v.entries()) {
+    for (std::size_t j = 0; j < bits_; ++j) {
+      out[j] += e.weight * component(seed_, table, j, e.keyword);
+    }
+  }
+}
+
+overlay::Key LshNaming::key_of_bucket(std::size_t table,
+                                      std::uint64_t bucket) const {
+  // Bucket center: segments tile the space, buckets tile the segment.
+  return static_cast<overlay::Key>(table) * segment_ + bucket * sub_ +
+         sub_ / 2;
+}
+
+overlay::Key LshNaming::bucket_key(const vsm::SparseVector& v,
+                                   std::size_t table) const {
+  std::vector<double> proj;
+  project(v, table, proj);
+  std::uint64_t bucket = 0;
+  for (std::size_t j = 0; j < bits_; ++j) {
+    if (proj[j] >= 0.0) bucket |= std::uint64_t{1} << j;
+  }
+  return key_of_bucket(table, bucket);
+}
+
+overlay::Key LshNaming::primary_key(const vsm::SparseVector& v) const {
+  return bucket_key(v, 0);
+}
+
+void LshNaming::publish_keys(const vsm::SparseVector& v,
+                             std::vector<overlay::Key>& out) const {
+  for (std::size_t t = 0; t < tables_; ++t) {
+    out.push_back(bucket_key(v, t));
+  }
+}
+
+void LshNaming::probe_keys(const vsm::SparseVector& query,
+                           std::vector<overlay::Key>& out) const {
+  std::vector<double> proj;
+  std::vector<std::size_t> order(bits_);
+  for (std::size_t t = 0; t < tables_; ++t) {
+    project(query, t, proj);
+    std::uint64_t base = 0;
+    for (std::size_t j = 0; j < bits_; ++j) {
+      if (proj[j] >= 0.0) base |= std::uint64_t{1} << j;
+    }
+    out.push_back(key_of_bucket(t, base));
+    // Multi-probe: flip the sign bits with the smallest |projection| —
+    // a near neighbor's most likely disagreements. Deterministic order:
+    // |projection| ascending, bit index breaking ties.
+    for (std::size_t j = 0; j < bits_; ++j) order[j] = j;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double pa = std::fabs(proj[a]);
+      const double pb = std::fabs(proj[b]);
+      if (pa != pb) return pa < pb;
+      return a < b;
+    });
+    const std::size_t flips = std::min(probes_, bits_);
+    for (std::size_t p = 0; p < flips; ++p) {
+      out.push_back(
+          key_of_bucket(t, base ^ (std::uint64_t{1} << order[p])));
+    }
+  }
+}
+
+}  // namespace meteo::core

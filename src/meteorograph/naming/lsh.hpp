@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file naming/lsh.hpp
+/// Random-hyperplane multi-probe LSH naming (NearBucket-LSH style,
+/// PAPERS.md). Each item hashes to one bucket in each of g tables; the
+/// key space is split into g equal segments and each table's 2^b buckets
+/// tile one segment, so bucket keys never collide across tables. Items
+/// publish under all g bucket keys; queries probe the g base buckets plus
+/// T multi-probe perturbations per table (flip the sign bits whose
+/// hyperplane projections sit closest to zero — the buckets a near
+/// neighbor most plausibly fell into).
+///
+/// Determinism: hyperplane components are pure functions of
+/// (lsh_seed, table, bit, keyword) via splitmix64 — no stored matrices,
+/// no RNG draws, no mutable state — so keys are bit-identical across
+/// workers, batches, and processes (meteo-lint R2/R4 charter).
+
+#include "meteorograph/naming/strategy.hpp"
+
+namespace meteo::core {
+
+class LshNaming final : public NamingStrategy {
+ public:
+  explicit LshNaming(NamingScheme scheme);
+
+  [[nodiscard]] const char* name() const noexcept override { return "lsh"; }
+  [[nodiscard]] bool multi_key() const noexcept override { return true; }
+
+  /// Table 0's bucket key (publish_keys()/probe_keys() front).
+  [[nodiscard]] overlay::Key primary_key(
+      const vsm::SparseVector& v) const override;
+
+  /// One bucket key per table, table 0 first.
+  void publish_keys(const vsm::SparseVector& v,
+                    std::vector<overlay::Key>& out) const override;
+
+  /// Per table: the base bucket, then `lsh_probes` single-bit
+  /// perturbations in increasing |projection| order.
+  void probe_keys(const vsm::SparseVector& query,
+                  std::vector<overlay::Key>& out) const override;
+
+  /// Copies sort/evict/migrate by the bucket they were published under —
+  /// the bucket is not recoverable from the vector alone.
+  [[nodiscard]] overlay::Key store_order_key(
+      const vsm::SparseVector& v, overlay::Key publish_key) const override {
+    (void)v;
+    return publish_key;
+  }
+  [[nodiscard]] overlay::Key migration_key(
+      const StoredEntry& entry) const override {
+    return entry.raw_key;
+  }
+
+  /// The bucket key of `v` in `table` (tests).
+  [[nodiscard]] overlay::Key bucket_key(const vsm::SparseVector& v,
+                                        std::size_t table) const;
+
+ private:
+  /// Signed projections of v onto `bits_` hyperplanes of one table.
+  void project(const vsm::SparseVector& v, std::size_t table,
+               std::vector<double>& out) const;
+  [[nodiscard]] overlay::Key key_of_bucket(std::size_t table,
+                                           std::uint64_t bucket) const;
+
+  std::size_t tables_;
+  std::size_t bits_;
+  std::size_t probes_;
+  std::uint64_t seed_;
+  overlay::Key segment_;  // key-space width of one table's segment
+  overlay::Key sub_;      // key-space width of one bucket
+};
+
+}  // namespace meteo::core

@@ -1,0 +1,40 @@
+#include "meteorograph/naming/range_key.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace meteo::core {
+
+RangeKeyNaming::RangeKeyNaming(NamingScheme scheme,
+                               std::span<const vsm::SparseVector> sample)
+    : NamingStrategy(std::move(scheme)) {
+  // Fallback band: the whole key space (degenerate/no sample).
+  lo_ = 0.0;
+  hi_ = static_cast<double>(scheme_.config().overlay.key_space);
+  if (sample.empty()) return;
+  double lo = hi_;
+  double hi = 0.0;
+  for (const vsm::SparseVector& v : sample) {
+    const double raw = scheme_.raw_value(v);
+    lo = std::min(lo, raw);
+    hi = std::max(hi, raw);
+  }
+  // A point-mass sample keeps the full-space fallback: an affine map over
+  // a zero-width band is undefined.
+  if (hi > lo) {
+    lo_ = lo;
+    hi_ = hi;
+  }
+}
+
+overlay::Key RangeKeyNaming::primary_key(const vsm::SparseVector& v) const {
+  const double raw = scheme_.raw_value(v);
+  const auto top = static_cast<double>(scheme_.config().overlay.key_space - 1);
+  const double frac = (raw - lo_) / (hi_ - lo_);
+  const double mapped = std::clamp(frac, 0.0, 1.0) * top;
+  METEO_ASSERT(mapped >= 0.0);
+  return static_cast<overlay::Key>(mapped);
+}
+
+}  // namespace meteo::core

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file naming/range_key.hpp
+/// Order-preserving range-key naming: the continuous raw-angle band
+/// observed in the fit sample is stretched affinely onto the whole key
+/// space. Strictly monotone in the absolute angle, so similarity
+/// adjacency and iterator-style browsing order survive exactly, without
+/// the Eq. 6 knee fit — the keying that "a class of structured P2P
+/// systems supporting browsing" (PAPERS.md) argues for.
+
+#include "meteorograph/naming/strategy.hpp"
+
+namespace meteo::core {
+
+class RangeKeyNaming final : public NamingStrategy {
+ public:
+  /// Fits the band [lo, hi] from the sample's continuous raw values.
+  RangeKeyNaming(NamingScheme scheme,
+                 std::span<const vsm::SparseVector> sample);
+
+  [[nodiscard]] const char* name() const noexcept override { return "range"; }
+
+  [[nodiscard]] overlay::Key primary_key(
+      const vsm::SparseVector& v) const override;
+
+  /// The fitted raw-value band (tests).
+  [[nodiscard]] double band_lo() const noexcept { return lo_; }
+  [[nodiscard]] double band_hi() const noexcept { return hi_; }
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+};
+
+}  // namespace meteo::core

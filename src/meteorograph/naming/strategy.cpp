@@ -1,0 +1,24 @@
+#include "meteorograph/naming/strategy.hpp"
+
+#include "meteorograph/naming/angle.hpp"
+#include "meteorograph/naming/lsh.hpp"
+#include "meteorograph/naming/range_key.hpp"
+
+namespace meteo::core {
+
+std::unique_ptr<NamingStrategy> make_naming_strategy(
+    std::span<const vsm::SparseVector> sample, const SystemConfig& config) {
+  const std::vector<overlay::Key> raws = NamingScheme::raw_keys(sample, config);
+  NamingScheme scheme = NamingScheme::fit(raws, config);
+  switch (config.naming.strategy) {
+    case NamingStrategyKind::kRangeKey:
+      return std::make_unique<RangeKeyNaming>(std::move(scheme), sample);
+    case NamingStrategyKind::kLsh:
+      return std::make_unique<LshNaming>(std::move(scheme));
+    case NamingStrategyKind::kAngle:
+      break;
+  }
+  return std::make_unique<AngleNaming>(std::move(scheme));
+}
+
+}  // namespace meteo::core

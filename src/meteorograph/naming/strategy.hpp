@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file naming/strategy.hpp
+/// The naming seam: how an item vector becomes one-or-more overlay keys
+/// and how a query becomes probe keys (DESIGN.md §12).
+///
+/// The paper hardcodes one answer — collapse the vector to a scalar
+/// absolute angle (Eq. 5), then equalize with the Eq. 6 CDF remap. That
+/// answer is now one strategy among several behind this interface:
+///
+///   - AngleNaming     the paper's fitted absolute-angle scheme (default)
+///   - RangeKeyNaming  an order-preserving affine stretch of the raw
+///                     angle band over the whole key space
+///   - LshNaming       random-hyperplane multi-probe LSH: g bucket keys
+///                     per item, g·(1+T) probe keys per query
+///
+/// Contract highlights (the facade's op cores depend on these):
+///
+///   * publish_keys()/probe_keys() append at least one key and put the
+///     primary key first; for single-key strategies (multi_key() false)
+///     they append exactly primary_key(v), and the op cores take the
+///     pre-strategy single-route code path bit-for-bit.
+///   * The keyword directory space (§3.5 pointers, first-hop index,
+///     subscriptions) stays angle-ordered under every strategy:
+///     directory_key() is always the scheme's Eq. 5 raw key. Strategies
+///     govern the *similarity* key space only.
+///   * Determinism: a strategy holds no mutable state and draws no
+///     randomness at op time. Anything random (LSH hyperplanes) is
+///     derived statelessly from a fixed config seed via splitmix64, so
+///     keys are bit-identical across workers, batches, and processes
+///     (the meteo-lint R2/R4 charter covers this layer).
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "meteorograph/naming.hpp"
+#include "meteorograph/storage.hpp"
+#include "overlay/key_space.hpp"
+#include "vsm/sparse_vector.hpp"
+
+namespace meteo::core {
+
+class NamingStrategy {
+ public:
+  explicit NamingStrategy(NamingScheme scheme) : scheme_(std::move(scheme)) {}
+  virtual ~NamingStrategy() = default;
+  NamingStrategy(const NamingStrategy&) = delete;
+  NamingStrategy& operator=(const NamingStrategy&) = delete;
+
+  /// Stable identifier ("angle", "range", "lsh"): the span `naming`
+  /// attribute and the ablation bench's series label.
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// True when items publish under more than one key. Single-key
+  /// strategies keep the facade's pre-strategy op shape — one route, one
+  /// walk — which is what the golden oracle pins bit-for-bit.
+  [[nodiscard]] virtual bool multi_key() const noexcept { return false; }
+
+  /// True when ops should record the `naming.probes` / `naming.keys`
+  /// metric series and stamp the span attribute. The default angle
+  /// strategy stays silent so its dumps match the pre-strategy path
+  /// byte-for-byte.
+  [[nodiscard]] virtual bool records_naming() const noexcept { return true; }
+
+  /// The op-path key of a vector: where the primary copy lives and where
+  /// a single-probe lookup routes. \pre !v.empty()
+  [[nodiscard]] virtual overlay::Key primary_key(
+      const vsm::SparseVector& v) const = 0;
+
+  /// All keys an item is published under, primary first.
+  virtual void publish_keys(const vsm::SparseVector& v,
+                            std::vector<overlay::Key>& out) const {
+    out.push_back(primary_key(v));
+  }
+
+  /// Probe keys for a similarity query, best-first (primary first).
+  virtual void probe_keys(const vsm::SparseVector& query,
+                          std::vector<overlay::Key>& out) const {
+    out.push_back(primary_key(query));
+  }
+
+  /// Key stamped into StoredEntry::raw_key for the copy published under
+  /// `publish_key` — the angle-sorted store's ordering and eviction
+  /// coordinate. Default: the Eq. 5 raw angle key (global angle order);
+  /// LSH stamps the copy's bucket key so copies cluster per bucket.
+  [[nodiscard]] virtual overlay::Key store_order_key(
+      const vsm::SparseVector& v, overlay::Key publish_key) const {
+    (void)publish_key;
+    return scheme_.raw_key(v);
+  }
+
+  /// Where a stored copy re-homes when its host departs. Default: the
+  /// primary publish key recomputed from the vector; LSH re-homes each
+  /// copy at the bucket key it carries, since the bucket a copy came
+  /// from is not recoverable from the vector alone.
+  [[nodiscard]] virtual overlay::Key migration_key(
+      const StoredEntry& entry) const {
+    return primary_key(entry.vector);
+  }
+
+  /// Directory-space key (§3.5.2 pointers, first-hop fallback,
+  /// subscriptions): the Eq. 5 raw angle key under every strategy.
+  [[nodiscard]] overlay::Key directory_key(const vsm::SparseVector& v) const {
+    return scheme_.raw_key(v);
+  }
+
+  /// The fitted angle scheme every strategy carries (Eq. 5 raw keys are
+  /// still the directory coordinate; Eq. 6 knees feed the benches).
+  [[nodiscard]] const NamingScheme& scheme() const noexcept { return scheme_; }
+
+ protected:
+  NamingScheme scheme_;
+};
+
+/// Fits the Eq. 5/6 scheme from `sample` and builds the strategy
+/// `config.naming.strategy` selects. \pre sample non-empty unless
+/// config.load_balance == kNone
+[[nodiscard]] std::unique_ptr<NamingStrategy> make_naming_strategy(
+    std::span<const vsm::SparseVector> sample, const SystemConfig& config);
+
+}  // namespace meteo::core

@@ -39,7 +39,7 @@ SubscribeResult Meteorograph::subscribe(
   result.id = next_subscription_++;
 
   const overlay::Key fallback =
-      naming_.raw_key(vsm::SparseVector::binary(sorted));
+      strategy_->directory_key(vsm::SparseVector::binary(sorted));
   const overlay::Key start_key =
       first_hop_.smallest_matching_key(sorted).value_or(fallback);
 

@@ -27,18 +27,72 @@ Meteorograph::PublishPlan Meteorograph::plan_publish(
   METEO_EXPECTS(!vector.empty());
 
   PublishPlan plan;
-  plan.raw = naming_.raw_key(vector);
-  plan.key = naming_.balanced_key(vector);
+  plan.raw = strategy_->directory_key(vector);
+  if (strategy_->multi_key()) {
+    std::vector<overlay::Key> keys;
+    strategy_->publish_keys(vector, keys);
+    plan.key = keys.front();
+    plan.extra_keys.assign(keys.begin() + 1, keys.end());
+  } else {
+    plan.key = strategy_->primary_key(vector);
+  }
 
   // Step 1-2 (Fig. 2): route the publish request to the node whose key is
-  // closest to the item's hash key.
+  // closest to the item's (primary) hash key.
   plan.source = options.from.value_or(overlay_.random_alive(rng));
   if (tracer_ != nullptr) {
     plan.span.open(obs::OpKind::kPublish, plan.source, plan.key);
+    if (strategy_->records_naming()) plan.span.set_naming(strategy_->name());
   }
-  plan.route = overlay_.route(plan.source, plan.key,
-                              plan.span.active() ? &plan.span : nullptr);
+  obs::SpanRecorder* const rec = plan.span.active() ? &plan.span : nullptr;
+  plan.route = overlay_.route(plan.source, plan.key, rec);
+
+  // Extra strategy keys route in the plan phase too: routing is read-only
+  // against the frozen batch snapshot, so multi-key publishes stay
+  // parallel-plannable (DESIGN.md §8).
+  plan.extra_routes.reserve(plan.extra_keys.size());
+  for (const overlay::Key key : plan.extra_keys) {
+    if (rec != nullptr) rec->set_leg_key(key);
+    plan.extra_routes.push_back(overlay_.route(plan.source, key, rec));
+  }
   return plan;
+}
+
+bool Meteorograph::chain_store(StoredEntry entry, overlay::NodeId start,
+                               std::size_t hop_budget, obs::SpanRecorder* rec,
+                               std::size_t& chain_hops,
+                               overlay::NodeId& stored_at) {
+  // Step 3: store, overflow-chaining through closest neighbors when full.
+  // The displaced item always moves toward the side of the band it belongs
+  // to, which keeps the global angle (or bucket) order intact.
+  overlay::NodeId cur = start;
+  while (true) {
+    NodeData& data = node_data_[cur];
+    const std::size_t capacity = node_capacity_[cur];
+    if (capacity == 0 || data.items.size() < capacity) {
+      data.items.insert(std::move(entry));
+      stored_at = cur;
+      return true;
+    }
+    Eviction evicted = data.items.evict(entry, config_.eviction);
+    data.items.insert(std::move(entry));
+    overlay::NodeId next = evicted.side == EvictSide::kLow
+                               ? overlay_.predecessor(cur)
+                               : overlay_.successor(cur);
+    if (next == overlay::kInvalidNode) {
+      // Edge of the key space: chain back the other way.
+      next = evicted.side == EvictSide::kLow ? overlay_.successor(cur)
+                                             : overlay_.predecessor(cur);
+    }
+    if (next == overlay::kInvalidNode) return false;  // single node, full
+    entry = std::move(evicted.entry);
+    if (rec != nullptr) {
+      rec->event(obs::EventKind::kChainHop, cur, next, chain_hops);
+    }
+    cur = next;
+    ++chain_hops;
+    if (chain_hops >= hop_budget) return false;  // hop count exhausted
+  }
 }
 
 PublishResult Meteorograph::commit_publish(vsm::ItemId id,
@@ -54,50 +108,56 @@ PublishResult Meteorograph::commit_publish(vsm::ItemId id,
   // but the item may be mis-homed relative to its key: flag it.
   result.degraded = plan.route.blocked;
 
-  // Step 3: store, overflow-chaining through closest neighbors when full.
-  // The displaced item always moves toward the side of the band it belongs
-  // to, which keeps the global angle order intact.
-  StoredEntry entry{id, plan.raw, vector};
-  overlay::NodeId cur = plan.route.destination;
+  // Step 3: the primary copy. Its store-order key is the strategy's
+  // choice — the Eq. 5 raw angle key (plan.raw, already computed) under
+  // single-key strategies, the bucket key for LSH — so each node's
+  // AngleStore stays ordered by the coordinate the strategy clusters on.
+  const overlay::Key order_key =
+      strategy_->multi_key() ? strategy_->store_order_key(vector, plan.key)
+                             : plan.raw;
   const std::size_t hop_budget =
       config_.publish_hop_limit > 0
           ? config_.publish_hop_limit
           : 16 * std::max<std::size_t>(overlay_.alive_count(), 1);
-  result.success = false;
-  while (true) {
-    NodeData& data = node_data_[cur];
-    const std::size_t capacity = node_capacity_[cur];
-    if (capacity == 0 || data.items.size() < capacity) {
-      data.items.insert(std::move(entry));
-      result.stored_at = cur;
-      result.success = true;
-      break;
-    }
-    Eviction evicted = data.items.evict(entry, config_.eviction);
-    data.items.insert(std::move(entry));
-    overlay::NodeId next = evicted.side == EvictSide::kLow
-                               ? overlay_.predecessor(cur)
-                               : overlay_.successor(cur);
-    if (next == overlay::kInvalidNode) {
-      // Edge of the key space: chain back the other way.
-      next = evicted.side == EvictSide::kLow ? overlay_.successor(cur)
-                                             : overlay_.predecessor(cur);
-    }
-    if (next == overlay::kInvalidNode) break;  // single-node overlay, full
-    entry = std::move(evicted.entry);
-    if (rec != nullptr) {
-      rec->event(obs::EventKind::kChainHop, cur, next, result.chain_hops);
-    }
-    cur = next;
-    ++result.chain_hops;
-    if (result.chain_hops >= hop_budget) break;  // hop count exhausted
-  }
+  result.success =
+      chain_store(StoredEntry{id, order_key, vector}, plan.route.destination,
+                  hop_budget, rec, result.chain_hops, result.stored_at);
 
   if (!result.success) {
     record_fault_stats(obs::OpKind::kPublish, fault_stats);
     ++op_count(obs::OpKind::kPublish, "failed");
     if (tracer_ != nullptr) plan.span.finish("failed", *tracer_);
     return result;
+  }
+
+  // Multi-key publication: one copy per extra strategy key, stored with
+  // the same overflow-chain discipline at the planned route's target. A
+  // blocked leg loses that bucket's copy (degraded, like a replica miss);
+  // the item stays reachable through the keys that landed.
+  for (std::size_t i = 0; i < plan.extra_keys.size(); ++i) {
+    const overlay::Key key = plan.extra_keys[i];
+    const overlay::RouteResult& leg = plan.extra_routes[i];
+    fault_stats += leg.stats;
+    result.naming_key_messages += std::max<std::size_t>(leg.hops, 1);
+    if (leg.blocked) {
+      result.degraded = true;
+      continue;
+    }
+    if (rec != nullptr) rec->set_leg_key(key);
+    std::size_t copy_chain = 0;
+    overlay::NodeId copy_at = overlay::kInvalidNode;
+    if (chain_store(StoredEntry{id, strategy_->store_order_key(vector, key),
+                                vector},
+                    leg.destination, hop_budget, rec, copy_chain, copy_at)) {
+      result.naming_key_messages += copy_chain;
+    } else {
+      result.naming_key_messages += copy_chain;
+      result.degraded = true;
+    }
+  }
+  if (strategy_->records_naming()) {
+    op_naming_keys(obs::OpKind::kPublish)
+        .observe(static_cast<double>(1 + plan.extra_keys.size()));
   }
 
   // §3.6: place k-1 replicas on the nodes numerically closest to the key.
@@ -180,7 +240,7 @@ WithdrawResult Meteorograph::withdraw_with(vsm::ItemId id,
   METEO_EXPECTS(!vector.empty());
 
   WithdrawResult result;
-  const overlay::Key key = naming_.balanced_key(vector);
+  const overlay::Key key = strategy_->primary_key(vector);
   // The withdraw span covers the directory-pointer cleanup below; the
   // embedded locate opens (and commits) its own nested span first, so a
   // traced withdraw appears as a locate span followed by a withdraw span.
@@ -220,10 +280,31 @@ WithdrawResult Meteorograph::withdraw_with(vsm::ItemId id,
     }
   }
 
+  // Multi-key strategies: erase the copies published under the extra
+  // strategy keys (each lives in a node's item store near its bucket).
+  if (strategy_->multi_key()) {
+    std::vector<overlay::Key> keys;
+    strategy_->publish_keys(vector, keys);
+    for (std::size_t i = 1; i < keys.size(); ++i) {
+      const overlay::NodeId start = overlay_.closest_alive(keys[i]);
+      if (rec != nullptr) rec->set_leg_key(keys[i]);
+      NeighborWalk walk(overlay_, start, keys[i], rec);
+      for (std::size_t step = 0; step < config_.naming.probe_walk; ++step) {
+        if (node_data_[walk.current()].items.erase(id)) {
+          ++result.replicas_removed;
+          break;
+        }
+        if (!walk.advance()) break;
+        ++result.messages;
+      }
+      record_fault_stats(obs::OpKind::kWithdraw, walk.stats());
+    }
+  }
+
   // Directory pointer at the raw key (walk a small horizon: the pointer
   // sits on or next to the closest node).
   if (config_.directory_pointers && overlay_.alive_count() > 0) {
-    const overlay::Key raw = naming_.raw_key(vector);
+    const overlay::Key raw = strategy_->directory_key(vector);
     const overlay::NodeId start = overlay_.closest_alive(raw);
     if (rec != nullptr) rec->set_leg_key(raw);
     NeighborWalk walk(overlay_, start, raw, rec);

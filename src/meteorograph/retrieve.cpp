@@ -21,76 +21,98 @@ RetrieveResult Meteorograph::retrieve_op(const vsm::SparseVector& query,
   METEO_EXPECTS(amount > 0);
 
   RetrieveResult result;
-  const overlay::Key key = naming_.balanced_key(query);
+  // Probe plan (DESIGN.md §12): one key under single-key strategies — the
+  // loop below then runs the pre-strategy sequence exactly — or the g
+  // base buckets plus multi-probe perturbations under LSH.
+  std::vector<overlay::Key> probes;
+  strategy_->probe_keys(query, probes);
   const overlay::NodeId source =
       options.from.value_or(overlay_.random_alive(rng));
-  if (tracer_ != nullptr) trace.span.open(obs::OpKind::kRetrieve, source, key);
+  if (tracer_ != nullptr) {
+    trace.span.open(obs::OpKind::kRetrieve, source, probes.front());
+    if (strategy_->records_naming()) trace.span.set_naming(strategy_->name());
+  }
   obs::SpanRecorder* const rec = trace.span.active() ? &trace.span : nullptr;
-  const overlay::RouteResult route = overlay_.route(source, key, rec);
-  result.route_hops = route.hops;
+  if (strategy_->records_naming()) trace.naming_probes = probes.size();
 
   // Fig. 2 _retrieve: harvest locally, then consult closest neighbors
-  // until the requested amount is satisfied.
+  // until the requested amount is satisfied. The first probe keeps the
+  // op's own walk budget; each extra probe walks at most
+  // config_.naming.probe_walk nodes around its bucket.
   const std::size_t walk_limit = config_.max_walk_nodes > 0
                                      ? config_.max_walk_nodes
                                      : overlay_.alive_count();
-  NeighborWalk walk(overlay_, route.destination, key, rec);
   std::size_t remaining = amount;
   std::unordered_set<vsm::ItemId> seen;
   // One result buffer for the whole walk: the per-node top_k refills it
   // in place, so the loop stops reallocating a vector per node visit
   // (this op may run inside a BatchEngine worker's tight per-op loop).
   std::vector<vsm::ScoredItem> local;
-  while (true) {
-    const NodeData& data = node_data_[walk.current()];
-    ++result.nodes_visited;
-    if (config_.local_ranking == LocalRanking::kLsi) {
-      local = data.items.top_k_lsi(query, remaining, config_.lsi_rank,
-                                   config_.node_count /*stable seed*/);
-    } else {
-      data.items.top_k_at(query, remaining, view.epoch, local);
+  bool blocked = false;
+  bool faulted = false;
+  for (std::size_t p = 0; p < probes.size(); ++p) {
+    const overlay::Key key = probes[p];
+    if (p > 0 && rec != nullptr) rec->set_leg_key(key);
+    const overlay::RouteResult route = overlay_.route(source, key, rec);
+    trace.route += route.stats;
+    result.route_hops += route.hops;
+    blocked = blocked || route.blocked;
+
+    const std::size_t budget = p == 0 ? walk_limit : config_.naming.probe_walk;
+    NeighborWalk walk(overlay_, route.destination, key, rec);
+    std::size_t visited = 0;
+    while (true) {
+      const NodeData& data = node_data_[walk.current()];
+      ++result.nodes_visited;
+      ++visited;
+      if (config_.local_ranking == LocalRanking::kLsi) {
+        local = data.items.top_k_lsi(query, remaining, config_.lsi_rank,
+                                     config_.node_count /*stable seed*/);
+      } else {
+        data.items.top_k_at(query, remaining, view.epoch, local);
+      }
+      for (const vsm::ScoredItem& hit : local) {
+        if (hit.score <= 0.0) continue;  // no (latent) overlap: not a match
+        if (!seen.insert(hit.id).second) continue;
+        result.items.push_back(hit);
+        --remaining;
+      }
+      // Replica copies answer too (§3.6 failover: after the primary's host
+      // dies, the numerically-closest surviving home serves the item).
+      data.replicas.for_each_at(
+          view.epoch, [&](vsm::ItemId id, const vsm::SparseVector& vector) {
+            if (remaining == 0) return false;
+            if (seen.contains(id)) return true;
+            const double score = vsm::cosine_similarity(query, vector);
+            if (score <= 0.0) return true;
+            seen.insert(id);
+            result.items.push_back(vsm::ScoredItem{id, score});
+            --remaining;
+            return true;
+          });
+      if (remaining == 0 || visited >= budget) break;
+      if (!walk.advance()) break;
     }
-    for (const vsm::ScoredItem& hit : local) {
-      if (hit.score <= 0.0) continue;  // no (latent) overlap: not a match
-      if (!seen.insert(hit.id).second) continue;
-      result.items.push_back(hit);
-      --remaining;
-    }
-    // Replica copies answer too (§3.6 failover: after the primary's host
-    // dies, the numerically-closest surviving home serves the item).
-    data.replicas.for_each_at(
-        view.epoch, [&](vsm::ItemId id, const vsm::SparseVector& vector) {
-          if (remaining == 0) return false;
-          if (seen.contains(id)) return true;
-          const double score = vsm::cosine_similarity(query, vector);
-          if (score <= 0.0) return true;
-          seen.insert(id);
-          result.items.push_back(vsm::ScoredItem{id, score});
-          --remaining;
-          return true;
-        });
-    if (remaining == 0 || result.nodes_visited >= walk_limit) break;
-    if (!walk.advance()) break;
+    result.walk_hops += walk.hops();
+    trace.walk += walk.stats();
+    faulted = faulted || walk.faulted();
+    if (remaining == 0) break;
   }
-  result.walk_hops = walk.hops();
 
   // Degradation is explicit: a shortfall caused by message loss (a blocked
   // route or a walk direction closed by an unreachable neighbor) is
   // reported, not silently returned as a thin result set.
-  if (remaining > 0 && (route.blocked || walk.faulted())) {
+  if (remaining > 0 && (blocked || faulted)) {
     result.partial = true;
     result.items_missed = remaining;
   }
 
-  // Final ranking across all visited nodes.
+  // Final ranking across all visited nodes (and probes).
   std::sort(result.items.begin(), result.items.end(),
             [](const vsm::ScoredItem& a, const vsm::ScoredItem& b) {
               if (a.score != b.score) return a.score > b.score;
               return a.id < b.id;
             });
-
-  trace.route = route.stats;
-  trace.walk = walk.stats();
   return result;
 }
 
@@ -104,6 +126,12 @@ void Meteorograph::record_retrieve(const RetrieveResult& result,
       .observe(static_cast<double>(result.route_hops));
   op_walk_hops(obs::OpKind::kRetrieve)
       .observe(static_cast<double>(result.walk_hops));
+  // Zero outside multi-key strategies, so angle-strategy dumps keep the
+  // pre-strategy series set exactly.
+  if (trace.naming_probes != 0) {
+    op_naming_probes(obs::OpKind::kRetrieve)
+        .observe(static_cast<double>(trace.naming_probes));
+  }
   if (result.partial) {
     metrics_.histogram(names::kRetrieveItemsMissed, obs::count_buckets())
         .observe(static_cast<double>(result.items_missed));
@@ -128,13 +156,18 @@ LocateResult Meteorograph::locate_op(vsm::ItemId id,
   METEO_EXPECTS(!vector.empty());
 
   LocateResult result;
-  const overlay::Key key = naming_.balanced_key(vector);
+  // The item may live under any of the strategy's publish keys; probe
+  // them in plan order until one bucket answers.
+  std::vector<overlay::Key> probes;
+  strategy_->probe_keys(vector, probes);
   const overlay::NodeId source =
       options.from.value_or(overlay_.random_alive(rng));
-  if (tracer_ != nullptr) trace.span.open(obs::OpKind::kLocate, source, key);
+  if (tracer_ != nullptr) {
+    trace.span.open(obs::OpKind::kLocate, source, probes.front());
+    if (strategy_->records_naming()) trace.span.set_naming(strategy_->name());
+  }
   obs::SpanRecorder* const rec = trace.span.active() ? &trace.span : nullptr;
-  const overlay::RouteResult route = overlay_.route(source, key, rec);
-  result.route_hops = route.hops;
+  if (strategy_->records_naming()) trace.naming_probes = probes.size();
 
   std::size_t walk_limit = options.walk_limit;
   if (walk_limit == 0) {
@@ -142,30 +175,42 @@ LocateResult Meteorograph::locate_op(vsm::ItemId id,
                                             : overlay_.alive_count();
   }
 
-  NeighborWalk walk(overlay_, route.destination, key, rec);
-  std::size_t visited = 0;
-  while (true) {
-    const overlay::NodeId cur = walk.current();
-    const NodeData& data = node_data_[cur];
-    ++visited;
-    if (data.items.contains_at(id, view.epoch)) {
-      result.found = true;
-      result.node = cur;
-      break;
-    }
-    if (data.replicas.contains_at(id, view.epoch)) {
-      result.found = true;
-      result.node = cur;
-      result.via_replica = true;
-      break;
-    }
-    if (visited >= walk_limit || !walk.advance()) break;
-  }
-  result.walk_hops = walk.hops();
-  result.fault_blocked = !result.found && (route.blocked || walk.faulted());
+  bool blocked = false;
+  bool faulted = false;
+  for (std::size_t p = 0; p < probes.size(); ++p) {
+    const overlay::Key key = probes[p];
+    if (p > 0 && rec != nullptr) rec->set_leg_key(key);
+    const overlay::RouteResult route = overlay_.route(source, key, rec);
+    trace.route += route.stats;
+    result.route_hops += route.hops;
+    blocked = blocked || route.blocked;
 
-  trace.route = route.stats;
-  trace.walk = walk.stats();
+    const std::size_t budget = p == 0 ? walk_limit : config_.naming.probe_walk;
+    NeighborWalk walk(overlay_, route.destination, key, rec);
+    std::size_t visited = 0;
+    while (true) {
+      const overlay::NodeId cur = walk.current();
+      const NodeData& data = node_data_[cur];
+      ++visited;
+      if (data.items.contains_at(id, view.epoch)) {
+        result.found = true;
+        result.node = cur;
+        break;
+      }
+      if (data.replicas.contains_at(id, view.epoch)) {
+        result.found = true;
+        result.node = cur;
+        result.via_replica = true;
+        break;
+      }
+      if (visited >= budget || !walk.advance()) break;
+    }
+    result.walk_hops += walk.hops();
+    trace.walk += walk.stats();
+    faulted = faulted || walk.faulted();
+    if (result.found) break;
+  }
+  result.fault_blocked = !result.found && (blocked || faulted);
   return result;
 }
 
@@ -184,6 +229,10 @@ void Meteorograph::record_locate(const LocateResult& result, OpTrace& trace) {
       .observe(static_cast<double>(result.route_hops));
   op_walk_hops(obs::OpKind::kLocate)
       .observe(static_cast<double>(result.walk_hops));
+  if (trace.naming_probes != 0) {
+    op_naming_probes(obs::OpKind::kLocate)
+        .observe(static_cast<double>(trace.naming_probes));
+  }
   if (tracer_ != nullptr) trace.span.finish(outcome_label(result), *tracer_);
 }
 

@@ -37,7 +37,7 @@ SearchResult Meteorograph::search_op(std::span<const vsm::KeywordId> keywords,
   // §3.5.1 first hop: start at the smallest matching sample key; fall back
   // to the raw key of the query vector itself.
   const overlay::Key fallback =
-      naming_.raw_key(vsm::SparseVector::binary(query));
+      strategy_->directory_key(vsm::SparseVector::binary(query));
   const overlay::Key start_key =
       first_hop_.smallest_matching_key(query).value_or(fallback);
 

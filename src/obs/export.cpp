@@ -176,7 +176,13 @@ std::string trace_to_chrome_json(const TraceLog& log) {
            ",\"source\":" + format_u64(span.source) +
            ",\"key\":" + format_u64(span.key) + ",\"outcome\":\"" +
            json_escape(span.outcome) +
-           "\",\"epoch\":" + format_u64(span.epoch) + "}}";
+           "\",\"epoch\":" + format_u64(span.epoch);
+    // Strategy attribute only when stamped: default-strategy traces stay
+    // byte-identical to the pre-naming-seam exporter output.
+    if (!span.naming.empty()) {
+      out += ",\"naming\":\"" + json_escape(span.naming) + "\"";
+    }
+    out += "}}";
     for (const TraceEvent& event : span.events) {
       out += ",\n{\"name\":\"";
       out += to_string(event.kind);

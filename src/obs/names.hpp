@@ -40,6 +40,15 @@ inline constexpr const char* kOpRouteHops = "op.route_hops";
 /// Neighbor-walk hops per operation. Labels: op.
 inline constexpr const char* kOpWalkHops = "op.walk_hops";
 
+/// Probe keys planned per read op by a multi-key naming strategy
+/// (DESIGN.md §12). Labels: op. Absent under single-key strategies, so
+/// angle-strategy dumps match the pre-strategy baseline byte-for-byte.
+inline constexpr const char* kNamingProbes = "naming.probes";
+
+/// Keys an item was published under. Labels: op. Absent under single-key
+/// strategies (same reason as naming.probes).
+inline constexpr const char* kNamingKeys = "naming.keys";
+
 // ---- operation-specific series (unlabelled) -------------------------------
 
 /// Publish overflow-chain hops (extra successor legs taken when the home

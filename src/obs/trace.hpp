@@ -80,6 +80,10 @@ struct Span {
   /// for reads, the commit epoch for writes. 0 outside an EpochEngine.
   std::uint64_t epoch = 0;
   std::string outcome;   ///< "ok", "partial", "degraded", "blocked", "failed"
+  /// Naming-strategy attribute ("range", "lsh"). Empty — and omitted by
+  /// the exporters — under the default angle strategy, keeping its traces
+  /// byte-identical to the pre-strategy baseline (DESIGN.md §12).
+  std::string naming;
   std::vector<TraceEvent> events;
 };
 
@@ -131,6 +135,12 @@ class SpanRecorder {
   /// facade spans keep the default 0). Call any time before finish().
   void set_epoch(std::uint64_t epoch) {
     if (active_) span_.epoch = epoch;
+  }
+
+  /// Stamp the naming-strategy attribute (non-default strategies only;
+  /// see Span::naming). Call any time before finish().
+  void set_naming(const char* strategy) {
+    if (active_) span_.naming = strategy;
   }
 
   void event(EventKind kind, overlay::NodeId from, overlay::NodeId to,

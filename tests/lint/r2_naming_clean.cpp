@@ -1,0 +1,20 @@
+// meteo-lint fixture: the sanctioned LSH hyperplane shape R2 must NOT
+// fire on — every component is a pure splitmix64 hash of the fixed
+// config seed and the (table, bit, keyword) coordinates, so any worker
+// on any run computes the identical hyperplanes. Not compiled.
+#include <cstdint>
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double hyperplane_component(std::uint64_t seed, std::size_t table,
+                            std::size_t bit, std::uint32_t keyword) {
+  std::uint64_t h = mix(seed + 0x9e3779b97f4a7c15ULL * (table + 1));
+  h ^= mix((static_cast<std::uint64_t>(bit) << 32) | keyword);
+  h = mix(h);
+  return static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+}

@@ -1,0 +1,16 @@
+// meteo-lint fixture: R2 must fire on ambient randomness seeding LSH
+// hyperplanes (checked as-if under src/meteorograph/). Hyperplane
+// components drawn from std::random_device differ across processes and
+// workers, so two runs of the same config would name the same item
+// under different bucket keys — the naming layer must derive every
+// component statelessly from the fixed config seed (DESIGN.md §12).
+// Not compiled.
+#include <cstdint>
+#include <random>
+
+double hyperplane_component(std::size_t table, std::uint32_t keyword) {
+  std::random_device entropy;  // R2: unreproducible hyperplanes
+  std::uint64_t h = entropy() ^ (static_cast<std::uint64_t>(table) << 32);
+  h ^= keyword;
+  return static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+}

@@ -1,0 +1,12 @@
+// meteo-lint fixture: the sanctioned stateless shape R4 must NOT fire
+// on — hyperplane components recomputed per call from immutable inputs;
+// the only statics are constants. Not compiled.
+#include <cstdint>
+
+double mix_to_unit(std::uint64_t h);
+
+static constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+double hyperplane_component(std::uint64_t seed, std::uint64_t key) {
+  return mix_to_unit(seed + kGolden * key);  // pure function, no cache
+}

@@ -1,0 +1,19 @@
+// meteo-lint fixture: R4 must fire on a lazily-filled static cache of
+// LSH hyperplane components (checked as-if under src/meteorograph/).
+// The cache's fill order depends on which ops ran first, racing workers
+// mutate it concurrently, and a second system instance with a different
+// seed would read the first instance's planes — stateless recomputation
+// is the contract (DESIGN.md §12). Not compiled.
+#include <cstdint>
+#include <unordered_map>
+
+double mix_to_unit(std::uint64_t h);
+
+double hyperplane_component(std::uint64_t key) {
+  static std::unordered_map<std::uint64_t, double> cache;  // R4: op-order fill
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  const double value = mix_to_unit(key);
+  cache.emplace(key, value);
+  return value;
+}

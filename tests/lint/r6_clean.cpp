@@ -1,0 +1,25 @@
+// meteo-lint fixture: shapes R6 must NOT fire on — facade code that
+// names vectors through the strategy seam, plus identifiers and
+// literals that merely resemble the banned kernel. Not compiled.
+#include <cstdint>
+
+namespace core {
+struct SparseVector;
+struct NamingStrategy {
+  std::uint64_t primary_key(const SparseVector&) const;
+  std::uint64_t directory_key(const SparseVector&) const;
+};
+}  // namespace core
+
+std::uint64_t plan_key(const core::NamingStrategy& strategy,
+                       const core::SparseVector& v) {
+  return strategy.primary_key(v);  // the sanctioned seam
+}
+
+std::uint64_t pointer_key(const core::NamingStrategy& strategy,
+                          const core::SparseVector& v) {
+  return strategy.directory_key(v);
+}
+
+// A string literal naming the kernel is documentation, not a call.
+const char* scheme_doc = "fitted absolute_angle_key (Eq. 5 + Eq. 6)";

@@ -1,0 +1,22 @@
+// meteo-lint fixture: R6 must fire on direct absolute-angle naming in
+// facade code (checked as-if under src/meteorograph/, outside the
+// naming layer). An op that names vectors itself bypasses the
+// configured core::NamingStrategy and splits the key space between two
+// schemes (DESIGN.md §12). Not compiled.
+#include <cstdint>
+
+namespace vsm {
+struct SparseVector;
+enum class AngleMode { kUniversal };
+std::uint64_t absolute_angle_key(const SparseVector&, std::size_t, AngleMode);
+double absolute_angle(const SparseVector&, std::size_t, AngleMode);
+}  // namespace vsm
+
+std::uint64_t plan_key(const vsm::SparseVector& v) {
+  // R6: the op computes its own key instead of asking the strategy
+  return vsm::absolute_angle_key(v, 89'000, vsm::AngleMode::kUniversal);
+}
+
+double plan_angle(const vsm::SparseVector& v) {
+  return vsm::absolute_angle(v, 89'000, vsm::AngleMode::kUniversal);  // R6
+}

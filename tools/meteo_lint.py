@@ -33,6 +33,13 @@ review time, via a small rule catalog (DESIGN.md §10):
   R5  no volatile (it is not synchronization), and no
       std::memory_order_relaxed outside annotated metric totals —
       suppress with `// meteo-lint: relaxed(<reason>)`.
+  R6  no direct vsm::absolute_angle* calls in src/meteorograph/
+      outside the naming layer (naming.{hpp,cpp} and naming/). The
+      vector→key mapping is owned by core::NamingStrategy
+      (DESIGN.md §12); an op that names items itself bypasses the
+      configured strategy and silently splits the key space between
+      two naming schemes. Suppress with
+      `// meteo-lint: naming-seam(<reason>)`.
 
 Every suppression requires a non-empty reason; `--list-suppressions`
 prints the audited inventory. A suppression that matches no violation
@@ -66,6 +73,8 @@ RULES = {
     "R3": ("fp-order", "floating-point accumulation with unspecified order"),
     "R4": ("scoped", "thread_local / mutable static state in core code"),
     "R5": ("relaxed", "volatile-as-sync / relaxed atomic ordering"),
+    "R6": ("naming-seam",
+           "direct absolute-angle naming outside the naming layer"),
 }
 TAG_TO_RULE = {tag: rule for rule, (tag, _) in RULES.items()}
 
@@ -79,6 +88,11 @@ R2_ALLOW_PREFIXES = ("src/obs/", "bench/", "tools/", "examples/")
 # depend on worker scheduling, which is exactly what DESIGN.md §11
 # forbids — the epoch travels in per-op ReadView values instead.
 R4_PREFIXES = ("src/meteorograph/", "src/vsm/")
+# R6: the facade layer must name items through core::NamingStrategy; only
+# the naming layer itself may touch the vsm::absolute_angle* kernels.
+R6_PREFIX = "src/meteorograph/"
+R6_ALLOW = ("src/meteorograph/naming.hpp", "src/meteorograph/naming.cpp")
+R6_ALLOW_PREFIX = "src/meteorograph/naming/"
 
 SOURCE_EXT = {".cpp", ".hpp", ".cc", ".h", ".cxx", ".hxx"}
 
@@ -102,6 +116,8 @@ R3_PATTERNS = [
     (re.compile(r"\bstd\s*::\s*transform_reduce\b"), "std::transform_reduce"),
     (re.compile(r"\bstd\s*::\s*execution\s*::\s*par"), "std::execution::par*"),
 ]
+
+R6_PATTERN = re.compile(r"\babsolute_angle\w*\b")
 
 R5_VOLATILE_RE = re.compile(r"(?<![\w])volatile(?![\w])")
 R5_RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
@@ -611,6 +627,22 @@ def check_r5(path: str, lines: list[Line], report: FileReport) -> None:
                 "whose value is read after a join/commit barrier")
 
 
+def check_r6(path: str, rel: str, lines: list[Line],
+             report: FileReport) -> None:
+    if not rel.startswith(R6_PREFIX):
+        return
+    if rel in R6_ALLOW or rel.startswith(R6_ALLOW_PREFIX):
+        return
+    for idx, ln in enumerate(lines):
+        m = R6_PATTERN.search(ln.code)
+        if m:
+            add_violation(
+                report, path, idx + 1, "R6",
+                f"`{m.group(0)}` outside the naming layer — map vectors to "
+                f"keys through core::NamingStrategy (primary_key / "
+                f"directory_key), never the angle kernel directly")
+
+
 def check_cmake(path: str, rel: str, report: FileReport) -> None:
     try:
         with open(path, encoding="utf-8", errors="replace") as fh:
@@ -695,6 +727,7 @@ def scan(paths: list[str], repo_root: str, engine: TokenEngine,
         if rel.startswith(R4_PREFIXES):
             engine.check_r4(path, lines, report)
         check_r5(path, lines, report)
+        check_r6(path, rel, lines, report)
 
     if check_cmake_files:
         for cm in iter_cmake_files(repo_root):
@@ -717,9 +750,15 @@ def scan(paths: list[str], repo_root: str, engine: TokenEngine,
 # entry is (rule, violation fixture, clean fixture) and is held to the
 # same fire/stay-quiet standard. The epoch pair pins the R4 shape that
 # motivated extending the rule's charter to the serving layer:
-# thread-cached pinned epochs vs per-op ReadView context.
+# thread-cached pinned epochs vs per-op ReadView context. The naming
+# pairs pin the shapes the NamingStrategy seam (DESIGN.md §12) added to
+# the R2/R4 charters: LSH hyperplanes must be derived statelessly from
+# the fixed config seed, never from ambient randomness (R2) or a
+# lazily-filled static component cache (R4).
 SCENARIO_FIXTURES = [
     ("R4", "r4_epoch_violation.cpp", "r4_epoch_clean.cpp"),
+    ("R2", "r2_naming_violation.cpp", "r2_naming_clean.cpp"),
+    ("R4", "r4_naming_violation.cpp", "r4_naming_clean.cpp"),
 ]
 
 

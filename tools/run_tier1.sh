@@ -89,6 +89,7 @@ python3 tools/bench_compare.py --selftest
 python3 tools/bench_compare.py tools/baselines/BENCH_batch.json BENCH_batch.json
 python3 tools/bench_compare.py tools/baselines/BENCH_local_index.json BENCH_local_index.json
 python3 tools/bench_compare.py tools/baselines/BENCH_serve.json BENCH_serve.json
+python3 tools/bench_compare.py tools/baselines/BENCH_ablation_naming.json BENCH_ablation_naming.json
 
 # ThreadSanitizer over the whole tier1 label (not a hand-picked filter
 # list): every new tier-1 test is TSan-covered by default, so a test
